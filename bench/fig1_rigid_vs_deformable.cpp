@@ -1,0 +1,77 @@
+// Reproduces Fig. 1 (paper): rigid registration removes the bulk pose
+// difference but leaves a large intensity residual; deformable (LDDR)
+// registration shrinks it much further.
+//
+// Workload: two brain phantoms (different anatomy), the template
+// additionally rotated and shifted by a known rigid transform. We report
+// the residual norm (i) before registration, (ii) after the rigid baseline,
+// (iii) after deformable registration on the rigidly aligned pair.
+#include "bench_common.hpp"
+#include "grid/field_io.hpp"
+
+using namespace diffreg;
+using namespace diffreg::bench;
+
+int main() {
+  const Int3 dims{32, 36, 32};
+  std::printf("Fig. 1 (structure): rigid vs deformable registration\n");
+
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, dims);
+    auto rho_r_local = imaging::brain_phantom(decomp, 1);
+    auto rho_t_local = imaging::brain_phantom(decomp, 2);
+
+    // Gather and apply a known rigid misalignment to the template.
+    auto rho_r = grid::gather_to_all(decomp, rho_r_local);
+    auto rho_t0 = grid::gather_to_all(decomp, rho_t_local);
+    core::RigidRegistration rigid(dims);
+    core::RigidRegistration::Params misalign;
+    misalign.angles = {0.12, -0.08, 0.1};
+    misalign.translation = {0.3, -0.2, 0.25};
+    std::vector<real_t> rho_t_full;
+    rigid.apply(rho_t0, misalign, rho_t_full);
+
+    // (i) initial residual, (ii) rigid baseline (serial, rank 0 computes,
+    // everyone gets the aligned template).
+    core::RigidRegistration::Result rr;
+    std::vector<real_t> aligned;
+    if (comm.is_root()) {
+      rr = rigid.run(rho_t_full, rho_r, 150);
+      rigid.apply(rho_t_full, rr.params, aligned);
+    } else {
+      aligned.resize(dims.prod());
+    }
+    comm.broadcast(aligned, 0);
+
+    // (iii) deformable registration on the rigidly aligned pair.
+    auto aligned_local = grid::scatter_from_root(
+        decomp, comm.is_root() ? std::span<const real_t>(aligned)
+                               : std::span<const real_t>());
+    // Recompute residual in the distributed norm for consistency.
+    core::RegistrationOptions opt;
+    opt.beta = 1e-3;
+    opt.gtol = 1e-2;
+    opt.max_newton_iters = 12;
+    core::RegistrationSolver solver(decomp, opt);
+    auto result = solver.run(aligned_local, rho_r_local);
+
+    if (comm.is_root()) {
+      std::printf("  residual before registration : %10.4f (1.00x)\n",
+                  rr.initial_residual);
+      std::printf("  residual after rigid         : %10.4f (%.2fx)\n",
+                  rr.final_residual,
+                  rr.final_residual / rr.initial_residual);
+      const real_t deformable =
+          result.final_residual_norm / result.initial_residual_norm *
+          rr.final_residual;
+      std::printf("  residual after deformable    : %10.4f (%.2fx)\n",
+                  deformable, deformable / rr.initial_residual);
+      std::printf("  deformable map: det(grad y) in [%.3f, %.3f]\n",
+                  result.min_det, result.max_det);
+      std::printf(
+          "\nExpected shape (paper Fig. 1): rigid < before, deformable <<\n"
+          "rigid — only the deformable map removes the anatomy mismatch.\n");
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Reproduces Fig. 2 (paper): the det(grad y) regimes of deformation maps —
+// volume shrinking (det in (0,1)), volume preserving (det = 1), volume
+// expanding (det > 1), and the non-diffeomorphic regime (det <= 0) that
+// appropriate regularization must prevent.
+//
+// We run the same registration problem in three configurations and report
+// the det statistics plus a histogram:
+//   (a) compressible, well regularized      -> det spread around 1, all > 0
+//   (b) incompressible                      -> det = 1 everywhere
+//   (c) compressible, weakly regularized    -> wider spread (approaching
+//                                              the inadmissible regime)
+#include "bench_common.hpp"
+
+using namespace diffreg;
+using namespace diffreg::bench;
+
+namespace {
+
+struct DetStats {
+  real_t min_det, max_det;
+  std::array<index_t, 6> histogram{};  // (-inf,0],(0,.5],(.5,.9],(.9,1.1],(1.1,2],(2,inf)
+};
+
+DetStats det_stats_for(const Int3& dims, bool incompressible, real_t beta,
+                       real_t amplitude) {
+  DetStats stats{};
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, dims);
+    spectral::SpectralOps ops(decomp);
+    auto rho_t = imaging::synthetic_template(decomp);
+    auto v = incompressible
+                 ? imaging::synthetic_velocity_divfree(decomp, amplitude)
+                 : imaging::synthetic_velocity(decomp, amplitude);
+    auto rho_r = imaging::make_reference(ops, rho_t, v);
+
+    core::RegistrationOptions opt;
+    opt.incompressible = incompressible;
+    opt.beta = beta;
+    opt.max_newton_iters = 8;
+    core::RegistrationSolver solver(decomp, opt);
+    auto result = solver.run(rho_t, rho_r);
+
+    grid::ScalarField det;
+    solver.jacobian_field(result.velocity, det);
+    std::array<index_t, 6> local{};
+    for (real_t d : det) {
+      int bucket = d <= 0     ? 0
+                   : d <= 0.5 ? 1
+                   : d <= 0.9 ? 2
+                   : d <= 1.1 ? 3
+                   : d <= 2.0 ? 4
+                              : 5;
+      ++local[bucket];
+    }
+    if (comm.is_root()) {
+      stats.min_det = result.min_det;
+      stats.max_det = result.max_det;
+    }
+    for (int bkt = 0; bkt < 6; ++bkt) {
+      const index_t total = comm.allreduce_sum(local[bkt]);
+      if (comm.is_root()) stats.histogram[bkt] = total;
+    }
+  });
+  return stats;
+}
+
+void print_stats(const char* label, const DetStats& s) {
+  std::printf("  %-36s det in [%7.4f, %7.4f]  |", label, s.min_det,
+              s.max_det);
+  const char* buckets[] = {"<=0", "(0,.5]", "(.5,.9]", "(.9,1.1]", "(1.1,2]",
+                           ">2"};
+  for (int bkt = 0; bkt < 6; ++bkt)
+    std::printf(" %s:%lld", buckets[bkt],
+                static_cast<long long>(s.histogram[bkt]));
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const Int3 dims{32, 32, 32};
+  std::printf("Fig. 2 (structure): Jacobian-determinant regimes of the "
+              "computed maps\n");
+
+  print_stats("(a) compressible, beta=1e-2",
+              det_stats_for(dims, false, 1e-2, 0.5));
+  print_stats("(b) incompressible (volume preserving)",
+              det_stats_for(dims, true, 1e-2, 0.5));
+  print_stats("(c) compressible, beta=1e-5 (weak)",
+              det_stats_for(dims, false, 1e-5, 0.5));
+
+  std::printf(
+      "\nExpected shape (paper Fig. 2): (a) spreads around 1 but stays\n"
+      "positive (diffeomorphic); (b) concentrates at det = 1; (c) spreads\n"
+      "much wider — with too little regularization the map approaches the\n"
+      "non-diffeomorphic det <= 0 regime the paper's Fig. 2 warns about.\n");
+  return 0;
+}

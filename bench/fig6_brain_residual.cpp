@@ -1,0 +1,66 @@
+// Reproduces Fig. 6 (paper): the brain registration problem — reference,
+// template, residual before registration, residual after registration. The
+// figure's message is the near-complete removal of the intensity mismatch;
+// we print the residual norms and dump the four panels.
+#include "bench_common.hpp"
+#include "grid/field_io.hpp"
+#include "imaging/io.hpp"
+
+using namespace diffreg;
+using namespace diffreg::bench;
+
+int main() {
+  const Int3 dims{48, 56, 48};
+  std::printf("Fig. 6 (structure): brain registration residuals\n");
+
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, dims);
+    auto rho_r = imaging::brain_phantom(decomp, 1);
+    auto rho_t = imaging::brain_phantom(decomp, 2);
+
+    core::RegistrationOptions opt;
+    opt.beta = 1e-3;
+    opt.gtol = 1e-2;
+    opt.max_newton_iters = 15;
+    core::RegistrationSolver solver(decomp, opt);
+    auto result = solver.run(rho_t, rho_r);
+
+    grid::ScalarField deformed;
+    solver.deform_template(rho_t, result.velocity, deformed);
+
+    const index_t n = decomp.local_real_size();
+    grid::ScalarField res_before(n), res_after(n);
+    for (index_t i = 0; i < n; ++i) {
+      res_before[i] = std::abs(rho_t[i] - rho_r[i]);
+      res_after[i] = std::abs(deformed[i] - rho_r[i]);
+    }
+
+    auto dump = [&](const grid::ScalarField& f, const char* name) {
+      auto full = grid::gather_to_root(decomp, f);
+      if (comm.is_root())
+        imaging::write_pgm_slice(std::string("fig6_") + name + ".pgm", dims,
+                                 full, dims[0] / 2, 0, 1);
+    };
+    dump(rho_r, "reference");
+    dump(rho_t, "template");
+    dump(res_before, "residual_before");
+    dump(res_after, "residual_after");
+
+    if (comm.is_root()) {
+      std::printf("  ||rho_T - rho_R||          : %.4f\n",
+                  result.initial_residual_norm);
+      std::printf("  ||rho_T(y1) - rho_R||      : %.4f\n",
+                  result.final_residual_norm);
+      std::printf("  relative residual          : %.3f\n",
+                  result.rel_residual);
+      std::printf("  det(grad y) in [%.3f, %.3f]\n", result.min_det,
+                  result.max_det);
+      std::printf("  wrote fig6_*.pgm panels\n");
+      std::printf(
+          "\nExpected shape (paper Fig. 6): the post-registration residual\n"
+          "is close to white (near zero) except at fine anatomical detail;\n"
+          "here the relative residual drops well below 1.\n");
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Kernel microbenchmarks (google-benchmark) backing the paper's section
+// III-C complexity discussion, plus the ablations listed in DESIGN.md:
+//
+//  * 3D FFT forward/inverse (the O(N^3 log N) spectral workhorse)
+//  * spectral gradient (1 forward + 3 inverse FFTs, the fused variant)
+//  * raw tricubic kernel throughput (the paper's ~600 flops/point estimate)
+//  * interpolation plan: build (scatter phase) vs execute (reuse) — the
+//    paper's "once per field per Newton iteration" optimization
+//  * tricubic vs trilinear execution cost
+//  * Hessian matvec: Gauss-Newton vs full Newton
+//  * ghost-layer exchange
+#include <benchmark/benchmark.h>
+
+#include "core/diffreg.hpp"
+#include "imaging/synthetic.hpp"
+
+using namespace diffreg;
+
+namespace {
+
+/// Single-rank world reused by all benchmarks of one size.
+struct World {
+  Timings timings;
+  mpisim::Communicator comm;
+  grid::PencilDecomp decomp;
+  spectral::SpectralOps ops;
+
+  explicit World(const Int3& dims)
+      : comm(mpisim::single_rank(timings)), decomp(comm, dims), ops(decomp) {}
+};
+
+World& world(index_t n) {
+  static std::map<index_t, std::unique_ptr<World>> cache;
+  auto& slot = cache[n];
+  if (!slot) slot = std::make_unique<World>(Int3{n, n, n});
+  return *slot;
+}
+
+void BM_Fft3dForward(benchmark::State& state) {
+  World& w = world(state.range(0));
+  auto& fft = w.ops.fft();
+  std::vector<real_t> x(fft.local_real_size(), 1.0);
+  std::vector<complex_t> spec(fft.local_spectral_size());
+  for (auto _ : state) {
+    fft.forward(x, spec);
+    benchmark::DoNotOptimize(spec.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fft.local_real_size());
+}
+BENCHMARK(BM_Fft3dForward)->Arg(32)->Arg(64);
+
+void BM_Fft3dRoundTrip(benchmark::State& state) {
+  World& w = world(state.range(0));
+  auto& fft = w.ops.fft();
+  std::vector<real_t> x(fft.local_real_size(), 1.0);
+  std::vector<complex_t> spec(fft.local_spectral_size());
+  for (auto _ : state) {
+    fft.forward(x, spec);
+    fft.inverse(spec, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fft.local_real_size());
+}
+BENCHMARK(BM_Fft3dRoundTrip)->Arg(32)->Arg(64);
+
+void BM_SpectralGradient(benchmark::State& state) {
+  World& w = world(state.range(0));
+  auto f = imaging::synthetic_template(w.decomp);
+  grid::VectorField g(w.decomp.local_real_size());
+  for (auto _ : state) {
+    w.ops.gradient(f, g);
+    benchmark::DoNotOptimize(g[0].data());
+  }
+  state.SetItemsProcessed(state.iterations() * w.decomp.local_real_size());
+}
+BENCHMARK(BM_SpectralGradient)->Arg(32)->Arg(64);
+
+void BM_TricubicKernelRaw(benchmark::State& state) {
+  // Pure kernel throughput on a padded block, no communication.
+  const Int3 gdims{36, 36, 36};
+  std::vector<real_t> g(gdims.prod());
+  for (index_t i = 0; i < gdims.prod(); ++i)
+    g[i] = std::sin(0.01 * static_cast<real_t>(i));
+  real_t u = 2.0;
+  real_t sum = 0;
+  for (auto _ : state) {
+    u = 2.0 + std::fmod(u * 1.61803, 30.0);
+    sum += interp::tricubic_eval(g.data(), gdims, u, 0.5 * u + 2, 17.3);
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TricubicKernelRaw);
+
+void BM_InterpPlanBuild(benchmark::State& state) {
+  // The scatter phase the paper amortizes: rebuild the plan every time.
+  World& w = world(state.range(0));
+  semilag::TransportConfig tc;
+  semilag::Transport transport(w.ops, tc);
+  auto v = imaging::synthetic_velocity(w.decomp, 0.5);
+  for (auto _ : state) {
+    transport.set_velocity(v);  // trajectory + two plan builds
+    benchmark::DoNotOptimize(&transport);
+  }
+  state.SetItemsProcessed(state.iterations() * w.decomp.local_real_size());
+}
+BENCHMARK(BM_InterpPlanBuild)->Arg(32);
+
+void BM_InterpPlanExecute(benchmark::State& state) {
+  // Executing a cached plan (one ghost exchange + eval + return): the fast
+  // path taken nt times per transport solve.
+  World& w = world(state.range(0));
+  semilag::TransportConfig tc;
+  semilag::Transport transport(w.ops, tc);
+  auto v = imaging::synthetic_velocity(w.decomp, 0.5);
+  transport.set_velocity(v);
+  auto f = imaging::synthetic_template(w.decomp);
+  grid::ScalarField out(w.decomp.local_real_size());
+  for (auto _ : state) {
+    transport.interp_at_forward_points(f, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * w.decomp.local_real_size());
+}
+BENCHMARK(BM_InterpPlanExecute)->Arg(32);
+
+void BM_TransportSolveState(benchmark::State& state) {
+  // Ablation: tricubic (arg 0) vs trilinear (arg 1) full state solve.
+  World& w = world(32);
+  semilag::TransportConfig tc;
+  tc.method = state.range(0) == 0 ? interp::Method::kTricubic
+                                  : interp::Method::kTrilinear;
+  semilag::Transport transport(w.ops, tc);
+  auto v = imaging::synthetic_velocity(w.decomp, 0.5);
+  transport.set_velocity(v);
+  auto rho = imaging::synthetic_template(w.decomp);
+  for (auto _ : state) {
+    transport.solve_state(rho);
+    benchmark::DoNotOptimize(&transport);
+  }
+  state.SetLabel(state.range(0) == 0 ? "tricubic" : "trilinear");
+}
+BENCHMARK(BM_TransportSolveState)->Arg(0)->Arg(1);
+
+void BM_GhostExchange(benchmark::State& state) {
+  World& w = world(state.range(0));
+  grid::GhostExchange gx(w.decomp, interp::kGhostWidth);
+  auto f = imaging::synthetic_template(w.decomp);
+  std::vector<real_t> ghosted;
+  for (auto _ : state) {
+    gx.exchange(f, ghosted);
+    benchmark::DoNotOptimize(ghosted.data());
+  }
+  state.SetItemsProcessed(state.iterations() * w.decomp.local_real_size());
+}
+BENCHMARK(BM_GhostExchange)->Arg(32)->Arg(64);
+
+void BM_HessianMatvec(benchmark::State& state) {
+  // Ablation: Gauss-Newton (arg 0) vs full Newton (arg 1) matvec cost.
+  const bool gauss_newton = state.range(0) == 0;
+  World& w = world(32);
+  semilag::TransportConfig tc;
+  semilag::Transport transport(w.ops, tc);
+  core::Regularization reg(w.ops, core::RegType::kH2Seminorm, 1e-2);
+  auto rho_t = imaging::synthetic_template(w.decomp);
+  auto v_star = imaging::synthetic_velocity(w.decomp, 0.4);
+  auto rho_r = imaging::make_reference(w.ops, rho_t, v_star);
+  core::OptimalitySystem system(w.ops, transport, reg, rho_t, rho_r, false,
+                                gauss_newton);
+  auto v = imaging::synthetic_velocity(w.decomp, 0.2);
+  system.evaluate(v);
+  grid::VectorField g(w.decomp.local_real_size());
+  system.gradient(g);
+  auto dir = imaging::synthetic_velocity_divfree(w.decomp, 0.3);
+  grid::VectorField out(w.decomp.local_real_size());
+  for (auto _ : state) {
+    system.hessian_matvec(dir, out);
+    benchmark::DoNotOptimize(out[0].data());
+  }
+  state.SetLabel(gauss_newton ? "gauss-newton" : "full-newton");
+}
+BENCHMARK(BM_HessianMatvec)->Arg(0)->Arg(1);
+
+void BM_LerayProjection(benchmark::State& state) {
+  World& w = world(state.range(0));
+  auto v = imaging::synthetic_velocity(w.decomp, 1.0);
+  for (auto _ : state) {
+    w.ops.leray_project(v);
+    benchmark::DoNotOptimize(v[0].data());
+  }
+  state.SetItemsProcessed(state.iterations() * w.decomp.local_real_size());
+}
+BENCHMARK(BM_LerayProjection)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Reproduces Table V (paper): sensitivity of the computational work to the
+// regularization weight beta in {1e-1, 1e-3, 1e-5} for a fixed number of
+// Newton iterations on the brain problem. The paper reports 43 / 217 / 1689
+// Hessian matvecs (time factors 1.0 / 4.6 / 35.0): the spectral
+// preconditioner is mesh independent but NOT beta independent, so the
+// Krylov work grows sharply as beta shrinks. The absolute counts here
+// differ (smaller grid, different images); the monotone blow-up is the
+// result to reproduce.
+#include "bench_common.hpp"
+
+using namespace diffreg;
+using namespace diffreg::bench;
+
+int main() {
+  std::printf(
+      "Table V (structure): work vs regularization weight, brain phantom, "
+      "4 Newton iterations\n");
+  std::printf("%4s %10s %10s %18s %12s\n", "#", "beta", "matvecs",
+              "time to solution", "(relative)");
+
+  double base_time = 0;
+  int id = 30;  // numbering follows the paper's Table V (#30...)
+  for (real_t beta : {1e-1, 1e-3, 1e-5}) {
+    CaseConfig config;
+    config.dims = {32, 36, 32};
+    config.ranks = 2;
+    config.workload = Workload::kBrain;
+    config.options.beta = beta;
+    config.options.gtol = 1e-6;            // do not stop early:
+    config.options.max_newton_iters = 4;   // fixed 4 Newton iterations
+    config.options.max_krylov_iters = 500;
+    const CaseResult r = run_case(config);
+    if (base_time == 0) base_time = r.time_to_solution;
+    std::printf("%4d %10.0e %10d %18.2f %12.1f\n", id++, beta, r.matvecs,
+                r.time_to_solution, r.time_to_solution / base_time);
+  }
+
+  std::printf(
+      "\nExpected shape (paper #30-32): matvecs and time grow by one to two\n"
+      "orders of magnitude from beta=1e-1 to beta=1e-5 — the preconditioner\n"
+      "deteriorates with beta (the paper's stated limitation).\n");
+  return 0;
+}

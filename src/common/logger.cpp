@@ -1,0 +1,46 @@
+#include "common/logger.hpp"
+
+namespace diffreg {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (level < level_) return;
+  const char* tag = "";
+  switch (level) {
+    case LogLevel::kDebug:
+      tag = "[debug] ";
+      break;
+    case LogLevel::kInfo:
+      tag = "[info] ";
+      break;
+    case LogLevel::kWarn:
+      tag = "[warn] ";
+      break;
+    case LogLevel::kError:
+      tag = "[error] ";
+      break;
+    case LogLevel::kOff:
+      return;
+  }
+  std::scoped_lock lock(mutex_);
+  std::fprintf(stderr, "%s%s\n", tag, message.c_str());
+}
+
+void log_info(const std::string& message) {
+  Logger::instance().log(LogLevel::kInfo, message);
+}
+void log_warn(const std::string& message) {
+  Logger::instance().log(LogLevel::kWarn, message);
+}
+void log_error(const std::string& message) {
+  Logger::instance().log(LogLevel::kError, message);
+}
+void log_debug(const std::string& message) {
+  Logger::instance().log(LogLevel::kDebug, message);
+}
+
+}  // namespace diffreg

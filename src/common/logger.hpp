@@ -1,0 +1,33 @@
+// Minimal thread-safe logger. Rank 0 of an SPMD run typically owns stdout;
+// other ranks stay quiet unless explicitly enabled.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace diffreg {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kInfo;
+  std::mutex mutex_;
+};
+
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+void log_debug(const std::string& message);
+
+}  // namespace diffreg

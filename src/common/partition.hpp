@@ -1,0 +1,39 @@
+// 1D block distribution of n items over p parts, allowing n % p != 0.
+//
+// This is the building block of the 2D pencil decomposition (paper Fig. 4):
+// the first `n % p` parts get one extra item, so part sizes differ by at most
+// one and every alltoallv exchange can be expressed with these ranges.
+#pragma once
+
+#include <cassert>
+
+#include "common/types.hpp"
+
+namespace diffreg {
+
+struct BlockRange {
+  index_t begin = 0;
+  index_t end = 0;  // exclusive
+  index_t size() const { return end - begin; }
+};
+
+/// Half-open index range owned by part r of p when distributing n items.
+constexpr BlockRange block_range(index_t n, int p, int r) {
+  const index_t base = n / p;
+  const index_t rem = n % p;
+  const index_t begin = r * base + (r < rem ? r : rem);
+  const index_t size = base + (r < rem ? 1 : 0);
+  return {begin, begin + size};
+}
+
+/// Part that owns global index i under block_range(n, p, .).
+constexpr int block_owner(index_t i, index_t n, int p) {
+  assert(i >= 0 && i < n);
+  const index_t base = n / p;
+  const index_t rem = n % p;
+  const index_t split = rem * (base + 1);  // first index of the smaller parts
+  if (i < split) return static_cast<int>(i / (base + 1));
+  return static_cast<int>(rem + (i - split) / base);
+}
+
+}  // namespace diffreg

@@ -1,0 +1,23 @@
+#include "common/timer.hpp"
+
+namespace diffreg {
+
+std::string_view time_kind_name(TimeKind kind) {
+  switch (kind) {
+    case TimeKind::kFftComm:
+      return "fft_comm";
+    case TimeKind::kFftExec:
+      return "fft_exec";
+    case TimeKind::kInterpComm:
+      return "interp_comm";
+    case TimeKind::kInterpExec:
+      return "interp_exec";
+    case TimeKind::kOther:
+      return "other";
+    case TimeKind::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace diffreg

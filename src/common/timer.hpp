@@ -1,0 +1,88 @@
+// Wall-clock timers with the accounting categories used in the paper's
+// evaluation tables: FFT communication, FFT execution, interpolation
+// communication, interpolation execution (Tables I-IV report exactly these).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <string_view>
+
+namespace diffreg {
+
+enum class TimeKind : int {
+  kFftComm = 0,
+  kFftExec,
+  kInterpComm,
+  kInterpExec,
+  kOther,
+  kCount,
+};
+
+constexpr int kNumTimeKinds = static_cast<int>(TimeKind::kCount);
+
+std::string_view time_kind_name(TimeKind kind);
+
+/// Simple monotonic stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Per-rank accumulator for the paper's timing categories.
+class Timings {
+ public:
+  void add(TimeKind kind, double seconds) {
+    seconds_[static_cast<int>(kind)] += seconds;
+  }
+  double get(TimeKind kind) const { return seconds_[static_cast<int>(kind)]; }
+  void clear() { seconds_.fill(0.0); }
+
+  Timings& operator+=(const Timings& other) {
+    for (int k = 0; k < kNumTimeKinds; ++k) seconds_[k] += other.seconds_[k];
+    return *this;
+  }
+  /// Element-wise max, used to report the slowest rank like the paper does.
+  void max_with(const Timings& other) {
+    for (int k = 0; k < kNumTimeKinds; ++k)
+      if (other.seconds_[k] > seconds_[k]) seconds_[k] = other.seconds_[k];
+  }
+
+ private:
+  std::array<double, kNumTimeKinds> seconds_{};
+};
+
+/// Per-category `after - before`, for timing a phase of a longer run.
+inline Timings timings_delta(const Timings& before, const Timings& after) {
+  Timings d;
+  for (int k = 0; k < kNumTimeKinds; ++k) {
+    const auto kind = static_cast<TimeKind>(k);
+    d.add(kind, after.get(kind) - before.get(kind));
+  }
+  return d;
+}
+
+/// RAII helper: accumulates the scope's duration into a Timings category.
+class ScopedTimer {
+ public:
+  ScopedTimer(Timings& timings, TimeKind kind)
+      : timings_(timings), kind_(kind) {}
+  ~ScopedTimer() { timings_.add(kind_, timer_.seconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timings& timings_;
+  TimeKind kind_;
+  WallTimer timer_;
+};
+
+}  // namespace diffreg

@@ -1,0 +1,67 @@
+#include "core/continuation.hpp"
+
+#include <stdexcept>
+
+#include "spectral/resample.hpp"
+
+namespace diffreg::core {
+
+ContinuationResult run_beta_continuation(RegistrationSolver& solver,
+                                         const ScalarField& rho_t,
+                                         const ScalarField& rho_r,
+                                         const ContinuationOptions& copt) {
+  ContinuationResult out;
+  real_t beta = copt.beta_start;
+  const VectorField* warm_start = nullptr;
+
+  for (int stage = 0; stage < copt.max_stages; ++stage) {
+    solver.mutable_options().beta = beta;
+    RegistrationResult result = solver.run(rho_t, rho_r, warm_start);
+
+    out.stage_betas.push_back(beta);
+    out.stage_residuals.push_back(result.rel_residual);
+    out.stage_min_dets.push_back(result.min_det);
+    ++out.stages;
+
+    const bool admissible = result.min_det > copt.min_det_bound;
+    if (admissible) {
+      out.best = std::move(result);
+      out.final_beta = beta;
+      warm_start = &out.best.velocity;
+    }
+    if (!admissible || beta <= copt.beta_target) break;
+    beta = std::max(copt.beta_target, beta / copt.reduction_factor);
+  }
+  return out;
+}
+
+GridContinuationResult run_grid_continuation(grid::PencilDecomp& fine_decomp,
+                                             const RegistrationOptions& opt,
+                                             const ScalarField& rho_t,
+                                             const ScalarField& rho_r) {
+  const Int3 fd = fine_decomp.dims();
+  if (fd[0] % 2 || fd[1] % 2 || fd[2] % 2)
+    throw std::invalid_argument(
+        "run_grid_continuation: fine grid dims must be even");
+  const Int3 cd{fd[0] / 2, fd[1] / 2, fd[2] / 2};
+
+  GridContinuationResult out;
+  {
+    grid::PencilDecomp coarse_decomp(fine_decomp.comm(), cd,
+                                     fine_decomp.p1(), fine_decomp.p2());
+    auto rho_t_c = spectral::spectral_resample(fine_decomp, rho_t,
+                                               coarse_decomp);
+    auto rho_r_c = spectral::spectral_resample(fine_decomp, rho_r,
+                                               coarse_decomp);
+    RegistrationSolver coarse_solver(coarse_decomp, opt);
+    out.coarse = coarse_solver.run(rho_t_c, rho_r_c);
+
+    VectorField v0 = spectral::spectral_resample(
+        coarse_decomp, out.coarse.velocity, fine_decomp);
+    RegistrationSolver fine_solver(fine_decomp, opt);
+    out.fine = fine_solver.run(rho_t, rho_r, &v0);
+  }
+  return out;
+}
+
+}  // namespace diffreg::core

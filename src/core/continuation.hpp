@@ -1,0 +1,55 @@
+// Parameter continuation in beta (paper section III-A: "since the problem is
+// highly nonlinear we use parameter continuation on beta"): solve a heavily
+// regularized problem first, then repeatedly reduce beta — warm-starting the
+// velocity — until either the target beta is reached or the deformation map
+// would leave the admissible set (min det(grad y) below a bound).
+#pragma once
+
+#include <vector>
+
+#include "core/registration.hpp"
+
+namespace diffreg::core {
+
+struct ContinuationOptions {
+  real_t beta_start = 1;
+  real_t beta_target = 1e-3;
+  real_t reduction_factor = 10;
+  /// Admissibility bound on det(grad y) (paper: metrics on grad y1 determine
+  /// the target beta); below it the previous stage's result is kept.
+  real_t min_det_bound = 0.1;
+  int max_stages = 8;
+};
+
+struct ContinuationResult {
+  RegistrationResult best;        // last admissible stage
+  real_t final_beta = 0;          // beta of `best`
+  std::vector<real_t> stage_betas;
+  std::vector<real_t> stage_residuals;  // rel_residual per stage
+  std::vector<real_t> stage_min_dets;
+  int stages = 0;
+};
+
+/// Runs the continuation schedule on `solver` (its beta option is mutated
+/// per stage). Collective.
+ContinuationResult run_beta_continuation(RegistrationSolver& solver,
+                                         const ScalarField& rho_t,
+                                         const ScalarField& rho_r,
+                                         const ContinuationOptions& copt);
+
+struct GridContinuationResult {
+  RegistrationResult coarse;  // half-resolution solve
+  RegistrationResult fine;    // full-resolution solve, warm started
+};
+
+/// Two-level grid continuation (paper section I, Limitations: "grid
+/// continuation and multilevel preconditioning"): solves the problem on a
+/// half-resolution grid first, spectrally prolongs the coarse velocity, and
+/// warm-starts the fine-grid solve with it. All fine-grid dimensions must be
+/// even. Collective.
+GridContinuationResult run_grid_continuation(grid::PencilDecomp& fine_decomp,
+                                             const RegistrationOptions& opt,
+                                             const ScalarField& rho_t,
+                                             const ScalarField& rho_r);
+
+}  // namespace diffreg::core

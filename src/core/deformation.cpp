@@ -1,0 +1,46 @@
+#include "core/deformation.hpp"
+
+namespace diffreg::core {
+
+void jacobian_determinant(spectral::SpectralOps& ops, const VectorField& u,
+                          ScalarField& det) {
+  const index_t n = ops.local_size();
+  det.resize(n);
+  // Row d of the Jacobian of y = x + u is e_d + grad u_d.
+  VectorField row0(n), row1(n), row2(n);
+  ops.gradient(u[0], row0);
+  ops.gradient(u[1], row1);
+  ops.gradient(u[2], row2);
+  for (index_t i = 0; i < n; ++i) {
+    const Vec3 a{1 + row0[0][i], row0[1][i], row0[2][i]};
+    const Vec3 b{row1[0][i], 1 + row1[1][i], row1[2][i]};
+    const Vec3 c{row2[0][i], row2[1][i], 1 + row2[2][i]};
+    det[i] = det3(a, b, c);
+  }
+}
+
+DeformationAnalysis analyze_deformation(spectral::SpectralOps& ops,
+                                        semilag::Transport& transport) {
+  DeformationAnalysis out;
+  transport.solve_displacement(out.displacement);
+  jacobian_determinant(ops, out.displacement, out.det_grad_y);
+
+  auto& decomp = ops.decomp();
+  real_t local_min = out.det_grad_y.empty() ? real_t(1) : out.det_grad_y[0];
+  real_t local_max = local_min;
+  real_t local_sum = 0;
+  for (real_t d : out.det_grad_y) {
+    local_min = std::min(local_min, d);
+    local_max = std::max(local_max, d);
+    local_sum += d;
+  }
+  auto& comm = decomp.comm();
+  comm.set_time_kind(TimeKind::kOther);
+  out.min_det = comm.allreduce_min(local_min);
+  out.max_det = comm.allreduce_max(local_max);
+  out.mean_det = comm.allreduce_sum(local_sum) /
+                 static_cast<real_t>(decomp.dims().prod());
+  return out;
+}
+
+}  // namespace diffreg::core

@@ -1,0 +1,33 @@
+// Deformation-map diagnostics (paper Figs. 2 and 7): the map y = x + u with
+// the displacement u from eq. (1), and the pointwise determinant of the
+// deformation gradient det(grad y) = det(I + grad u). det > 0 everywhere
+// certifies that the computed map is diffeomorphic; det == 1 means the map
+// is locally volume preserving.
+#pragma once
+
+#include "semilag/transport.hpp"
+#include "spectral/operators.hpp"
+
+namespace diffreg::core {
+
+using grid::ScalarField;
+using grid::VectorField;
+
+struct DeformationAnalysis {
+  VectorField displacement;  // u(x, 1); y1 = x + u
+  ScalarField det_grad_y;    // pointwise det(grad y1)
+  real_t min_det = 0;
+  real_t max_det = 0;
+  real_t mean_det = 0;
+};
+
+/// Computes the deformation map of the transport's current velocity and its
+/// Jacobian-determinant statistics. Collective.
+DeformationAnalysis analyze_deformation(spectral::SpectralOps& ops,
+                                        semilag::Transport& transport);
+
+/// det(I + grad u) for a given displacement (also used by tests).
+void jacobian_determinant(spectral::SpectralOps& ops, const VectorField& u,
+                          ScalarField& det);
+
+}  // namespace diffreg::core

@@ -1,0 +1,131 @@
+#include "core/newton.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/pcg.hpp"
+
+namespace diffreg::core {
+
+namespace {
+
+real_t forcing_term(const RegistrationOptions& opt, real_t rel_gradient) {
+  switch (opt.forcing) {
+    case Forcing::kQuadratic:
+      return std::min(opt.forcing_max, rel_gradient);
+    case Forcing::kSuperlinear:
+      return std::min(opt.forcing_max, std::sqrt(rel_gradient));
+    case Forcing::kConstant:
+      break;
+  }
+  return opt.forcing_max;
+}
+
+}  // namespace
+
+NewtonReport newton_solve(OptimalitySystem& system, VectorField& v,
+                          const RegistrationOptions& options) {
+  NewtonReport report;
+  auto& decomp = system.decomp();
+  const bool root = decomp.comm().is_root();
+  const index_t n = decomp.local_real_size();
+
+  system.reset_matvec_count();
+  real_t objective = system.evaluate(v);
+
+  VectorField g(n), rhs(n), step(n), v_trial(n);
+  real_t g0_norm = 0;
+
+  for (int iter = 0; iter <= options.max_newton_iters; ++iter) {
+    system.gradient(g);
+    const real_t g_norm = grid::norm_l2(decomp, g);
+    if (iter == 0) {
+      g0_norm = g_norm;
+      report.initial_gradient_norm = g_norm;
+    }
+    const real_t rel_g = g0_norm > 0 ? g_norm / g0_norm : real_t(0);
+
+    NewtonIterationLog entry;
+    entry.iteration = iter;
+    entry.objective = objective;
+    entry.gradient_norm = g_norm;
+    entry.rel_gradient = rel_g;
+
+    if (options.verbose && root)
+      std::fprintf(stderr,
+                   "[newton] it %2d  J %.6e  |g| %.6e  rel %.3e\n", iter,
+                   objective, g_norm, rel_g);
+
+    if (g_norm == 0 || rel_g <= options.gtol) {
+      report.converged = true;
+      report.log.push_back(entry);
+      break;
+    }
+    if (iter == options.max_newton_iters) {
+      report.log.push_back(entry);
+      break;
+    }
+
+    // Newton step: H s = -g, solved inexactly (Eisenstat-Walker forcing).
+    const real_t eta = forcing_term(options, rel_g);
+    entry.forcing = eta;
+    rhs = g;
+    grid::scale(real_t(-1), rhs);
+    const PcgResult pcg = pcg_solve(
+        decomp,
+        [&](const VectorField& x, VectorField& y) {
+          system.hessian_matvec(x, y);
+        },
+        [&](const VectorField& x, VectorField& y) {
+          system.apply_preconditioner(x, y);
+        },
+        rhs, step, eta, options.max_krylov_iters);
+    entry.krylov_iterations = pcg.iterations;
+
+    // Descent safeguard: fall back to the preconditioned steepest-descent
+    // direction if PCG returned an ascent direction.
+    real_t gs = grid::dot(decomp, g, step);
+    if (gs >= 0) {
+      system.apply_preconditioner(rhs, step);
+      gs = grid::dot(decomp, g, step);
+    }
+
+    // Armijo backtracking line search.
+    real_t alpha = 1;
+    bool accepted = false;
+    real_t trial_objective = objective;
+    for (int ls = 0; ls < options.max_line_search; ++ls) {
+      grid::copy(v, v_trial);
+      grid::axpy(alpha, step, v_trial);
+      trial_objective = system.evaluate(v_trial);
+      if (trial_objective <= objective + options.armijo_c1 * alpha * gs) {
+        accepted = true;
+        break;
+      }
+      alpha *= real_t(0.5);
+    }
+    if (!accepted) {
+      // Restore the state fields of the current iterate and stop.
+      objective = system.evaluate(v);
+      entry.step_length = 0;
+      report.log.push_back(entry);
+      if (options.verbose && root)
+        std::fprintf(stderr, "[newton] line search failed at it %d\n", iter);
+      break;
+    }
+
+    grid::copy(v_trial, v);
+    objective = trial_objective;
+    entry.step_length = alpha;
+    report.log.push_back(entry);
+    report.iterations = iter + 1;
+  }
+
+  report.final_objective = objective;
+  report.final_gradient_norm =
+      report.log.empty() ? real_t(0) : report.log.back().gradient_norm;
+  report.total_matvecs = system.matvec_count();
+  return report;
+}
+
+}  // namespace diffreg::core

@@ -1,0 +1,37 @@
+// Inexact (Gauss-)Newton-Krylov driver with Armijo line search
+// (paper section III-A; the role PETSc/TAO plays in the original code).
+#pragma once
+
+#include <vector>
+
+#include "core/optimality.hpp"
+#include "core/options.hpp"
+
+namespace diffreg::core {
+
+struct NewtonIterationLog {
+  int iteration = 0;
+  real_t objective = 0;
+  real_t gradient_norm = 0;
+  real_t rel_gradient = 1;
+  int krylov_iterations = 0;
+  real_t step_length = 0;
+  real_t forcing = 0;
+};
+
+struct NewtonReport {
+  bool converged = false;
+  int iterations = 0;
+  int total_matvecs = 0;
+  real_t initial_gradient_norm = 0;
+  real_t final_gradient_norm = 0;
+  real_t final_objective = 0;
+  std::vector<NewtonIterationLog> log;
+};
+
+/// Minimizes J over v. `v` carries the initial guess in and the solution
+/// out. Collective over the decomposition's communicator.
+NewtonReport newton_solve(OptimalitySystem& system, VectorField& v,
+                          const RegistrationOptions& options);
+
+}  // namespace diffreg::core

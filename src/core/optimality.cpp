@@ -1,0 +1,60 @@
+#include "core/optimality.hpp"
+
+namespace diffreg::core {
+
+real_t OptimalitySystem::evaluate(const VectorField& v) {
+  transport_->set_velocity(v);
+  transport_->solve_state(rho_t_);
+  const ScalarField& rho1 = transport_->final_state();
+  const index_t n = decomp().local_real_size();
+  if (lambda1_.size() != static_cast<size_t>(n)) lambda1_.resize(n);
+  for (index_t i = 0; i < n; ++i) lambda1_[i] = rho1[i] - rho_r_[i];
+  const real_t res_norm = grid::norm_l2(decomp(), lambda1_);
+  mismatch_ = real_t(0.5) * res_norm * res_norm;
+  return mismatch_ + reg_->evaluate(v);
+}
+
+void OptimalitySystem::gradient(VectorField& g) {
+  const index_t n = decomp().local_real_size();
+  // Adjoint terminal condition lam(1) = rho_r - rho(1) = -lambda1_.
+  ScalarField lam1(n);
+  for (index_t i = 0; i < n; ++i) lam1[i] = -lambda1_[i];
+  transport_->solve_adjoint(lam1, b_, /*store_lambda=*/!gauss_newton_);
+
+  if (incompressible_) ops_->leray_project(b_);
+  reg_->apply(transport_->velocity(), reg_term_);
+  g = b_;
+  grid::axpy(real_t(1), reg_term_, g);
+}
+
+void OptimalitySystem::hessian_matvec(const VectorField& vtilde,
+                                      VectorField& out) {
+  ++matvecs_;
+  const index_t n = decomp().local_real_size();
+  transport_->solve_incremental_state(vtilde, rho_tilde1_,
+                                      /*store_hist=*/!gauss_newton_);
+  ScalarField lam_tilde1(n);
+  for (index_t i = 0; i < n; ++i) lam_tilde1[i] = -rho_tilde1_[i];
+
+  VectorField b_tilde;
+  if (gauss_newton_)
+    transport_->solve_incremental_adjoint_gn(lam_tilde1, b_tilde);
+  else
+    transport_->solve_incremental_adjoint_full(lam_tilde1, vtilde, b_tilde);
+
+  if (incompressible_) ops_->leray_project(b_tilde);
+  reg_->apply(vtilde, out);
+  grid::axpy(real_t(1), b_tilde, out);
+}
+
+void OptimalitySystem::apply_preconditioner(const VectorField& r,
+                                            VectorField& out) {
+  reg_->invert(r, out);
+  if (incompressible_) ops_->leray_project(out);
+}
+
+void OptimalitySystem::final_residual(ScalarField& out) const {
+  out = lambda1_;
+}
+
+}  // namespace diffreg::core

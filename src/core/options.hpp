@@ -1,0 +1,47 @@
+// User-facing configuration of the registration solver (paper section IV-A3
+// lists the experiment defaults: beta = 1e-2, nt = 4, gtol = 1e-2,
+// Gauss-Newton with quadratic forcing).
+#pragma once
+
+#include "core/regularization.hpp"
+#include "interp/kernels.hpp"
+
+namespace diffreg::core {
+
+enum class Forcing {
+  kQuadratic,    // eta_k = min(eta_max, ||g_k|| / ||g_0||)
+  kSuperlinear,  // eta_k = min(eta_max, sqrt(||g_k|| / ||g_0||))
+  kConstant,     // eta_k = eta_max
+};
+
+struct RegistrationOptions {
+  // Discretization.
+  int nt = 4;
+  interp::Method interp_method = interp::Method::kTricubic;
+
+  // Formulation.
+  real_t beta = 1e-2;
+  RegType reg_type = RegType::kH2Seminorm;
+  bool incompressible = false;
+
+  // Newton-Krylov solver.
+  bool gauss_newton = true;
+  real_t gtol = 1e-2;           // relative gradient reduction
+  int max_newton_iters = 50;
+  int max_krylov_iters = 100;
+  Forcing forcing = Forcing::kQuadratic;
+  real_t forcing_max = 0.5;
+
+  // Armijo line search.
+  int max_line_search = 12;
+  real_t armijo_c1 = 1e-4;
+
+  // Input preprocessing (paper section III-B1: spectral Gaussian smoothing
+  // with bandwidth of about one grid cell to control aliasing).
+  bool smooth_inputs = true;
+  real_t smoothing_cells = 1.0;
+
+  bool verbose = false;
+};
+
+}  // namespace diffreg::core

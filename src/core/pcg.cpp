@@ -1,0 +1,57 @@
+#include "core/pcg.hpp"
+
+#include <cmath>
+
+namespace diffreg::core {
+
+PcgResult pcg_solve(grid::PencilDecomp& decomp, const ApplyFn& apply_a,
+                    const ApplyFn& apply_m, const VectorField& b,
+                    VectorField& x, real_t rtol, int max_iters) {
+  PcgResult result;
+  const index_t n = b.local_size();
+  x = VectorField(n);
+
+  VectorField r = b;  // r = b - A*0
+  VectorField z(n), p(n), ap(n);
+  apply_m(r, z);
+  p = z;
+
+  real_t rz = grid::dot(decomp, r, z);
+  const real_t r0 = std::sqrt(std::max(rz, real_t(0)));
+  if (r0 == 0) {
+    result.converged = true;
+    result.rel_residual = 0;
+    return result;
+  }
+
+  for (int it = 0; it < max_iters; ++it) {
+    apply_a(p, ap);
+    const real_t pap = grid::dot(decomp, p, ap);
+    if (pap <= 0) {
+      // Non-positive curvature: stop with the current iterate (x = 0 on the
+      // first iteration falls back to the preconditioned gradient).
+      result.negative_curvature = true;
+      if (it == 0) x = z;
+      break;
+    }
+    const real_t alpha = rz / pap;
+    grid::axpy(alpha, p, x);
+    grid::axpy(-alpha, ap, r);
+    apply_m(r, z);
+    const real_t rz_next = grid::dot(decomp, r, z);
+    result.iterations = it + 1;
+    result.rel_residual = std::sqrt(std::max(rz_next, real_t(0))) / r0;
+    if (result.rel_residual <= rtol) {
+      result.converged = true;
+      break;
+    }
+    const real_t beta = rz_next / rz;
+    rz = rz_next;
+    // p = z + beta p
+    for (int d = 0; d < 3; ++d)
+      for (index_t i = 0; i < n; ++i) p[d][i] = z[d][i] + beta * p[d][i];
+  }
+  return result;
+}
+
+}  // namespace diffreg::core

@@ -1,0 +1,33 @@
+// Matrix-free preconditioned conjugate gradient for the Newton step
+// (paper section III-A: "we use a preconditioned Conjugate-Gradient method
+// to compute the Newton step... done inexactly with a tolerance that depends
+// on the relative norm of the gradient").
+#pragma once
+
+#include <functional>
+
+#include "grid/field_math.hpp"
+
+namespace diffreg::core {
+
+using grid::VectorField;
+
+struct PcgResult {
+  int iterations = 0;
+  bool converged = false;
+  real_t rel_residual = 1;
+  /// True when a direction of non-positive curvature was encountered (the
+  /// solve returns the best iterate so far, standard in truncated Newton).
+  bool negative_curvature = false;
+};
+
+using ApplyFn = std::function<void(const VectorField&, VectorField&)>;
+
+/// Solves A x = b to a relative (preconditioned) residual `rtol`, starting
+/// from x = 0. `apply_a` must be SPD on the subspace explored; `apply_m` is
+/// the preconditioner (approximate inverse of A). Collective.
+PcgResult pcg_solve(grid::PencilDecomp& decomp, const ApplyFn& apply_a,
+                    const ApplyFn& apply_m, const VectorField& b,
+                    VectorField& x, real_t rtol, int max_iters);
+
+}  // namespace diffreg::core

@@ -1,0 +1,108 @@
+#include "core/registration.hpp"
+
+namespace diffreg::core {
+
+RegistrationSolver::RegistrationSolver(grid::PencilDecomp& decomp,
+                                       const RegistrationOptions& options)
+    : decomp_(&decomp),
+      options_(options),
+      ops_(std::make_unique<spectral::SpectralOps>(decomp)) {}
+
+void RegistrationSolver::preprocess(const ScalarField& in, ScalarField& out) {
+  if (!options_.smooth_inputs) {
+    out = in;
+    return;
+  }
+  const Int3 dims = decomp_->dims();
+  const Vec3 sigma{options_.smoothing_cells * kTwoPi / dims[0],
+                   options_.smoothing_cells * kTwoPi / dims[1],
+                   options_.smoothing_cells * kTwoPi / dims[2]};
+  ops_->gaussian_smooth(in, sigma, out);
+}
+
+RegistrationResult RegistrationSolver::run(const ScalarField& rho_t,
+                                           const ScalarField& rho_r,
+                                           const VectorField* v0) {
+  RegistrationResult result;
+  auto& comm = decomp_->comm();
+  const Timings timings_before = comm.timings();
+  WallTimer wall;
+
+  ScalarField rho_t_s, rho_r_s;
+  preprocess(rho_t, rho_t_s);
+  preprocess(rho_r, rho_r_s);
+
+  semilag::TransportConfig tc;
+  tc.nt = options_.nt;
+  tc.method = options_.interp_method;
+  tc.incompressible = options_.incompressible;
+  semilag::Transport transport(*ops_, tc);
+
+  Regularization reg(*ops_, options_.reg_type, options_.beta);
+  OptimalitySystem system(*ops_, transport, reg, rho_t_s, rho_r_s,
+                          options_.incompressible, options_.gauss_newton);
+
+  const index_t n = decomp_->local_real_size();
+  VectorField v(n);
+  if (v0 != nullptr) {
+    v = *v0;
+    if (options_.incompressible) ops_->leray_project(v);
+  }
+
+  {
+    ScalarField diff(n);
+    for (index_t i = 0; i < n; ++i) diff[i] = rho_t_s[i] - rho_r_s[i];
+    result.initial_residual_norm = grid::norm_l2(*decomp_, diff);
+  }
+
+  result.newton = newton_solve(system, v, options_);
+
+  // The system's last evaluate() is at the final v: reuse its residual.
+  {
+    ScalarField res(n);
+    system.final_residual(res);
+    result.final_residual_norm = grid::norm_l2(*decomp_, res);
+    result.rel_residual =
+        result.initial_residual_norm > 0
+            ? result.final_residual_norm / result.initial_residual_norm
+            : real_t(0);
+  }
+
+  const DeformationAnalysis deformation = analyze_deformation(*ops_, transport);
+  result.min_det = deformation.min_det;
+  result.max_det = deformation.max_det;
+  result.mean_det = deformation.mean_det;
+
+  result.velocity = std::move(v);
+  result.time_to_solution = wall.seconds();
+  result.timings = timings_delta(timings_before, comm.timings());
+  return result;
+}
+
+void RegistrationSolver::deform_template(const ScalarField& rho_t,
+                                         const VectorField& velocity,
+                                         ScalarField& deformed) {
+  semilag::TransportConfig tc;
+  tc.nt = options_.nt;
+  tc.method = options_.interp_method;
+  tc.incompressible = options_.incompressible;
+  semilag::Transport transport(*ops_, tc);
+  transport.set_velocity(velocity);
+  transport.solve_state(rho_t);
+  deformed = transport.final_state();
+}
+
+void RegistrationSolver::jacobian_field(const VectorField& velocity,
+                                        ScalarField& det) {
+  semilag::TransportConfig tc;
+  tc.nt = options_.nt;
+  tc.method = options_.interp_method;
+  tc.incompressible = options_.incompressible;
+  semilag::Transport transport(*ops_, tc);
+  transport.set_velocity(velocity);
+  VectorField u;
+  transport.solve_displacement(u);
+  jacobian_determinant(*ops_, u, det);
+}
+
+}  // namespace diffreg::core

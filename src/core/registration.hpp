@@ -1,0 +1,75 @@
+// RegistrationSolver: the public facade of the library.
+//
+// Given pencil-local blocks of a template image rho_T and a reference image
+// rho_R it runs the full pipeline of the paper: spectral smoothing of the
+// inputs, velocity initialization, inexact Gauss-Newton-Krylov optimization
+// of the optimal-control problem (2), and deformation-map diagnostics.
+//
+// Usage (inside an mpisim::run_spmd rank, or with a size-1 communicator):
+//
+//   grid::PencilDecomp decomp(comm, {64, 64, 64});
+//   core::RegistrationOptions opt;
+//   core::RegistrationSolver solver(decomp, opt);
+//   auto result = solver.run(rho_t_local, rho_r_local);
+#pragma once
+
+#include <memory>
+
+#include "core/deformation.hpp"
+#include "core/newton.hpp"
+#include "core/optimality.hpp"
+#include "core/options.hpp"
+
+namespace diffreg::core {
+
+struct RegistrationResult {
+  VectorField velocity;  // optimal stationary velocity field
+  NewtonReport newton;
+
+  // Image mismatch, as L2 norms of the residual (paper Figs. 1/6/7).
+  real_t initial_residual_norm = 0;  // ||rho_T - rho_R||
+  real_t final_residual_norm = 0;    // ||rho_T(y1) - rho_R||
+  /// final/initial; < 1 means the registration reduced the mismatch.
+  real_t rel_residual = 1;
+
+  // Deformation-map quality (paper Fig. 7: det must stay positive).
+  real_t min_det = 0, max_det = 0, mean_det = 0;
+
+  double time_to_solution = 0;  // seconds, this rank's wall clock
+  Timings timings;              // this rank's comm/exec split of the solve
+};
+
+class RegistrationSolver {
+ public:
+  RegistrationSolver(grid::PencilDecomp& decomp,
+                     const RegistrationOptions& options);
+
+  /// Solves the registration problem. `v0` optionally warm-starts the
+  /// velocity (used by beta continuation). Collective.
+  RegistrationResult run(const ScalarField& rho_t, const ScalarField& rho_r,
+                         const VectorField* v0 = nullptr);
+
+  /// Deformed template rho_T(y1) for the result's velocity: transports the
+  /// (unsmoothed) template to t = 1. Collective.
+  void deform_template(const ScalarField& rho_t, const VectorField& velocity,
+                       ScalarField& deformed);
+
+  /// Pointwise det(grad y1) field for a velocity (paper Fig. 7 map).
+  void jacobian_field(const VectorField& velocity, ScalarField& det);
+
+  const RegistrationOptions& options() const { return options_; }
+  /// Mutable access for drivers that adapt parameters between runs
+  /// (beta continuation).
+  RegistrationOptions& mutable_options() { return options_; }
+  spectral::SpectralOps& ops() { return *ops_; }
+  grid::PencilDecomp& decomp() { return *decomp_; }
+
+ private:
+  void preprocess(const ScalarField& in, ScalarField& out);
+
+  grid::PencilDecomp* decomp_;
+  RegistrationOptions options_;
+  std::unique_ptr<spectral::SpectralOps> ops_;
+};
+
+}  // namespace diffreg::core

@@ -1,0 +1,63 @@
+// Regularization functionals for the velocity (paper section II-B and the
+// "different regularization functionals" design goal).
+//
+//   H1 seminorm: J_reg = beta/2 ||grad v||^2,  A = -lap   (eq. 2a)
+//   H2 seminorm: J_reg = beta/2 ||lap v||^2,   A = lap^2  (biharmonic; the
+//                smoothness LDDR theory asks for, and the operator whose
+//                inverse the paper uses as the spectral preconditioner)
+//
+// Both operators are diagonal in Fourier space, so `apply` and `invert` cost
+// one forward + one inverse FFT per component. `invert` acts as the identity
+// on the k = 0 mode (the seminorms do not control the mean; passing it
+// through unchanged keeps the operator SPD so it is a valid preconditioner).
+#pragma once
+
+#include "grid/field_math.hpp"
+#include "spectral/operators.hpp"
+
+namespace diffreg::core {
+
+using grid::ScalarField;
+using grid::VectorField;
+
+enum class RegType { kH1Seminorm, kH2Seminorm };
+
+class Regularization {
+ public:
+  Regularization(spectral::SpectralOps& ops, RegType type, real_t beta)
+      : ops_(&ops), type_(type), beta_(beta) {}
+
+  RegType type() const { return type_; }
+  real_t beta() const { return beta_; }
+  void set_beta(real_t beta) { beta_ = beta; }
+
+  int gamma() const { return type_ == RegType::kH1Seminorm ? 1 : 2; }
+
+  /// J_reg(v) = beta/2 <v, A v>.
+  real_t evaluate(const VectorField& v) {
+    VectorField av(v.local_size());
+    ops_->neg_laplacian_pow(v, gamma(), av);
+    return real_t(0.5) * beta_ * grid::dot(ops_->decomp(), v, av);
+  }
+
+  /// out = beta A v.
+  void apply(const VectorField& v, VectorField& out) {
+    ops_->neg_laplacian_pow(v, gamma(), out);
+    grid::scale(beta_, out);
+  }
+
+  /// out = (beta A)^{-1} v on k != 0 modes, identity on the mean mode
+  /// (which the seminorm does not control); this is the paper's spectral
+  /// preconditioner, SPD by construction.
+  void invert(const VectorField& v, VectorField& out) {
+    ops_->inv_neg_laplacian_pow(v, gamma(), out, real_t(1) / beta_,
+                                /*mean_scale=*/real_t(1));
+  }
+
+ private:
+  spectral::SpectralOps* ops_;
+  RegType type_;
+  real_t beta_;
+};
+
+}  // namespace diffreg::core

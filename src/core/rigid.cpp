@@ -1,0 +1,178 @@
+#include "core/rigid.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "interp/kernels.hpp"
+
+namespace diffreg::core {
+
+namespace {
+
+/// Rotation matrix R = Rz(c) Ry(b) Rx(a), rows returned as three Vec3.
+std::array<Vec3, 3> rotation_matrix(const Vec3& angles) {
+  const real_t ca = std::cos(angles[0]), sa = std::sin(angles[0]);
+  const real_t cb = std::cos(angles[1]), sb = std::sin(angles[1]);
+  const real_t cc = std::cos(angles[2]), sc = std::sin(angles[2]);
+  return {Vec3{cb * cc, sa * sb * cc - ca * sc, ca * sb * cc + sa * sc},
+          Vec3{cb * sc, sa * sb * sc + ca * cc, ca * sb * sc - sa * cc},
+          Vec3{-sb, sa * cb, ca * cb}};
+}
+
+}  // namespace
+
+RigidRegistration::RigidRegistration(const Int3& dims) : dims_(dims) {
+  constexpr index_t w = 2;
+  padded_dims_ = {dims[0] + 2 * w, dims[1] + 2 * w, dims[2] + 2 * w};
+}
+
+std::vector<real_t> RigidRegistration::pad_periodic(
+    std::span<const real_t> full) const {
+  constexpr index_t w = 2;
+  std::vector<real_t> padded(padded_dims_.prod());
+  for (index_t i1 = 0; i1 < padded_dims_[0]; ++i1) {
+    const index_t s1 = periodic_index(i1 - w, dims_[0]);
+    for (index_t i2 = 0; i2 < padded_dims_[1]; ++i2) {
+      const index_t s2 = periodic_index(i2 - w, dims_[1]);
+      for (index_t i3 = 0; i3 < padded_dims_[2]; ++i3) {
+        const index_t s3 = periodic_index(i3 - w, dims_[2]);
+        padded[linear_index(i1, i2, i3, padded_dims_)] =
+            full[linear_index(s1, s2, s3, dims_)];
+      }
+    }
+  }
+  return padded;
+}
+
+void RigidRegistration::apply(std::span<const real_t> rho_t_full,
+                              const Params& params,
+                              std::vector<real_t>& out) const {
+  const auto padded = pad_periodic(rho_t_full);
+  out.resize(dims_.prod());
+  const auto rot = rotation_matrix(params.angles);
+  const Vec3 center{kTwoPi / 2, kTwoPi / 2, kTwoPi / 2};
+  const real_t h1 = kTwoPi / dims_[0], h2 = kTwoPi / dims_[1],
+               h3 = kTwoPi / dims_[2];
+  constexpr real_t w = 2;
+
+  index_t idx = 0;
+  for (index_t i1 = 0; i1 < dims_[0]; ++i1)
+    for (index_t i2 = 0; i2 < dims_[1]; ++i2)
+      for (index_t i3 = 0; i3 < dims_[2]; ++i3, ++idx) {
+        const Vec3 x{i1 * h1 - center[0], i2 * h2 - center[1],
+                     i3 * h3 - center[2]};
+        const Vec3 y{rot[0].dot(x) + center[0] + params.translation[0],
+                     rot[1].dot(x) + center[1] + params.translation[1],
+                     rot[2].dot(x) + center[2] + params.translation[2]};
+        const real_t u1 = periodic_wrap(y[0], kTwoPi) / h1 + w;
+        const real_t u2 = periodic_wrap(y[1], kTwoPi) / h2 + w;
+        const real_t u3 = periodic_wrap(y[2], kTwoPi) / h3 + w;
+        out[idx] =
+            interp::tricubic_eval(padded.data(), padded_dims_, u1, u2, u3);
+      }
+}
+
+real_t RigidRegistration::objective(std::span<const real_t> padded_t,
+                                    std::span<const real_t> rho_r,
+                                    const Params& params) const {
+  const auto rot = rotation_matrix(params.angles);
+  const Vec3 center{kTwoPi / 2, kTwoPi / 2, kTwoPi / 2};
+  const real_t h1 = kTwoPi / dims_[0], h2 = kTwoPi / dims_[1],
+               h3 = kTwoPi / dims_[2];
+  constexpr real_t w = 2;
+
+  real_t sum = 0;
+  index_t idx = 0;
+  for (index_t i1 = 0; i1 < dims_[0]; ++i1)
+    for (index_t i2 = 0; i2 < dims_[1]; ++i2)
+      for (index_t i3 = 0; i3 < dims_[2]; ++i3, ++idx) {
+        const Vec3 x{i1 * h1 - center[0], i2 * h2 - center[1],
+                     i3 * h3 - center[2]};
+        const Vec3 y{rot[0].dot(x) + center[0] + params.translation[0],
+                     rot[1].dot(x) + center[1] + params.translation[1],
+                     rot[2].dot(x) + center[2] + params.translation[2]};
+        const real_t u1 = periodic_wrap(y[0], kTwoPi) / h1 + w;
+        const real_t u2 = periodic_wrap(y[1], kTwoPi) / h2 + w;
+        const real_t u3 = periodic_wrap(y[2], kTwoPi) / h3 + w;
+        const real_t val =
+            interp::tricubic_eval(padded_t.data(), padded_dims_, u1, u2, u3);
+        const real_t diff = val - rho_r[idx];
+        sum += diff * diff;
+      }
+  return real_t(0.5) * sum;
+}
+
+RigidRegistration::Result RigidRegistration::run(
+    std::span<const real_t> rho_t_full, std::span<const real_t> rho_r_full,
+    int max_iters) {
+  Result result;
+  const auto padded = pad_periodic(rho_t_full);
+
+  {
+    real_t sum = 0;
+    for (index_t i = 0; i < dims_.prod(); ++i) {
+      const real_t d = rho_t_full[i] - rho_r_full[i];
+      sum += d * d;
+    }
+    result.initial_residual = std::sqrt(sum);
+  }
+
+  Params p{};  // identity start
+  auto pack = [](const Params& q) {
+    return std::array<real_t, 6>{q.angles[0], q.angles[1], q.angles[2],
+                                 q.translation[0], q.translation[1],
+                                 q.translation[2]};
+  };
+  auto unpack = [](const std::array<real_t, 6>& a) {
+    Params q;
+    q.angles = {a[0], a[1], a[2]};
+    q.translation = {a[3], a[4], a[5]};
+    return q;
+  };
+
+  real_t fval = objective(padded, rho_r_full, p);
+  real_t step = real_t(0.1);
+  const real_t fd_eps = real_t(1e-4);
+
+  for (int it = 0; it < max_iters; ++it) {
+    auto a = pack(p);
+    std::array<real_t, 6> grad{};
+    for (int j = 0; j < 6; ++j) {
+      auto ap = a, am = a;
+      ap[j] += fd_eps;
+      am[j] -= fd_eps;
+      grad[j] = (objective(padded, rho_r_full, unpack(ap)) -
+                 objective(padded, rho_r_full, unpack(am))) /
+                (2 * fd_eps);
+    }
+    real_t gnorm = 0;
+    for (real_t g : grad) gnorm += g * g;
+    gnorm = std::sqrt(gnorm);
+    if (gnorm < real_t(1e-10)) break;
+
+    // Backtracking on the normalized descent direction.
+    bool accepted = false;
+    for (int ls = 0; ls < 20; ++ls) {
+      auto trial = a;
+      for (int j = 0; j < 6; ++j) trial[j] -= step * grad[j] / gnorm;
+      const Params q = unpack(trial);
+      const real_t ftrial = objective(padded, rho_r_full, q);
+      if (ftrial < fval) {
+        p = q;
+        fval = ftrial;
+        accepted = true;
+        step *= real_t(1.5);  // tentative growth for the next iteration
+        break;
+      }
+      step *= real_t(0.5);
+    }
+    result.iterations = it + 1;
+    if (!accepted) break;
+  }
+
+  result.params = p;
+  result.final_residual = std::sqrt(2 * fval);
+  return result;
+}
+
+}  // namespace diffreg::core

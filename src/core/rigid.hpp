@@ -1,0 +1,53 @@
+// Rigid (rotation + translation) registration baseline.
+//
+// The paper's Fig. 1 contrasts rigid registration against deformable LDDR:
+// rigid alignment removes the bulk pose difference but leaves a large
+// residual that only a deformable map can remove. This comparator is a
+// small serial solver (runs on gathered full images): the six pose
+// parameters are fit by gradient descent with numerical derivatives and a
+// backtracking step size, sampling the template with periodic tricubic
+// interpolation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace diffreg::core {
+
+class RigidRegistration {
+ public:
+  struct Params {
+    Vec3 angles;       // Euler angles (radians), rotation about the center
+    Vec3 translation;  // physical units on [0, 2*pi)^3
+  };
+
+  struct Result {
+    Params params;
+    real_t initial_residual = 0;  // ||rho_T - rho_R||_2 (grid L2)
+    real_t final_residual = 0;    // ||rho_T(y_rigid) - rho_R||_2
+    int iterations = 0;
+  };
+
+  explicit RigidRegistration(const Int3& dims);
+
+  /// Fits the pose of `rho_t_full` onto `rho_r_full` (full arrays).
+  Result run(std::span<const real_t> rho_t_full,
+             std::span<const real_t> rho_r_full, int max_iters = 100);
+
+  /// Resamples the template under the rigid map y(x) = R(x-c) + c + t.
+  void apply(std::span<const real_t> rho_t_full, const Params& params,
+             std::vector<real_t>& out) const;
+
+ private:
+  real_t objective(std::span<const real_t> padded_t,
+                   std::span<const real_t> rho_r, const Params& params) const;
+  /// Pads a full image with a periodic 2-wide halo for the tricubic kernel.
+  std::vector<real_t> pad_periodic(std::span<const real_t> full) const;
+
+  Int3 dims_;
+  Int3 padded_dims_;
+};
+
+}  // namespace diffreg::core

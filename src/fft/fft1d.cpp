@@ -1,0 +1,222 @@
+#include "fft/fft1d.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace diffreg::fft {
+
+namespace {
+constexpr real_t kPi = std::numbers::pi_v<real_t>;
+}
+
+index_t Fft1d::smallest_prime_factor(index_t n) {
+  for (index_t f = 2; f * f <= n; ++f)
+    if (n % f == 0) return f;
+  return n;
+}
+
+index_t Fft1d::largest_prime_factor(index_t n) {
+  index_t largest = 1;
+  for (index_t f = 2; n > 1; ++f) {
+    while (n % f == 0) {
+      largest = f;
+      n /= f;
+    }
+    if (f * f > n && n > 1) {
+      largest = std::max(largest, n);
+      break;
+    }
+  }
+  return largest;
+}
+
+Fft1d::Fft1d(index_t n) : n_(n) {
+  if (n <= 0) throw std::invalid_argument("Fft1d: size must be positive");
+  if (is_power_of_two(n)) {
+    path_ = Path::kPow2;
+    twiddles_ = make_twiddles(n_);
+    bitrev_ = make_bitrev(n_);
+  } else if (largest_prime_factor(n) <= 61) {
+    path_ = Path::kMixedRadix;
+    root_table_.resize(n_);
+    for (index_t t = 0; t < n_; ++t) {
+      const real_t phase = -2 * kPi * static_cast<real_t>(t) / static_cast<real_t>(n_);
+      root_table_[t] = complex_t(std::cos(phase), std::sin(phase));
+    }
+    mixed_scratch_.resize(n_);
+  } else {
+    path_ = Path::kBluestein;
+    m_ = next_pow2(2 * n_ - 1);
+    twiddles_m_ = make_twiddles(m_);
+    bitrev_m_ = make_bitrev(m_);
+    chirp_.resize(n_);
+    for (index_t k = 0; k < n_; ++k) {
+      // k^2 mod 2n keeps the phase argument small for large n.
+      const index_t k2 = (k * k) % (2 * n_);
+      const real_t phase = -kPi * static_cast<real_t>(k2) / static_cast<real_t>(n_);
+      chirp_[k] = complex_t(std::cos(phase), std::sin(phase));
+    }
+    // Filter v[m] = conj(chirp(|m|)) on the circularly wrapped support.
+    std::vector<complex_t> filter(m_, complex_t(0, 0));
+    for (index_t k = 0; k < n_; ++k) {
+      filter[k] = std::conj(chirp_[k]);
+      if (k > 0) filter[m_ - k] = std::conj(chirp_[k]);
+    }
+    pow2_transform(filter.data(), m_, /*inverse=*/false, twiddles_m_);
+    chirp_filter_fft_ = std::move(filter);
+    scratch_.resize(m_);
+  }
+}
+
+index_t Fft1d::next_pow2(index_t n) {
+  index_t m = 1;
+  while (m < n) m <<= 1;
+  return m;
+}
+
+std::vector<complex_t> Fft1d::make_twiddles(index_t n) {
+  // Layout: for stage length len = 2,4,...,n the len/2 twiddles are stored
+  // consecutively starting at offset len/2 - 1 (total n - 1 entries).
+  std::vector<complex_t> tw(n > 1 ? n - 1 : 0);
+  for (index_t len = 2; len <= n; len <<= 1) {
+    const index_t half = len / 2;
+    for (index_t j = 0; j < half; ++j) {
+      const real_t phase = -2.0 * kPi * static_cast<real_t>(j) / static_cast<real_t>(len);
+      tw[half - 1 + j] = complex_t(std::cos(phase), std::sin(phase));
+    }
+  }
+  return tw;
+}
+
+std::vector<index_t> Fft1d::make_bitrev(index_t n) {
+  std::vector<index_t> rev(n);
+  index_t bits = 0;
+  while ((index_t{1} << bits) < n) ++bits;
+  for (index_t i = 0; i < n; ++i) {
+    index_t r = 0;
+    for (index_t b = 0; b < bits; ++b)
+      if (i & (index_t{1} << b)) r |= index_t{1} << (bits - 1 - b);
+    rev[i] = r;
+  }
+  return rev;
+}
+
+void Fft1d::pow2_transform(complex_t* data, index_t n, bool inverse,
+                           const std::vector<complex_t>& twiddles) {
+  const std::vector<index_t>& rev = (n == n_) ? bitrev_ : bitrev_m_;
+  for (index_t i = 0; i < n; ++i) {
+    const index_t j = rev[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (index_t len = 2; len <= n; len <<= 1) {
+    const index_t half = len / 2;
+    const complex_t* tw = twiddles.data() + (half - 1);
+    for (index_t start = 0; start < n; start += len) {
+      complex_t* lo = data + start;
+      complex_t* hi = lo + half;
+      for (index_t j = 0; j < half; ++j) {
+        const complex_t w = inverse ? std::conj(tw[j]) : tw[j];
+        const complex_t t = hi[j] * w;
+        hi[j] = lo[j] - t;
+        lo[j] += t;
+      }
+    }
+  }
+  if (inverse) {
+    const real_t scale = real_t(1) / static_cast<real_t>(n);
+    for (index_t i = 0; i < n; ++i) data[i] *= scale;
+  }
+}
+
+void Fft1d::bluestein_transform(complex_t* data, bool inverse) {
+  // Forward: X_j = c_j * (u conv v)_j with u_k = x_k c_k, v = conj-chirp.
+  // Inverse: IDFT(x) = conj(DFT(conj(x))) / n.
+  if (inverse)
+    for (index_t k = 0; k < n_; ++k) data[k] = std::conj(data[k]);
+
+  complex_t* u = scratch_.data();
+  for (index_t k = 0; k < n_; ++k) u[k] = data[k] * chirp_[k];
+  for (index_t k = n_; k < m_; ++k) u[k] = complex_t(0, 0);
+
+  pow2_transform(u, m_, /*inverse=*/false, twiddles_m_);
+  for (index_t k = 0; k < m_; ++k) u[k] *= chirp_filter_fft_[k];
+  pow2_transform(u, m_, /*inverse=*/true, twiddles_m_);
+
+  for (index_t k = 0; k < n_; ++k) data[k] = u[k] * chirp_[k];
+
+  if (inverse) {
+    const real_t scale = real_t(1) / static_cast<real_t>(n_);
+    for (index_t k = 0; k < n_; ++k) data[k] = std::conj(data[k]) * scale;
+  }
+}
+
+void Fft1d::mixed_radix_rec(complex_t* x, complex_t* tmp, index_t n,
+                            index_t rs) {
+  if (n == 1) return;
+  const index_t r = smallest_prime_factor(n);
+  const index_t m = n / r;
+
+  if (r == n) {
+    // Prime base case: naive DFT via the exact root table, O(r^2) with
+    // r <= 61.
+    for (index_t k = 0; k < n; ++k) {
+      complex_t sum(0, 0);
+      for (index_t t = 0; t < n; ++t)
+        sum += x[t] * root_table_[(rs * ((k * t) % n)) % n_];
+      tmp[k] = sum;
+    }
+    std::copy(tmp, tmp + n, x);
+    return;
+  }
+
+  // Decimation in time: sub-sequence j holds x[t*r + j].
+  for (index_t j = 0; j < r; ++j)
+    for (index_t t = 0; t < m; ++t) tmp[j * m + t] = x[t * r + j];
+  for (index_t j = 0; j < r; ++j)
+    mixed_radix_rec(tmp + j * m, x + j * m, m, rs * r);
+
+  // Combine: X[k] = sum_j w_n^{j k} Y_j[k mod m].
+  for (index_t k = 0; k < n; ++k) {
+    const index_t km = k % m;
+    complex_t sum = tmp[km];  // j = 0 term (w^0 = 1)
+    for (index_t j = 1; j < r; ++j)
+      sum += tmp[j * m + km] * root_table_[(rs * ((j * k) % n)) % n_];
+    x[k] = sum;
+  }
+}
+
+void Fft1d::transform(complex_t* data, bool inverse) {
+  if (n_ == 1) return;
+  switch (path_) {
+    case Path::kPow2:
+      pow2_transform(data, n_, inverse, twiddles_);
+      break;
+    case Path::kMixedRadix: {
+      // Inverse via conjugation: IDFT(x) = conj(DFT(conj(x))) / n.
+      if (inverse)
+        for (index_t k = 0; k < n_; ++k) data[k] = std::conj(data[k]);
+      mixed_radix_rec(data, mixed_scratch_.data(), n_, 1);
+      if (inverse) {
+        const real_t scale = real_t(1) / static_cast<real_t>(n_);
+        for (index_t k = 0; k < n_; ++k) data[k] = std::conj(data[k]) * scale;
+      }
+      break;
+    }
+    case Path::kBluestein:
+      bluestein_transform(data, inverse);
+      break;
+  }
+}
+
+void Fft1d::forward_batch(complex_t* data, index_t count) {
+  for (index_t r = 0; r < count; ++r) forward(data + r * n_);
+}
+
+void Fft1d::inverse_batch(complex_t* data, index_t count) {
+  for (index_t r = 0; r < count; ++r) inverse(data + r * n_);
+}
+
+}  // namespace diffreg::fft

@@ -1,0 +1,84 @@
+// Plan-based 1D complex FFT.
+//
+// Three execution paths, chosen at plan time:
+//  * power-of-two sizes: iterative radix-2 Cooley-Tukey with precomputed
+//    twiddle tables;
+//  * smooth composite sizes (all prime factors <= 61, e.g. the 300 of the
+//    paper's 256x300x256 brain grid = 2^2*3*5^2, or 48 = 2^4*3): recursive
+//    mixed-radix Cooley-Tukey over an exact root-of-unity table;
+//  * sizes with a large prime factor: Bluestein's algorithm built on a
+//    power-of-two convolution.
+//
+// Forward transforms are unnormalized; inverse transforms scale by 1/N, so
+// inverse(forward(x)) == x.
+//
+// A plan owns scratch buffers, so a single plan must not be used from two
+// threads concurrently; in SPMD runs each rank creates its own plans.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace diffreg::fft {
+
+class Fft1d {
+ public:
+  explicit Fft1d(index_t n);
+
+  index_t size() const { return n_; }
+
+  /// In-place transform of one length-n row.
+  void forward(complex_t* data) { transform(data, /*inverse=*/false); }
+  void inverse(complex_t* data) { transform(data, /*inverse=*/true); }
+
+  /// In-place transform of `count` contiguous rows of length n.
+  void forward_batch(complex_t* data, index_t count);
+  void inverse_batch(complex_t* data, index_t count);
+
+ private:
+  enum class Path { kPow2, kMixedRadix, kBluestein };
+
+  void transform(complex_t* data, bool inverse);
+  void pow2_transform(complex_t* data, index_t n, bool inverse,
+                      const std::vector<complex_t>& twiddles);
+  void bluestein_transform(complex_t* data, bool inverse);
+
+  /// Recursive mixed-radix step: transforms x (length n) in place using tmp
+  /// as scratch; the roots of unity of this level are root_table_[k * rs].
+  void mixed_radix_rec(complex_t* x, complex_t* tmp, index_t n, index_t rs);
+
+  static std::vector<complex_t> make_twiddles(index_t n);
+  static index_t smallest_prime_factor(index_t n);
+  static index_t largest_prime_factor(index_t n);
+
+  index_t n_;
+  Path path_;
+
+  // Radix-2 path: forward twiddles for the size-n transform (inverse uses
+  // conjugates), plus the bit-reversal permutation.
+  std::vector<complex_t> twiddles_;
+  std::vector<index_t> bitrev_;
+
+  // Mixed-radix path: exact table of exp(-2 pi i t / n), t = 0..n-1, plus a
+  // scratch buffer for the recursion.
+  std::vector<complex_t> root_table_;
+  std::vector<complex_t> mixed_scratch_;
+
+  // Bluestein path: chirp c_k = exp(-i pi k^2 / n), the padded convolution
+  // size m (power of two >= 2n-1), its twiddles/permutation, and the
+  // precomputed spectrum of the chirp filter.
+  index_t m_ = 0;
+  std::vector<complex_t> chirp_;
+  std::vector<complex_t> chirp_filter_fft_;
+  std::vector<complex_t> twiddles_m_;
+  std::vector<index_t> bitrev_m_;
+  std::vector<complex_t> scratch_;
+
+  static bool is_power_of_two(index_t n) { return n > 0 && (n & (n - 1)) == 0; }
+  static index_t next_pow2(index_t n);
+  static std::vector<index_t> make_bitrev(index_t n);
+};
+
+}  // namespace diffreg::fft

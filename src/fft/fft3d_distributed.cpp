@@ -1,0 +1,264 @@
+#include "fft/fft3d_distributed.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/timer.hpp"
+
+namespace diffreg::fft {
+
+using grid::PencilDecomp;
+
+DistributedFft3d::DistributedFft3d(PencilDecomp& decomp)
+    : decomp_(&decomp),
+      fft1_(decomp.dims()[0]),
+      fft2_(decomp.dims()[1]),
+      fft3_(decomp.dims()[2]) {
+  const Int3 rl = decomp.local_real_dims();
+  stage_a_.resize(rl[0] * rl[1] * decomp.n3c());
+  stage_b_.resize(rl[0] * decomp.srange3().size() * decomp.dims()[1]);
+  row_.resize(std::max(decomp.dims()[2], decomp.dims()[0]));
+}
+
+void DistributedFft3d::forward(std::span<const real_t> local_real,
+                               std::span<complex_t> local_spectral) {
+  assert(static_cast<index_t>(local_real.size()) == local_real_size());
+  assert(static_cast<index_t>(local_spectral.size()) == local_spectral_size());
+  auto& comm = decomp_->comm();
+  Timings& timings = comm.timings();
+  const Int3 rl = decomp_->local_real_dims();
+  const index_t n3 = decomp_->dims()[2];
+  const index_t n3c = decomp_->n3c();
+
+  {  // Stage A: r2c along axis 3.
+    ScopedTimer t(timings, TimeKind::kFftExec);
+    for (index_t row = 0; row < rl[0] * rl[1]; ++row) {
+      const real_t* src = local_real.data() + row * n3;
+      for (index_t i3 = 0; i3 < n3; ++i3) row_[i3] = complex_t(src[i3], 0);
+      fft3_.forward(row_.data());
+      std::copy_n(row_.data(), n3c, stage_a_.data() + row * n3c);
+    }
+  }
+
+  row_transpose_forward();  // stage_a_ -> stage_b_
+
+  {  // Stage C: c2c along axis 2 (contiguous rows of stage_b_).
+    ScopedTimer t(timings, TimeKind::kFftExec);
+    const index_t rows = rl[0] * decomp_->srange3().size();
+    fft2_.forward_batch(stage_b_.data(), rows);
+  }
+
+  col_transpose_forward(local_spectral);  // stage_b_ -> local_spectral
+
+  {  // Stage E: c2c along axis 1 (contiguous rows of the spectral layout).
+    ScopedTimer t(timings, TimeKind::kFftExec);
+    const index_t rows =
+        decomp_->srange3().size() * decomp_->srange2().size();
+    fft1_.forward_batch(local_spectral.data(), rows);
+  }
+}
+
+void DistributedFft3d::inverse(std::span<const complex_t> local_spectral,
+                               std::span<real_t> local_real) {
+  assert(static_cast<index_t>(local_real.size()) == local_real_size());
+  assert(static_cast<index_t>(local_spectral.size()) == local_spectral_size());
+  auto& comm = decomp_->comm();
+  Timings& timings = comm.timings();
+  const Int3 rl = decomp_->local_real_dims();
+  const index_t n3 = decomp_->dims()[2];
+  const index_t n3c = decomp_->n3c();
+
+  // Stage E inverse needs a mutable copy (interface takes const spectral).
+  std::vector<complex_t> spec(local_spectral.begin(), local_spectral.end());
+  {
+    ScopedTimer t(timings, TimeKind::kFftExec);
+    const index_t rows =
+        decomp_->srange3().size() * decomp_->srange2().size();
+    fft1_.inverse_batch(spec.data(), rows);
+  }
+
+  col_transpose_inverse(spec);  // spec -> stage_b_
+
+  {  // Stage C inverse.
+    ScopedTimer t(timings, TimeKind::kFftExec);
+    const index_t rows = rl[0] * decomp_->srange3().size();
+    fft2_.inverse_batch(stage_b_.data(), rows);
+  }
+
+  row_transpose_inverse();  // stage_b_ -> stage_a_
+
+  {  // Stage A inverse: per-row Hermitian completion, c2c inverse, reals.
+    ScopedTimer t(timings, TimeKind::kFftExec);
+    for (index_t row = 0; row < rl[0] * rl[1]; ++row) {
+      const complex_t* src = stage_a_.data() + row * n3c;
+      for (index_t k3 = 0; k3 < n3c; ++k3) row_[k3] = src[k3];
+      for (index_t k3 = n3c; k3 < n3; ++k3) row_[k3] = std::conj(src[n3 - k3]);
+      fft3_.inverse(row_.data());
+      real_t* dst = local_real.data() + row * n3;
+      for (index_t i3 = 0; i3 < n3; ++i3) dst[i3] = row_[i3].real();
+    }
+  }
+}
+
+void DistributedFft3d::row_transpose_forward() {
+  auto& row_comm = decomp_->row_comm();
+  Timings& timings = row_comm.timings();
+  row_comm.set_time_kind(TimeKind::kFftComm);
+  const int p2 = decomp_->p2();
+  const Int3 rl = decomp_->local_real_dims();
+  const index_t n1l = rl[0], n2l = rl[1];
+  const index_t n3c = decomp_->n3c();
+  const index_t n2 = decomp_->dims()[1];
+
+  std::vector<std::vector<complex_t>> send(p2);
+  {
+    ScopedTimer t(timings, TimeKind::kFftExec);
+    for (int q = 0; q < p2; ++q) {
+      const BlockRange k3r = block_range(n3c, p2, q);
+      auto& buf = send[q];
+      buf.resize(n1l * k3r.size() * n2l);
+      index_t pos = 0;
+      for (index_t i1 = 0; i1 < n1l; ++i1)
+        for (index_t k3 = k3r.begin; k3 < k3r.end; ++k3)
+          for (index_t i2 = 0; i2 < n2l; ++i2)
+            buf[pos++] = stage_a_[(i1 * n2l + i2) * n3c + k3];
+    }
+  }
+  auto recv = row_comm.alltoallv(std::move(send), kTagRowFwd);
+  {
+    ScopedTimer t(timings, TimeKind::kFftExec);
+    const index_t n3cl = decomp_->srange3().size();
+    for (int q = 0; q < p2; ++q) {
+      const BlockRange i2r = block_range(n2, p2, q);
+      const auto& buf = recv[q];
+      index_t pos = 0;
+      for (index_t i1 = 0; i1 < n1l; ++i1)
+        for (index_t k3 = 0; k3 < n3cl; ++k3)
+          for (index_t i2 = i2r.begin; i2 < i2r.end; ++i2)
+            stage_b_[(i1 * n3cl + k3) * n2 + i2] = buf[pos++];
+    }
+  }
+}
+
+void DistributedFft3d::row_transpose_inverse() {
+  auto& row_comm = decomp_->row_comm();
+  Timings& timings = row_comm.timings();
+  row_comm.set_time_kind(TimeKind::kFftComm);
+  const int p2 = decomp_->p2();
+  const Int3 rl = decomp_->local_real_dims();
+  const index_t n1l = rl[0], n2l = rl[1];
+  const index_t n3c = decomp_->n3c();
+  const index_t n2 = decomp_->dims()[1];
+  const index_t n3cl = decomp_->srange3().size();
+
+  std::vector<std::vector<complex_t>> send(p2);
+  {
+    ScopedTimer t(timings, TimeKind::kFftExec);
+    for (int q = 0; q < p2; ++q) {
+      const BlockRange i2r = block_range(n2, p2, q);
+      auto& buf = send[q];
+      buf.resize(n1l * n3cl * i2r.size());
+      index_t pos = 0;
+      for (index_t i1 = 0; i1 < n1l; ++i1)
+        for (index_t k3 = 0; k3 < n3cl; ++k3)
+          for (index_t i2 = i2r.begin; i2 < i2r.end; ++i2)
+            buf[pos++] = stage_b_[(i1 * n3cl + k3) * n2 + i2];
+    }
+  }
+  auto recv = row_comm.alltoallv(std::move(send), kTagRowInv);
+  {
+    ScopedTimer t(timings, TimeKind::kFftExec);
+    for (int q = 0; q < p2; ++q) {
+      const BlockRange k3r = block_range(n3c, p2, q);
+      const auto& buf = recv[q];
+      index_t pos = 0;
+      for (index_t i1 = 0; i1 < n1l; ++i1)
+        for (index_t k3 = k3r.begin; k3 < k3r.end; ++k3)
+          for (index_t i2 = 0; i2 < n2l; ++i2)
+            stage_a_[(i1 * n2l + i2) * n3c + k3] = buf[pos++];
+    }
+  }
+}
+
+void DistributedFft3d::col_transpose_forward(std::span<complex_t> spectral) {
+  auto& col_comm = decomp_->col_comm();
+  Timings& timings = col_comm.timings();
+  col_comm.set_time_kind(TimeKind::kFftComm);
+  const int p1 = decomp_->p1();
+  const index_t n1l = decomp_->range1().size();
+  const index_t n3cl = decomp_->srange3().size();
+  const index_t n1 = decomp_->dims()[0];
+  const index_t n2 = decomp_->dims()[1];
+
+  std::vector<std::vector<complex_t>> send(p1);
+  {
+    ScopedTimer t(timings, TimeKind::kFftExec);
+    for (int q = 0; q < p1; ++q) {
+      const BlockRange k2r = block_range(n2, p1, q);
+      auto& buf = send[q];
+      buf.resize(n3cl * k2r.size() * n1l);
+      index_t pos = 0;
+      for (index_t k3 = 0; k3 < n3cl; ++k3)
+        for (index_t k2 = k2r.begin; k2 < k2r.end; ++k2)
+          for (index_t i1 = 0; i1 < n1l; ++i1)
+            buf[pos++] = stage_b_[(i1 * n3cl + k3) * n2 + k2];
+    }
+  }
+  auto recv = col_comm.alltoallv(std::move(send), kTagColFwd);
+  {
+    ScopedTimer t(timings, TimeKind::kFftExec);
+    const index_t n2kl = decomp_->srange2().size();
+    for (int q = 0; q < p1; ++q) {
+      const BlockRange i1r = block_range(n1, p1, q);
+      const auto& buf = recv[q];
+      index_t pos = 0;
+      for (index_t k3 = 0; k3 < n3cl; ++k3)
+        for (index_t k2 = 0; k2 < n2kl; ++k2)
+          for (index_t i1 = i1r.begin; i1 < i1r.end; ++i1)
+            spectral[(k3 * n2kl + k2) * n1 + i1] = buf[pos++];
+    }
+  }
+}
+
+void DistributedFft3d::col_transpose_inverse(
+    std::span<const complex_t> spectral) {
+  auto& col_comm = decomp_->col_comm();
+  Timings& timings = col_comm.timings();
+  col_comm.set_time_kind(TimeKind::kFftComm);
+  const int p1 = decomp_->p1();
+  const index_t n1l = decomp_->range1().size();
+  const index_t n3cl = decomp_->srange3().size();
+  const index_t n1 = decomp_->dims()[0];
+  const index_t n2 = decomp_->dims()[1];
+  const index_t n2kl = decomp_->srange2().size();
+
+  std::vector<std::vector<complex_t>> send(p1);
+  {
+    ScopedTimer t(timings, TimeKind::kFftExec);
+    for (int q = 0; q < p1; ++q) {
+      const BlockRange i1r = block_range(n1, p1, q);
+      auto& buf = send[q];
+      buf.resize(n3cl * n2kl * i1r.size());
+      index_t pos = 0;
+      for (index_t k3 = 0; k3 < n3cl; ++k3)
+        for (index_t k2 = 0; k2 < n2kl; ++k2)
+          for (index_t i1 = i1r.begin; i1 < i1r.end; ++i1)
+            buf[pos++] = spectral[(k3 * n2kl + k2) * n1 + i1];
+    }
+  }
+  auto recv = col_comm.alltoallv(std::move(send), kTagColInv);
+  {
+    ScopedTimer t(timings, TimeKind::kFftExec);
+    for (int q = 0; q < p1; ++q) {
+      const BlockRange k2r = block_range(n2, p1, q);
+      const auto& buf = recv[q];
+      index_t pos = 0;
+      for (index_t k3 = 0; k3 < n3cl; ++k3)
+        for (index_t k2 = k2r.begin; k2 < k2r.end; ++k2)
+          for (index_t i1 = 0; i1 < n1l; ++i1)
+            stage_b_[(i1 * n3cl + k3) * n2 + k2] = buf[pos++];
+    }
+  }
+}
+
+}  // namespace diffreg::fft

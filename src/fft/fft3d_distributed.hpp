@@ -1,0 +1,68 @@
+// Distributed 3D real-to-complex FFT on the pencil decomposition
+// (AccFFT-style, paper section III-C1 and Fig. 4).
+//
+// Forward pipeline (inverse runs the same stages backwards):
+//   A. r2c 1D FFTs along the locally-contiguous axis 3;
+//   B. "row" transpose: alltoallv inside the row communicator exchanges the
+//      k3 half-spectrum against axis 2, giving every rank full axis-2 rows;
+//   C. c2c 1D FFTs along axis 2;
+//   D. "col" transpose: alltoallv inside the column communicator exchanges
+//      k2 against axis 1, giving every rank full axis-1 rows;
+//   E. c2c 1D FFTs along axis 1.
+//
+// Cost model (paper): O(7.5 N^3/p log N) flops and two sqrt(p)-wide
+// alltoall rounds per transform. Time spent inside the exchanges is charged
+// to TimeKind::kFftComm, local 1D FFTs and pack/unpack to kFftExec.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fft/fft1d.hpp"
+#include "grid/decomposition.hpp"
+
+namespace diffreg::fft {
+
+class DistributedFft3d {
+ public:
+  explicit DistributedFft3d(grid::PencilDecomp& decomp);
+
+  const grid::PencilDecomp& decomp() const { return *decomp_; }
+  index_t local_real_size() const { return decomp_->local_real_size(); }
+  index_t local_spectral_size() const {
+    return decomp_->local_spectral_size();
+  }
+
+  /// Unnormalized forward transform of the locally owned real block
+  /// [n1loc][n2loc][N3] into the local spectral block [n3c_loc][n2k_loc][N1].
+  void forward(std::span<const real_t> local_real,
+               std::span<complex_t> local_spectral);
+
+  /// Inverse transform with full 1/(N1 N2 N3) normalization.
+  void inverse(std::span<const complex_t> local_spectral,
+               std::span<real_t> local_real);
+
+ private:
+  // Transposes between the [n1l][n2l][n3c] layout (stage A/B boundary) and
+  // the [n1l][n3c_l][N2] layout (stage B/C boundary), and between
+  // [n1l][n3c_l][N2] and [n3c_l][n2k_l][N1].
+  void row_transpose_forward();
+  void row_transpose_inverse();
+  void col_transpose_forward(std::span<complex_t> spectral);
+  void col_transpose_inverse(std::span<const complex_t> spectral);
+
+  grid::PencilDecomp* decomp_;
+  Fft1d fft1_, fft2_, fft3_;
+
+  // Stage buffers (see layouts above).
+  std::vector<complex_t> stage_a_;  // [n1l][n2l][n3c]
+  std::vector<complex_t> stage_b_;  // [n1l][n3c_l][N2]
+  std::vector<complex_t> row_;      // length max(N3, N1) scratch
+
+  static constexpr int kTagRowFwd = 101;
+  static constexpr int kTagColFwd = 102;
+  static constexpr int kTagColInv = 103;
+  static constexpr int kTagRowInv = 104;
+};
+
+}  // namespace diffreg::fft

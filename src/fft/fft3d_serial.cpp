@@ -1,0 +1,105 @@
+#include "fft/fft3d_serial.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace diffreg::fft {
+
+SerialFft3d::SerialFft3d(const Int3& dims)
+    : dims_(dims),
+      n3c_(dims[2] / 2 + 1),
+      fft1_(dims[0]),
+      fft2_(dims[1]),
+      fft3_(dims[2]) {
+  if (dims[0] < 1 || dims[1] < 1 || dims[2] < 1)
+    throw std::invalid_argument("SerialFft3d: dims must be positive");
+  row_.resize(std::max({dims_[0], dims_[1], dims_[2]}));
+  work_.resize(spectral_size());
+}
+
+void SerialFft3d::forward(std::span<const real_t> real_in,
+                          std::span<complex_t> spectral_out) {
+  assert(static_cast<index_t>(real_in.size()) == real_size());
+  assert(static_cast<index_t>(spectral_out.size()) == spectral_size());
+  const index_t n1 = dims_[0], n2 = dims_[1], n3 = dims_[2];
+
+  // Axis 3 (contiguous): r2c via a full complex transform, keep half.
+  for (index_t i1 = 0; i1 < n1; ++i1) {
+    for (index_t i2 = 0; i2 < n2; ++i2) {
+      const real_t* src = real_in.data() + (i1 * n2 + i2) * n3;
+      for (index_t i3 = 0; i3 < n3; ++i3) row_[i3] = complex_t(src[i3], 0);
+      fft3_.forward(row_.data());
+      complex_t* dst = work_.data() + (i1 * n2 + i2) * n3c_;
+      std::copy_n(row_.data(), n3c_, dst);
+    }
+  }
+
+  // Axis 2 (stride n3c_): gather, transform, scatter.
+  for (index_t i1 = 0; i1 < n1; ++i1) {
+    for (index_t k3 = 0; k3 < n3c_; ++k3) {
+      complex_t* base = work_.data() + i1 * n2 * n3c_ + k3;
+      for (index_t i2 = 0; i2 < n2; ++i2) row_[i2] = base[i2 * n3c_];
+      fft2_.forward(row_.data());
+      for (index_t i2 = 0; i2 < n2; ++i2) base[i2 * n3c_] = row_[i2];
+    }
+  }
+
+  // Axis 1 (stride n2 * n3c_).
+  const index_t stride1 = n2 * n3c_;
+  for (index_t k2 = 0; k2 < n2; ++k2) {
+    for (index_t k3 = 0; k3 < n3c_; ++k3) {
+      complex_t* base = work_.data() + k2 * n3c_ + k3;
+      for (index_t i1 = 0; i1 < n1; ++i1) row_[i1] = base[i1 * stride1];
+      fft1_.forward(row_.data());
+      for (index_t i1 = 0; i1 < n1; ++i1) base[i1 * stride1] = row_[i1];
+    }
+  }
+  std::copy(work_.begin(), work_.end(), spectral_out.begin());
+}
+
+void SerialFft3d::inverse(std::span<const complex_t> spectral_in,
+                          std::span<real_t> real_out) {
+  assert(static_cast<index_t>(spectral_in.size()) == spectral_size());
+  assert(static_cast<index_t>(real_out.size()) == real_size());
+  const index_t n1 = dims_[0], n2 = dims_[1], n3 = dims_[2];
+  std::copy(spectral_in.begin(), spectral_in.end(), work_.begin());
+
+  // Axis 1 inverse.
+  const index_t stride1 = n2 * n3c_;
+  for (index_t k2 = 0; k2 < n2; ++k2) {
+    for (index_t k3 = 0; k3 < n3c_; ++k3) {
+      complex_t* base = work_.data() + k2 * n3c_ + k3;
+      for (index_t i1 = 0; i1 < n1; ++i1) row_[i1] = base[i1 * stride1];
+      fft1_.inverse(row_.data());
+      for (index_t i1 = 0; i1 < n1; ++i1) base[i1 * stride1] = row_[i1];
+    }
+  }
+
+  // Axis 2 inverse.
+  for (index_t i1 = 0; i1 < n1; ++i1) {
+    for (index_t k3 = 0; k3 < n3c_; ++k3) {
+      complex_t* base = work_.data() + i1 * n2 * n3c_ + k3;
+      for (index_t i2 = 0; i2 < n2; ++i2) row_[i2] = base[i2 * n3c_];
+      fft2_.inverse(row_.data());
+      for (index_t i2 = 0; i2 < n2; ++i2) base[i2 * n3c_] = row_[i2];
+    }
+  }
+
+  // Axis 3 inverse: rebuild the Hermitian full row, c2c inverse, take reals.
+  for (index_t i1 = 0; i1 < n1; ++i1) {
+    for (index_t i2 = 0; i2 < n2; ++i2) {
+      const complex_t* src = work_.data() + (i1 * n2 + i2) * n3c_;
+      // After the axis-1/axis-2 inverses each row is the r2c spectrum of a
+      // real 1D signal, so the missing half is the row's own conjugate.
+      for (index_t k3 = 0; k3 < n3c_; ++k3) row_[k3] = src[k3];
+      for (index_t k3 = n3c_; k3 < n3; ++k3)
+        row_[k3] = std::conj(src[n3 - k3]);
+      fft3_.inverse(row_.data());
+      real_t* dst = real_out.data() + (i1 * n2 + i2) * n3;
+      for (index_t i3 = 0; i3 < n3; ++i3) dst[i3] = row_[i3].real();
+    }
+  }
+}
+
+}  // namespace diffreg::fft

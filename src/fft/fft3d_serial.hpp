@@ -1,0 +1,47 @@
+// Serial 3D real-to-complex FFT on a full array; reference implementation
+// used by tests and by the single-rank fallback paths.
+//
+// Real layout:     [N1][N2][N3], i3 fastest.
+// Spectral layout: [N1][N2][N3c] with N3c = N3/2 + 1 (Hermitian half along
+//                  axis 3), k3 fastest. k1, k2 run over the full signed
+//                  frequency range in FFT order.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fft/fft1d.hpp"
+
+namespace diffreg::fft {
+
+/// Signed frequency of FFT-ordered index i for size n: 0..n/2, -(n/2-1)..-1.
+constexpr index_t fft_frequency(index_t i, index_t n) {
+  return (i <= n / 2) ? i : i - n;
+}
+
+class SerialFft3d {
+ public:
+  explicit SerialFft3d(const Int3& dims);
+
+  const Int3& dims() const { return dims_; }
+  Int3 spectral_dims() const { return {dims_[0], dims_[1], n3c_}; }
+  index_t real_size() const { return dims_.prod(); }
+  index_t spectral_size() const { return dims_[0] * dims_[1] * n3c_; }
+
+  /// Unnormalized forward transform.
+  void forward(std::span<const real_t> real_in,
+               std::span<complex_t> spectral_out);
+  /// Inverse with 1/(N1 N2 N3) normalization; inverse(forward(x)) == x.
+  void inverse(std::span<const complex_t> spectral_in,
+               std::span<real_t> real_out);
+
+ private:
+  Int3 dims_;
+  index_t n3c_;
+  Fft1d fft1_, fft2_, fft3_;
+  std::vector<complex_t> row_;      // length max(N1, N2, N3) scratch
+  std::vector<complex_t> work_;     // [N1][N2][N3c] working array
+};
+
+}  // namespace diffreg::fft

@@ -1,0 +1,82 @@
+#include "grid/field_io.hpp"
+
+#include <cassert>
+
+namespace diffreg::grid {
+
+namespace {
+constexpr int kTagGather = 301;
+constexpr int kTagScatter = 302;
+}  // namespace
+
+std::vector<real_t> gather_to_root(PencilDecomp& decomp,
+                                   std::span<const real_t> local) {
+  auto& comm = decomp.comm();
+  comm.set_time_kind(TimeKind::kOther);
+  const Int3 dims = decomp.dims();
+  assert(static_cast<index_t>(local.size()) == decomp.local_real_size());
+
+  if (comm.rank() != 0) {
+    comm.send(local, 0, kTagGather);
+    return {};
+  }
+  std::vector<real_t> full(dims.prod());
+  for (int r = 0; r < comm.size(); ++r) {
+    const int r1 = r / decomp.p2();
+    const int r2 = r % decomp.p2();
+    const BlockRange b1 = block_range(dims[0], decomp.p1(), r1);
+    const BlockRange b2 = block_range(dims[1], decomp.p2(), r2);
+    std::vector<real_t> block;
+    if (r == 0)
+      block.assign(local.begin(), local.end());
+    else
+      block = comm.recv<real_t>(r, kTagGather);
+    index_t pos = 0;
+    for (index_t i1 = b1.begin; i1 < b1.end; ++i1)
+      for (index_t i2 = b2.begin; i2 < b2.end; ++i2)
+        for (index_t i3 = 0; i3 < dims[2]; ++i3)
+          full[linear_index(i1, i2, i3, dims)] = block[pos++];
+  }
+  return full;
+}
+
+std::vector<real_t> scatter_from_root(PencilDecomp& decomp,
+                                      std::span<const real_t> full) {
+  auto& comm = decomp.comm();
+  comm.set_time_kind(TimeKind::kOther);
+  const Int3 dims = decomp.dims();
+
+  if (comm.rank() == 0) {
+    assert(static_cast<index_t>(full.size()) == dims.prod());
+    std::vector<real_t> my_block;
+    for (int r = 0; r < comm.size(); ++r) {
+      const int r1 = r / decomp.p2();
+      const int r2 = r % decomp.p2();
+      const BlockRange b1 = block_range(dims[0], decomp.p1(), r1);
+      const BlockRange b2 = block_range(dims[1], decomp.p2(), r2);
+      std::vector<real_t> block(b1.size() * b2.size() * dims[2]);
+      index_t pos = 0;
+      for (index_t i1 = b1.begin; i1 < b1.end; ++i1)
+        for (index_t i2 = b2.begin; i2 < b2.end; ++i2)
+          for (index_t i3 = 0; i3 < dims[2]; ++i3)
+            block[pos++] = full[linear_index(i1, i2, i3, dims)];
+      if (r == 0)
+        my_block = std::move(block);
+      else
+        comm.send(std::span<const real_t>(block), r, kTagScatter);
+    }
+    return my_block;
+  }
+  return comm.recv<real_t>(0, kTagScatter);
+}
+
+std::vector<real_t> gather_to_all(PencilDecomp& decomp,
+                                  std::span<const real_t> local) {
+  auto full = gather_to_root(decomp, local);
+  auto& comm = decomp.comm();
+  if (comm.rank() != 0) full.resize(decomp.dims().prod());
+  comm.broadcast(full, 0);
+  return full;
+}
+
+}  // namespace diffreg::grid

@@ -1,0 +1,27 @@
+// Gather/scatter between pencil-decomposed local blocks and a full
+// [N1][N2][N3] array on rank 0 (used by image IO, tests, and diagnostics —
+// never inside the solver loop).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "grid/decomposition.hpp"
+
+namespace diffreg::grid {
+
+/// Gathers the distributed field to a full array on rank 0 (empty on other
+/// ranks). Collective.
+std::vector<real_t> gather_to_root(PencilDecomp& decomp,
+                                   std::span<const real_t> local);
+
+/// Scatters a full array held on rank 0 to per-rank local blocks. Collective;
+/// `full` is ignored on non-root ranks.
+std::vector<real_t> scatter_from_root(PencilDecomp& decomp,
+                                      std::span<const real_t> full);
+
+/// Gathers to every rank (gather_to_root + broadcast). Collective.
+std::vector<real_t> gather_to_all(PencilDecomp& decomp,
+                                  std::span<const real_t> local);
+
+}  // namespace diffreg::grid

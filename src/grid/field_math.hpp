@@ -1,0 +1,103 @@
+// Distributed vector-space operations on pencil-local field blocks.
+// Local loops + one allreduce for reductions; the L2 inner products use the
+// grid volume element h1*h2*h3 of the [0,2*pi)^3 domain.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "grid/decomposition.hpp"
+
+namespace diffreg::grid {
+
+using ScalarField = std::vector<real_t>;
+
+/// Velocity / displacement field: three scalar components on the same block.
+struct VectorField {
+  std::array<ScalarField, 3> comp;
+
+  VectorField() = default;
+  explicit VectorField(index_t local_size) {
+    for (auto& c : comp) c.assign(local_size, real_t(0));
+  }
+  index_t local_size() const { return static_cast<index_t>(comp[0].size()); }
+  ScalarField& operator[](int d) { return comp[d]; }
+  const ScalarField& operator[](int d) const { return comp[d]; }
+
+  void fill(real_t value) {
+    for (auto& c : comp) c.assign(c.size(), value);
+  }
+};
+
+/// Volume element of one grid cell.
+inline real_t cell_volume(const Int3& dims) {
+  return (kTwoPi / dims[0]) * (kTwoPi / dims[1]) * (kTwoPi / dims[2]);
+}
+
+/// Distributed L2 inner product <a, b> (collective).
+inline real_t dot(PencilDecomp& decomp, std::span<const real_t> a,
+                  std::span<const real_t> b) {
+  real_t local = 0;
+  for (size_t i = 0; i < a.size(); ++i) local += a[i] * b[i];
+  decomp.comm().set_time_kind(TimeKind::kOther);
+  return decomp.comm().allreduce_sum(local) * cell_volume(decomp.dims());
+}
+
+inline real_t dot(PencilDecomp& decomp, const VectorField& a,
+                  const VectorField& b) {
+  real_t local = 0;
+  for (int d = 0; d < 3; ++d)
+    for (size_t i = 0; i < a[d].size(); ++i) local += a[d][i] * b[d][i];
+  decomp.comm().set_time_kind(TimeKind::kOther);
+  return decomp.comm().allreduce_sum(local) * cell_volume(decomp.dims());
+}
+
+inline real_t norm_l2(PencilDecomp& decomp, std::span<const real_t> a) {
+  return std::sqrt(dot(decomp, a, a));
+}
+
+inline real_t norm_l2(PencilDecomp& decomp, const VectorField& a) {
+  return std::sqrt(dot(decomp, a, a));
+}
+
+/// Distributed max |a_i| (collective).
+inline real_t norm_inf(PencilDecomp& decomp, std::span<const real_t> a) {
+  real_t local = 0;
+  for (real_t v : a) local = std::max(local, std::abs(v));
+  decomp.comm().set_time_kind(TimeKind::kOther);
+  return decomp.comm().allreduce_max(local);
+}
+
+inline real_t norm_inf(PencilDecomp& decomp, const VectorField& a) {
+  real_t m = 0;
+  for (int d = 0; d < 3; ++d) m = std::max(m, norm_inf(decomp, a[d]));
+  return m;
+}
+
+// Local (no communication) BLAS-1 style helpers.
+
+inline void axpy(real_t alpha, std::span<const real_t> x,
+                 std::span<real_t> y) {
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+inline void axpy(real_t alpha, const VectorField& x, VectorField& y) {
+  for (int d = 0; d < 3; ++d) axpy(alpha, x[d], y[d]);
+}
+
+inline void scale(real_t alpha, std::span<real_t> x) {
+  for (auto& v : x) v *= alpha;
+}
+
+inline void scale(real_t alpha, VectorField& x) {
+  for (int d = 0; d < 3; ++d) scale(alpha, x[d]);
+}
+
+/// y = x (sizes must match).
+inline void copy(const VectorField& x, VectorField& y) {
+  for (int d = 0; d < 3; ++d) y[d] = x[d];
+}
+
+}  // namespace diffreg::grid

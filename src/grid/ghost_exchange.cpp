@@ -1,0 +1,145 @@
+#include "grid/ghost_exchange.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace diffreg::grid {
+
+GhostExchange::GhostExchange(PencilDecomp& decomp, index_t width,
+                             TimeKind comm_kind)
+    : decomp_(&decomp),
+      width_(width),
+      ldims_(decomp.local_real_dims()),
+      comm_kind_(comm_kind) {
+  // Single-neighbour halos: every rank's block must be at least as wide as
+  // the halo, on every rank (uneven blocks differ by one).
+  const index_t min1 = decomp.dims()[0] / decomp.p1();
+  const index_t min2 = decomp.dims()[1] / decomp.p2();
+  if (width_ > min1 || width_ > min2 || width_ > decomp.dims()[2])
+    throw std::invalid_argument(
+        "GhostExchange: halo width exceeds smallest local block");
+  gdims_ = {ldims_[0] + 2 * width_, ldims_[1] + 2 * width_,
+            ldims_[2] + 2 * width_};
+}
+
+void GhostExchange::exchange(std::span<const real_t> local,
+                             std::vector<real_t>& ghosted) {
+  assert(static_cast<index_t>(local.size()) == ldims_.prod());
+  ghosted.assign(ghost_size(), real_t(0));
+  const index_t w = width_;
+  const index_t n3 = ldims_[2];
+
+  // Interior copy + local periodic wrap along dim 3.
+  for (index_t i1 = 0; i1 < ldims_[0]; ++i1) {
+    for (index_t i2 = 0; i2 < ldims_[1]; ++i2) {
+      const real_t* src = local.data() + (i1 * ldims_[1] + i2) * n3;
+      real_t* dst =
+          ghosted.data() + linear_index(i1 + w, i2 + w, 0, gdims_);
+      for (index_t i3 = 0; i3 < n3; ++i3) dst[w + i3] = src[i3];
+      for (index_t i3 = 0; i3 < w; ++i3) {
+        dst[i3] = src[n3 - w + i3];          // low halo <- high interior
+        dst[w + n3 + i3] = src[i3];          // high halo <- low interior
+      }
+    }
+  }
+
+  exchange_dim1(ghosted);
+  exchange_dim2(ghosted);
+}
+
+void GhostExchange::exchange_dim1(std::vector<real_t>& ghosted) {
+  // Slabs cover interior dim 2 and the already-wrapped dim 3.
+  const index_t w = width_;
+  const index_t slab = w * ldims_[1] * gdims_[2];
+  const index_t n1l = ldims_[0];
+  auto pack = [&](index_t i1_begin) {
+    std::vector<real_t> buf(slab);
+    index_t pos = 0;
+    for (index_t i1 = i1_begin; i1 < i1_begin + w; ++i1)
+      for (index_t i2 = 0; i2 < ldims_[1]; ++i2) {
+        const real_t* src =
+            ghosted.data() + linear_index(i1, i2 + w, 0, gdims_);
+        for (index_t i3 = 0; i3 < gdims_[2]; ++i3) buf[pos++] = src[i3];
+      }
+    return buf;
+  };
+  auto unpack = [&](const std::vector<real_t>& buf, index_t i1_begin) {
+    index_t pos = 0;
+    for (index_t i1 = i1_begin; i1 < i1_begin + w; ++i1)
+      for (index_t i2 = 0; i2 < ldims_[1]; ++i2) {
+        real_t* dst = ghosted.data() + linear_index(i1, i2 + w, 0, gdims_);
+        for (index_t i3 = 0; i3 < gdims_[2]; ++i3) dst[i3] = buf[pos++];
+      }
+  };
+
+  const int p1 = decomp_->p1();
+  if (p1 == 1) {
+    unpack(pack(w + n1l - w), 0);      // low halo <- own high interior
+    unpack(pack(w), w + n1l);          // high halo <- own low interior
+    return;
+  }
+  auto& comm = decomp_->comm();
+  comm.set_time_kind(comm_kind_);
+  const int lo_nbr = decomp_->rank_of((decomp_->r1() - 1 + p1) % p1,
+                                      decomp_->r2());
+  const int hi_nbr = decomp_->rank_of((decomp_->r1() + 1) % p1,
+                                      decomp_->r2());
+  // My high interior goes to hi_nbr's low halo (travels "high", kTagHigh);
+  // I receive my low halo from lo_nbr.
+  auto high_interior = pack(w + n1l - w);
+  auto low_halo = comm.sendrecv(std::span<const real_t>(high_interior),
+                                hi_nbr, lo_nbr, kTagHigh);
+  unpack(low_halo, 0);
+  auto low_interior = pack(w);
+  auto high_halo = comm.sendrecv(std::span<const real_t>(low_interior),
+                                 lo_nbr, hi_nbr, kTagLow);
+  unpack(high_halo, w + n1l);
+}
+
+void GhostExchange::exchange_dim2(std::vector<real_t>& ghosted) {
+  // Slabs cover the FULL ghosted dim 1 (so corners come along) and dim 3.
+  const index_t w = width_;
+  const index_t slab = gdims_[0] * w * gdims_[2];
+  const index_t n2l = ldims_[1];
+  auto pack = [&](index_t i2_begin) {
+    std::vector<real_t> buf(slab);
+    index_t pos = 0;
+    for (index_t i1 = 0; i1 < gdims_[0]; ++i1)
+      for (index_t i2 = i2_begin; i2 < i2_begin + w; ++i2) {
+        const real_t* src = ghosted.data() + linear_index(i1, i2, 0, gdims_);
+        for (index_t i3 = 0; i3 < gdims_[2]; ++i3) buf[pos++] = src[i3];
+      }
+    return buf;
+  };
+  auto unpack = [&](const std::vector<real_t>& buf, index_t i2_begin) {
+    index_t pos = 0;
+    for (index_t i1 = 0; i1 < gdims_[0]; ++i1)
+      for (index_t i2 = i2_begin; i2 < i2_begin + w; ++i2) {
+        real_t* dst = ghosted.data() + linear_index(i1, i2, 0, gdims_);
+        for (index_t i3 = 0; i3 < gdims_[2]; ++i3) dst[i3] = buf[pos++];
+      }
+  };
+
+  const int p2 = decomp_->p2();
+  if (p2 == 1) {
+    unpack(pack(w + n2l - w), 0);
+    unpack(pack(w), w + n2l);
+    return;
+  }
+  auto& comm = decomp_->comm();
+  comm.set_time_kind(comm_kind_);
+  const int lo_nbr = decomp_->rank_of(decomp_->r1(),
+                                      (decomp_->r2() - 1 + p2) % p2);
+  const int hi_nbr = decomp_->rank_of(decomp_->r1(),
+                                      (decomp_->r2() + 1) % p2);
+  auto high_interior = pack(w + n2l - w);
+  auto low_halo = comm.sendrecv(std::span<const real_t>(high_interior),
+                                hi_nbr, lo_nbr, kTagHigh);
+  unpack(low_halo, 0);
+  auto low_interior = pack(w);
+  auto high_halo = comm.sendrecv(std::span<const real_t>(low_interior),
+                                 lo_nbr, hi_nbr, kTagLow);
+  unpack(high_halo, w + n2l);
+}
+
+}  // namespace diffreg::grid

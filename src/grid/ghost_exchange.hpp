@@ -1,0 +1,48 @@
+// Periodic ghost-layer exchange for pencil-decomposed scalar fields
+// (paper section III-C2: "every processor maintains a layer of ghost
+// points... values must be synchronized before interpolation takes place").
+//
+// The tricubic stencil needs `width` extra points on each side. Dims 1 and 2
+// are distributed, so their halos come from the four edge neighbours of the
+// process grid; corner values are picked up by exchanging dimension 1 first
+// and then dimension 2 over the already-widened slabs (two-phase trick).
+// Dimension 3 is fully local, so its halo is a periodic wrap in memory.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "grid/decomposition.hpp"
+
+namespace diffreg::grid {
+
+class GhostExchange {
+ public:
+  /// `width` ghost points on every side. Requires width <= the smallest
+  /// local block extent in dims 1 and 2 (single-neighbour halos).
+  GhostExchange(PencilDecomp& decomp, index_t width,
+                TimeKind comm_kind = TimeKind::kInterpComm);
+
+  index_t width() const { return width_; }
+  /// Dimensions of the ghosted block: (n1l + 2w, n2l + 2w, N3 + 2w).
+  const Int3& ghost_dims() const { return gdims_; }
+  index_t ghost_size() const { return gdims_.prod(); }
+
+  /// Fills `ghosted` (resized to ghost_size()) from the owned block.
+  void exchange(std::span<const real_t> local, std::vector<real_t>& ghosted);
+
+ private:
+  void exchange_dim1(std::vector<real_t>& ghosted);
+  void exchange_dim2(std::vector<real_t>& ghosted);
+
+  PencilDecomp* decomp_;
+  index_t width_;
+  Int3 ldims_;   // local owned block
+  Int3 gdims_;   // ghosted block
+  TimeKind comm_kind_;
+
+  static constexpr int kTagLow = 201;   // data travelling toward lower index
+  static constexpr int kTagHigh = 202;  // data travelling toward higher index
+};
+
+}  // namespace diffreg::grid

@@ -1,0 +1,34 @@
+// Registration quality metrics reported in the paper's figures.
+#pragma once
+
+#include "grid/field_math.hpp"
+
+namespace diffreg::imaging {
+
+/// ||a - b|| / ||a0 - b|| style relative residual used throughout the
+/// evaluation: mismatch of the deformed template relative to the initial
+/// mismatch. Collective.
+inline real_t relative_residual(grid::PencilDecomp& decomp,
+                                std::span<const real_t> deformed,
+                                std::span<const real_t> reference,
+                                std::span<const real_t> original) {
+  grid::ScalarField diff(deformed.size());
+  for (size_t i = 0; i < deformed.size(); ++i)
+    diff[i] = deformed[i] - reference[i];
+  const real_t after = grid::norm_l2(decomp, diff);
+  for (size_t i = 0; i < original.size(); ++i)
+    diff[i] = original[i] - reference[i];
+  const real_t before = grid::norm_l2(decomp, diff);
+  return before > 0 ? after / before : real_t(0);
+}
+
+/// Max-normalized L-infinity mismatch (a secondary metric for tests).
+inline real_t max_abs_difference(grid::PencilDecomp& decomp,
+                                 std::span<const real_t> a,
+                                 std::span<const real_t> b) {
+  grid::ScalarField diff(a.size());
+  for (size_t i = 0; i < a.size(); ++i) diff[i] = a[i] - b[i];
+  return grid::norm_inf(decomp, diff);
+}
+
+}  // namespace diffreg::imaging

@@ -1,0 +1,157 @@
+#include "imaging/synthetic.hpp"
+
+#include <cmath>
+
+#include "semilag/transport.hpp"
+
+namespace diffreg::imaging {
+
+namespace {
+
+/// Applies fn(x1, x2, x3) over the locally owned block.
+template <typename F>
+void fill_local(grid::PencilDecomp& decomp, ScalarField& out, F&& fn) {
+  const Int3 dims = decomp.dims();
+  const Int3 ld = decomp.local_real_dims();
+  const real_t h1 = kTwoPi / dims[0], h2 = kTwoPi / dims[1],
+               h3 = kTwoPi / dims[2];
+  const index_t lo1 = decomp.range1().begin, lo2 = decomp.range2().begin;
+  out.resize(decomp.local_real_size());
+  index_t idx = 0;
+  for (index_t i1 = 0; i1 < ld[0]; ++i1) {
+    const real_t x1 = (lo1 + i1) * h1;
+    for (index_t i2 = 0; i2 < ld[1]; ++i2) {
+      const real_t x2 = (lo2 + i2) * h2;
+      for (index_t i3 = 0; i3 < ld[2]; ++i3, ++idx)
+        out[idx] = fn(x1, x2, i3 * h3);
+    }
+  }
+}
+
+}  // namespace
+
+ScalarField synthetic_template(grid::PencilDecomp& decomp) {
+  ScalarField out;
+  fill_local(decomp, out, [](real_t x1, real_t x2, real_t x3) {
+    const real_t s1 = std::sin(x1), s2 = std::sin(x2), s3 = std::sin(x3);
+    return (s1 * s1 + s2 * s2 + s3 * s3) / 3;
+  });
+  return out;
+}
+
+VectorField synthetic_velocity(grid::PencilDecomp& decomp, real_t amplitude) {
+  VectorField v(decomp.local_real_size());
+  ScalarField c;
+  fill_local(decomp, c, [&](real_t x1, real_t x2, real_t) {
+    return amplitude * std::cos(x1) * std::sin(x2);
+  });
+  v[0] = c;
+  fill_local(decomp, c, [&](real_t x1, real_t x2, real_t) {
+    return amplitude * std::cos(x2) * std::sin(x1);
+  });
+  v[1] = c;
+  fill_local(decomp, c, [&](real_t x1, real_t, real_t x3) {
+    return amplitude * std::cos(x1) * std::sin(x3);
+  });
+  v[2] = c;
+  return v;
+}
+
+VectorField synthetic_velocity_divfree(grid::PencilDecomp& decomp,
+                                       real_t amplitude) {
+  VectorField v(decomp.local_real_size());
+  ScalarField c;
+  fill_local(decomp, c, [&](real_t, real_t x2, real_t x3) {
+    return amplitude * std::cos(x2) * std::sin(x3);
+  });
+  v[0] = c;
+  fill_local(decomp, c, [&](real_t x1, real_t, real_t x3) {
+    return amplitude * std::cos(x3) * std::sin(x1);
+  });
+  v[1] = c;
+  fill_local(decomp, c, [&](real_t x1, real_t x2, real_t) {
+    return amplitude * std::cos(x1) * std::sin(x2);
+  });
+  v[2] = c;
+  return v;
+}
+
+ScalarField make_reference(spectral::SpectralOps& ops,
+                           const ScalarField& rho_t, const VectorField& v,
+                           int nt) {
+  semilag::TransportConfig tc;
+  tc.nt = nt;
+  semilag::Transport transport(ops, tc);
+  transport.set_velocity(v);
+  transport.solve_state(rho_t);
+  return transport.final_state();
+}
+
+ScalarField sphere_phantom(grid::PencilDecomp& decomp, const Vec3& center,
+                           real_t radius, real_t edge) {
+  ScalarField out;
+  fill_local(decomp, out, [&](real_t x1, real_t x2, real_t x3) {
+    const Vec3 d{x1 - center[0], x2 - center[1], x3 - center[2]};
+    const real_t r = d.norm();
+    return real_t(1) / (1 + std::exp((r - radius) / edge));
+  });
+  return out;
+}
+
+ScalarField brain_phantom(grid::PencilDecomp& decomp, unsigned subject) {
+  // Subject-specific smooth warp parameters from a tiny deterministic LCG.
+  auto lcg = [state = subject * 2654435761u + 12345u]() mutable {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<real_t>(state >> 8) /
+           static_cast<real_t>(1u << 24);  // in [0, 1)
+  };
+  real_t wa[6], wp[6];
+  for (int i = 0; i < 6; ++i) {
+    wa[i] = real_t(0.08) + real_t(0.10) * lcg();  // warp amplitudes
+    wp[i] = kTwoPi * lcg();                       // warp phases
+  }
+  const real_t fold_freq = 7 + std::floor(3 * lcg());
+  const real_t fold_amp = real_t(0.06) + real_t(0.04) * lcg();
+  const real_t vent_scale = real_t(0.85) + real_t(0.3) * lcg();
+
+  ScalarField out;
+  const Vec3 c{kTwoPi / 2, kTwoPi / 2, kTwoPi / 2};
+  fill_local(decomp, out, [&](real_t x1, real_t x2, real_t x3) {
+    // Smooth subject-specific anatomical warp of the coordinates.
+    const real_t y1 =
+        x1 + wa[0] * std::sin(x2 + wp[0]) + wa[1] * std::sin(2 * x3 + wp[1]);
+    const real_t y2 =
+        x2 + wa[2] * std::sin(x3 + wp[2]) + wa[3] * std::sin(2 * x1 + wp[3]);
+    const real_t y3 =
+        x3 + wa[4] * std::sin(x1 + wp[4]) + wa[5] * std::sin(2 * x2 + wp[5]);
+
+    // Head: ellipsoid radius in a slightly anisotropic norm.
+    const real_t d1 = (y1 - c[0]) / real_t(1.00);
+    const real_t d2 = (y2 - c[1]) / real_t(1.20);
+    const real_t d3 = (y3 - c[2]) / real_t(0.95);
+    const real_t r = std::sqrt(d1 * d1 + d2 * d2 + d3 * d3);
+    const real_t theta = std::atan2(d2, d1);
+    const real_t phi = std::atan2(d3, std::sqrt(d1 * d1 + d2 * d2));
+
+    const real_t skull_r = real_t(1.9);
+    const real_t cortex_r =
+        real_t(1.65) +
+        fold_amp * std::sin(fold_freq * theta) * std::cos(real_t(0.5) * fold_freq * phi);
+    const real_t vent_r = real_t(0.55) * vent_scale;
+
+    auto sigmoid = [](real_t t) { return real_t(1) / (1 + std::exp(-t)); };
+    const real_t sharp = 18;
+
+    // Tissue classes: background 0, CSF rim 0.35, gray 0.6, white 0.9,
+    // ventricles 0.15.
+    real_t intensity = 0;
+    intensity += real_t(0.35) * sigmoid(sharp * (skull_r - r));       // inside skull
+    intensity += real_t(0.25) * sigmoid(sharp * (cortex_r - r));      // gray matter
+    intensity += real_t(0.30) * sigmoid(sharp * (cortex_r * real_t(0.82) - r));
+    intensity -= real_t(0.75) * sigmoid(sharp * (vent_r - r));        // ventricles
+    return std::max(real_t(0), intensity);
+  });
+  return out;
+}
+
+}  // namespace diffreg::imaging

@@ -1,0 +1,119 @@
+#include "interp/interp_plan.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace diffreg::interp {
+
+using grid::GhostExchange;
+using grid::PencilDecomp;
+
+InterpPlan::InterpPlan(PencilDecomp& decomp, std::span<const Vec3> points)
+    : decomp_(&decomp), num_points_(static_cast<index_t>(points.size())) {
+  auto& comm = decomp.comm();
+  Timings& timings = comm.timings();
+  comm.set_time_kind(TimeKind::kInterpComm);
+  const Int3 dims = decomp.dims();
+  const int p = comm.size();
+
+  // Scatter phase: classify every point by the pencil that owns it and pack
+  // its coordinates in grid units.
+  std::vector<std::vector<real_t>> send_coords(p);
+  send_index_.assign(p, {});
+  {
+    ScopedTimer t(timings, TimeKind::kInterpExec);
+    const real_t h1 = kTwoPi / static_cast<real_t>(dims[0]);
+    const real_t h2 = kTwoPi / static_cast<real_t>(dims[1]);
+    const real_t h3 = kTwoPi / static_cast<real_t>(dims[2]);
+    for (index_t i = 0; i < num_points_; ++i) {
+      const real_t u1 = periodic_wrap(points[i][0], kTwoPi) / h1;
+      const real_t u2 = periodic_wrap(points[i][1], kTwoPi) / h2;
+      const real_t u3 = periodic_wrap(points[i][2], kTwoPi) / h3;
+      const index_t f1 = periodic_index(static_cast<index_t>(u1), dims[0]);
+      const index_t f2 = periodic_index(static_cast<index_t>(u2), dims[1]);
+      const int owner = decomp.owner_of(f1, f2);
+      send_index_[owner].push_back(i);
+      auto& buf = send_coords[owner];
+      buf.push_back(u1);
+      buf.push_back(u2);
+      buf.push_back(u3);
+    }
+  }
+
+  recv_coords_ = comm.alltoallv(std::move(send_coords), kTagCoords);
+
+  // Convert the received global grid-unit coordinates into ghosted-block
+  // units once, so execute() does no coordinate arithmetic.
+  {
+    ScopedTimer t(timings, TimeKind::kInterpExec);
+    const real_t off1 =
+        static_cast<real_t>(kGhostWidth - decomp.range1().begin);
+    const real_t off2 =
+        static_cast<real_t>(kGhostWidth - decomp.range2().begin);
+    const real_t off3 = static_cast<real_t>(kGhostWidth);
+    for (auto& buf : recv_coords_) {
+      for (size_t j = 0; j < buf.size(); j += 3) {
+        buf[j] += off1;
+        buf[j + 1] += off2;
+        buf[j + 2] += off3;
+      }
+    }
+  }
+}
+
+void InterpPlan::execute(GhostExchange& gx, std::span<const real_t> field,
+                         std::span<real_t> out, Method method) {
+  assert(static_cast<index_t>(out.size()) == num_points_);
+  assert(gx.width() >= kGhostWidth);
+  auto& comm = decomp_->comm();
+  Timings& timings = comm.timings();
+  comm.set_time_kind(TimeKind::kInterpComm);
+  const int p = comm.size();
+
+  gx.exchange(field, ghosted_);
+  const Int3 gdims = gx.ghost_dims();
+
+  // Evaluate all received points (ours and other ranks').
+  std::vector<std::vector<real_t>> values(p);
+  {
+    ScopedTimer t(timings, TimeKind::kInterpExec);
+    for (int q = 0; q < p; ++q) {
+      const auto& coords = recv_coords_[q];
+      auto& vals = values[q];
+      vals.resize(coords.size() / 3);
+      if (method == Method::kTricubic) {
+        for (size_t j = 0; j < vals.size(); ++j)
+          vals[j] = tricubic_eval(ghosted_.data(), gdims, coords[3 * j],
+                                  coords[3 * j + 1], coords[3 * j + 2]);
+      } else {
+        for (size_t j = 0; j < vals.size(); ++j)
+          vals[j] = trilinear_eval(ghosted_.data(), gdims, coords[3 * j],
+                                   coords[3 * j + 1], coords[3 * j + 2]);
+      }
+    }
+  }
+
+  auto returned = comm.alltoallv(std::move(values), kTagValues);
+
+  {  // Scatter the returned values into the caller's point order.
+    ScopedTimer t(timings, TimeKind::kInterpExec);
+    for (int q = 0; q < p; ++q) {
+      const auto& idx = send_index_[q];
+      const auto& vals = returned[q];
+      assert(vals.size() == idx.size());
+      for (size_t j = 0; j < idx.size(); ++j) out[idx[j]] = vals[j];
+    }
+  }
+}
+
+void InterpPlan::execute(GhostExchange& gx, const grid::VectorField& field,
+                         std::vector<Vec3>& out, Method method) {
+  out.resize(num_points_);
+  std::vector<real_t> component(num_points_);
+  for (int d = 0; d < 3; ++d) {
+    execute(gx, field[d], component, method);
+    for (index_t i = 0; i < num_points_; ++i) out[i][d] = component[i];
+  }
+}
+
+}  // namespace diffreg::interp

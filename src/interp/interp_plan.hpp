@@ -1,0 +1,61 @@
+// Distributed off-grid interpolation with a cached communication plan
+// (paper Algorithm 1 and section III-C2).
+//
+// A plan is built once per set of departure points ("scatter" phase): every
+// query point is assigned to the rank whose pencil contains it, the point
+// coordinates are exchanged with one alltoallv, and send and receive lists are
+// kept. Executing the plan for a field then costs one ghost-layer exchange,
+// a local (tri)cubic evaluation sweep, and one alltoallv to return values —
+// exactly the paper's "communicate points, interpolate, communicate back".
+// Because the departure points only change when the velocity changes, the
+// plan is reused for every field and every time step of a Newton iteration.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "grid/decomposition.hpp"
+#include "grid/field_math.hpp"
+#include "grid/ghost_exchange.hpp"
+#include "interp/kernels.hpp"
+
+namespace diffreg::interp {
+
+/// Ghost width required by the tricubic stencil.
+inline constexpr index_t kGhostWidth = 2;
+
+class InterpPlan {
+ public:
+  /// Collective. `points` are physical coordinates in [0, 2*pi)^3 (wrapped
+  /// internally), one value produced per point on `execute`.
+  InterpPlan(grid::PencilDecomp& decomp, std::span<const Vec3> points);
+
+  index_t num_points() const { return num_points_; }
+
+  /// Interpolates `field` (owned local block) at the planned points.
+  /// `out` must have num_points() entries, ordered like the input points.
+  /// Collective; uses `gx` (shared ghost exchanger, width >= 2).
+  void execute(grid::GhostExchange& gx, std::span<const real_t> field,
+               std::span<real_t> out, Method method = Method::kTricubic);
+
+  /// Convenience: interpolates the three components of a vector field.
+  void execute(grid::GhostExchange& gx, const grid::VectorField& field,
+               std::vector<Vec3>& out, Method method = Method::kTricubic);
+
+ private:
+  grid::PencilDecomp* decomp_;
+  index_t num_points_ = 0;
+
+  // For each destination rank: which of my points it owns.
+  std::vector<std::vector<index_t>> send_index_;
+  // Received query points, in ghosted-grid-unit coordinates, per source rank.
+  std::vector<std::vector<real_t>> recv_coords_;  // 3 reals per point
+
+  std::vector<real_t> ghosted_;  // scratch for the ghosted field
+
+  static constexpr int kTagCoords = 401;
+  static constexpr int kTagValues = 402;
+};
+
+}  // namespace diffreg::interp

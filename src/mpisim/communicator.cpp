@@ -1,0 +1,126 @@
+#include "mpisim/communicator.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace diffreg::mpisim {
+
+namespace detail {
+
+void Mailbox::push(Message message) {
+  {
+    std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+std::vector<std::byte> Mailbox::pop(int src, int tag) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
+      return m.src == src && m.tag == tag;
+    });
+    if (it != queue_.end()) {
+      std::vector<std::byte> data = std::move(it->data);
+      queue_.erase(it);
+      return data;
+    }
+    cv_.wait(lock);
+  }
+}
+
+SharedState::SharedState(int size_in) : size(size_in), mailboxes(size_in) {}
+
+}  // namespace detail
+
+void Communicator::barrier() {
+  if (size() == 1) return;
+  ScopedTimer timer(*timings_, time_kind_);
+  auto& s = *state_;
+  std::unique_lock lock(s.barrier_mutex);
+  const long generation = s.barrier_generation;
+  if (++s.barrier_count == s.size) {
+    s.barrier_count = 0;
+    ++s.barrier_generation;
+    lock.unlock();
+    s.barrier_cv.notify_all();
+  } else {
+    s.barrier_cv.wait(lock,
+                      [&] { return s.barrier_generation != generation; });
+  }
+}
+
+Communicator Communicator::split(int color) {
+  // Gather (color, parent rank) from everyone; members of each color are
+  // ranked by parent rank.
+  struct Entry {
+    int color;
+    int rank;
+  };
+  auto entries = allgather(Entry{color, rank_});
+
+  int new_rank = 0;
+  int new_size = 0;
+  for (const Entry& e : entries) {
+    if (e.color != color) continue;
+    if (e.rank < rank_) ++new_rank;
+    ++new_size;
+  }
+
+  // One split epoch per collective call so repeated splits don't collide.
+  long epoch = 0;
+  {
+    std::scoped_lock lock(state_->split_mutex);
+    epoch = state_->split_epoch;
+  }
+  std::shared_ptr<detail::SharedState> child;
+  {
+    std::scoped_lock lock(state_->split_mutex);
+    auto key = std::make_pair(epoch, color);
+    auto it = state_->split_states.find(key);
+    if (it == state_->split_states.end()) {
+      child = std::make_shared<detail::SharedState>(new_size);
+      state_->split_states.emplace(key, child);
+    } else {
+      child = it->second;
+    }
+  }
+  barrier();
+  // After the barrier every rank has resolved its child state; advance the
+  // epoch (rank 0) and clear the board lazily on the next epoch rollover.
+  if (rank_ == 0) {
+    std::scoped_lock lock(state_->split_mutex);
+    ++state_->split_epoch;
+  }
+  barrier();
+  return Communicator(std::move(child), new_rank, timings_);
+}
+
+std::vector<Timings> run_spmd(
+    int p, const std::function<void(Communicator&)>& body) {
+  auto state = std::make_shared<detail::SharedState>(p);
+  std::vector<Timings> timings(p);
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(state, r, &timings[r]);
+      try {
+        body(comm);
+      } catch (...) {
+        std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return timings;
+}
+
+}  // namespace diffreg::mpisim

@@ -1,0 +1,265 @@
+// mpisim: a thread-backed message-passing runtime.
+//
+// The paper's solver is an MPI SPMD program (TACC Maverick/Stampede). This
+// machine has no MPI, so we reproduce the programming model: `run_spmd(p, f)`
+// launches p "ranks" (threads) that may only exchange data through a
+// Communicator — point-to-point messages are copied through per-rank
+// mailboxes, so all data movement that would be network traffic under MPI is
+// real buffer traffic here, and is accounted separately from computation via
+// the Timings categories (the comm/exec split of Tables I-IV).
+//
+// Supported surface (what the solver needs): rank/size, barrier, send/recv,
+// sendrecv, broadcast, allreduce (sum/max/min), allgather, alltoall(v), and
+// communicator splitting (row/col sub-communicators of the pencil grid).
+#pragma once
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace diffreg::mpisim {
+
+namespace detail {
+
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> data;
+};
+
+/// One receive queue per rank; senders push, the owner pops by (src, tag).
+class Mailbox {
+ public:
+  void push(Message message);
+  /// Blocks until a message with the given source and tag is available.
+  std::vector<std::byte> pop(int src, int tag);
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+/// State shared by all ranks of one communicator.
+struct SharedState {
+  explicit SharedState(int size);
+
+  const int size;
+  std::vector<Mailbox> mailboxes;
+
+  // Generation-counted central barrier.
+  std::mutex barrier_mutex;
+  std::condition_variable barrier_cv;
+  int barrier_count = 0;
+  long barrier_generation = 0;
+
+  // Exchange board used by split(): the first rank of each (color, epoch)
+  // creates the child state, everyone else in that color looks it up.
+  std::mutex split_mutex;
+  std::map<std::pair<long, int>, std::shared_ptr<SharedState>> split_states;
+  long split_epoch = 0;
+};
+
+}  // namespace detail
+
+/// Handle through which one rank communicates. Cheap to copy.
+class Communicator {
+ public:
+  Communicator() = default;
+  Communicator(std::shared_ptr<detail::SharedState> state, int rank,
+               Timings* timings)
+      : state_(std::move(state)), rank_(rank), timings_(timings) {}
+
+  int rank() const { return rank_; }
+  int size() const { return state_ ? state_->size : 1; }
+  bool is_root() const { return rank_ == 0; }
+
+  /// Category charged for time spent blocked in communication calls.
+  void set_time_kind(TimeKind kind) { time_kind_ = kind; }
+  TimeKind time_kind() const { return time_kind_; }
+  Timings& timings() { return *timings_; }
+
+  void barrier();
+
+  template <typename T>
+  void send(std::span<const T> data, int dest, int tag);
+
+  template <typename T>
+  std::vector<T> recv(int src, int tag);
+
+  /// Exchanges buffers with a partner rank without deadlocking.
+  template <typename T>
+  std::vector<T> sendrecv(std::span<const T> send_data, int dest, int src,
+                          int tag);
+
+  template <typename T>
+  void broadcast(std::vector<T>& data, int root);
+
+  template <typename T>
+  T allreduce_sum(T value);
+  template <typename T>
+  T allreduce_max(T value);
+  template <typename T>
+  T allreduce_min(T value);
+
+  template <typename T>
+  std::vector<T> allgather(T value);
+
+  /// Personalized all-to-all: send_bufs[r] goes to rank r; returns one buffer
+  /// per source rank. Self-exchange is a local move.
+  template <typename T>
+  std::vector<std::vector<T>> alltoallv(std::vector<std::vector<T>> send_bufs,
+                                        int tag);
+
+  /// Splits into sub-communicators by color; new ranks are ordered by the
+  /// parent rank. Collective over the parent communicator.
+  Communicator split(int color);
+
+ private:
+  template <typename T>
+  static std::vector<std::byte> serialize(std::span<const T> data);
+  template <typename T>
+  static std::vector<T> deserialize(std::vector<std::byte> bytes);
+
+  std::shared_ptr<detail::SharedState> state_;
+  int rank_ = 0;
+  Timings* timings_ = nullptr;
+  TimeKind time_kind_ = TimeKind::kOther;
+
+  // Tags above this bound are reserved for collectives.
+  static constexpr int kCollectiveTag = 1 << 20;
+};
+
+/// Runs `body` on p ranks (threads) and returns the per-rank timings.
+/// Exceptions thrown by any rank are rethrown (first one wins).
+std::vector<Timings> run_spmd(int p,
+                              const std::function<void(Communicator&)>& body);
+
+/// Standalone single-rank communicator (no threads spawned); all collectives
+/// degenerate to local moves. Useful for serial drivers and microbenchmarks.
+/// `timings` must outlive the returned communicator.
+inline Communicator single_rank(Timings& timings) {
+  return Communicator(std::make_shared<detail::SharedState>(1), 0, &timings);
+}
+
+// ---------------------------------------------------------------------------
+// Template implementations.
+
+template <typename T>
+std::vector<std::byte> Communicator::serialize(std::span<const T> data) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::byte> bytes(data.size_bytes());
+  if (!bytes.empty()) std::memcpy(bytes.data(), data.data(), bytes.size());
+  return bytes;
+}
+
+template <typename T>
+std::vector<T> Communicator::deserialize(std::vector<std::byte> bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (bytes.size() % sizeof(T) != 0)
+    throw std::runtime_error("mpisim: message size does not match type");
+  std::vector<T> data(bytes.size() / sizeof(T));
+  if (!bytes.empty()) std::memcpy(data.data(), bytes.data(), bytes.size());
+  return data;
+}
+
+template <typename T>
+void Communicator::send(std::span<const T> data, int dest, int tag) {
+  ScopedTimer timer(*timings_, time_kind_);
+  state_->mailboxes[dest].push({rank_, tag, serialize(data)});
+}
+
+template <typename T>
+std::vector<T> Communicator::recv(int src, int tag) {
+  ScopedTimer timer(*timings_, time_kind_);
+  return deserialize<T>(state_->mailboxes[rank_].pop(src, tag));
+}
+
+template <typename T>
+std::vector<T> Communicator::sendrecv(std::span<const T> send_data, int dest,
+                                      int src, int tag) {
+  // Sends are buffered (never block), so send-then-recv cannot deadlock.
+  send(send_data, dest, tag);
+  return recv<T>(src, tag);
+}
+
+template <typename T>
+void Communicator::broadcast(std::vector<T>& data, int root) {
+  const int tag = kCollectiveTag + 1;
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r)
+      if (r != root) send(std::span<const T>(data), r, tag);
+  } else {
+    data = recv<T>(root, tag);
+  }
+}
+
+template <typename T>
+std::vector<T> Communicator::allgather(T value) {
+  const int tag = kCollectiveTag + 2;
+  std::vector<T> all(size());
+  if (rank_ == 0) {
+    all[0] = value;
+    for (int r = 1; r < size(); ++r) all[r] = recv<T>(r, tag)[0];
+  } else {
+    send(std::span<const T>(&value, 1), 0, tag);
+  }
+  broadcast(all, 0);
+  return all;
+}
+
+template <typename T>
+T Communicator::allreduce_sum(T value) {
+  T result{};
+  for (T v : allgather(value)) result += v;
+  return result;
+}
+
+template <typename T>
+T Communicator::allreduce_max(T value) {
+  auto all = allgather(value);
+  T result = all[0];
+  for (T v : all)
+    if (v > result) result = v;
+  return result;
+}
+
+template <typename T>
+T Communicator::allreduce_min(T value) {
+  auto all = allgather(value);
+  T result = all[0];
+  for (T v : all)
+    if (v < result) result = v;
+  return result;
+}
+
+template <typename T>
+std::vector<std::vector<T>> Communicator::alltoallv(
+    std::vector<std::vector<T>> send_bufs, int tag) {
+  if (static_cast<int>(send_bufs.size()) != size())
+    throw std::runtime_error("mpisim: alltoallv needs one buffer per rank");
+  std::vector<std::vector<T>> recv_bufs(size());
+  recv_bufs[rank_] = std::move(send_bufs[rank_]);
+  for (int offset = 1; offset < size(); ++offset) {
+    const int dest = (rank_ + offset) % size();
+    send(std::span<const T>(send_bufs[dest]), dest, tag);
+  }
+  for (int offset = 1; offset < size(); ++offset) {
+    const int src = (rank_ - offset + size()) % size();
+    recv_bufs[src] = recv<T>(src, tag);
+  }
+  return recv_bufs;
+}
+
+}  // namespace diffreg::mpisim

@@ -1,0 +1,134 @@
+#include "semilag/time_varying.hpp"
+
+#include <stdexcept>
+
+namespace diffreg::semilag {
+
+using grid::ScalarField;
+using grid::VectorField;
+using interp::InterpPlan;
+
+TimeVaryingTransport::TimeVaryingTransport(
+    spectral::SpectralOps& ops, std::span<const VectorField> velocities,
+    interp::Method method)
+    : ops_(&ops),
+      decomp_(&ops.decomp()),
+      method_(method),
+      gx_(*decomp_, interp::kGhostWidth) {
+  if (velocities.empty())
+    throw std::invalid_argument(
+        "TimeVaryingTransport: need at least one velocity interval");
+  const int nt = static_cast<int>(velocities.size());
+  const real_t step = real_t(1) / static_cast<real_t>(nt);
+  const index_t n = decomp_->local_real_size();
+  nu_at_x_.resize(n);
+
+  const Int3 dims = decomp_->dims();
+  const Int3 ld = decomp_->local_real_dims();
+  const real_t h1 = kTwoPi / dims[0], h2 = kTwoPi / dims[1],
+               h3 = kTwoPi / dims[2];
+  const index_t lo1 = decomp_->range1().begin, lo2 = decomp_->range2().begin;
+
+  v_.assign(velocities.begin(), velocities.end());
+  plans_fwd_.resize(nt);
+  plans_bwd_.resize(nt);
+  div_v_.resize(nt);
+  div_v_at_bwd_.resize(nt);
+  v_at_fwd_.resize(nt);
+
+  // Per-interval RK2 departure points (eq. 6 with v = v_j).
+  auto departure_points = [&](const VectorField& v, int sign,
+                              std::vector<Vec3>& pts) {
+    const real_t s = static_cast<real_t>(sign) * step;
+    pts.resize(n);
+    index_t idx = 0;
+    for (index_t a = 0; a < ld[0]; ++a) {
+      const real_t x1 = (lo1 + a) * h1;
+      for (index_t b = 0; b < ld[1]; ++b) {
+        const real_t x2 = (lo2 + b) * h2;
+        for (index_t c = 0; c < ld[2]; ++c, ++idx)
+          pts[idx] = Vec3{x1 - s * v[0][idx], x2 - s * v[1][idx],
+                          c * h3 - s * v[2][idx]};
+      }
+    }
+    InterpPlan star(*decomp_, pts);
+    std::vector<Vec3> v_star;
+    star.execute(gx_, v, v_star, method_);
+    idx = 0;
+    for (index_t a = 0; a < ld[0]; ++a) {
+      const real_t x1 = (lo1 + a) * h1;
+      for (index_t b = 0; b < ld[1]; ++b) {
+        const real_t x2 = (lo2 + b) * h2;
+        for (index_t c = 0; c < ld[2]; ++c, ++idx) {
+          const real_t half = real_t(0.5) * s;
+          pts[idx] = Vec3{x1 - half * (v[0][idx] + v_star[idx][0]),
+                          x2 - half * (v[1][idx] + v_star[idx][1]),
+                          c * h3 - half * (v[2][idx] + v_star[idx][2])};
+        }
+      }
+    }
+  };
+
+  std::vector<Vec3> pts;
+  for (int j = 0; j < nt; ++j) {
+    departure_points(v_[j], +1, pts);
+    plans_fwd_[j] = std::make_unique<InterpPlan>(*decomp_, pts);
+    plans_fwd_[j]->execute(gx_, v_[j], v_at_fwd_[j], method_);
+    departure_points(v_[j], -1, pts);
+    plans_bwd_[j] = std::make_unique<InterpPlan>(*decomp_, pts);
+    ops_->divergence(v_[j], div_v_[j]);
+    div_v_at_bwd_[j].resize(n);
+    plans_bwd_[j]->execute(gx_, div_v_[j], div_v_at_bwd_[j], method_);
+  }
+}
+
+void TimeVaryingTransport::solve_state(const ScalarField& rho0) {
+  rho_hist_.assign(nt() + 1, ScalarField());
+  rho_hist_[0] = rho0;
+  for (int j = 0; j < nt(); ++j) {
+    rho_hist_[j + 1].resize(rho0.size());
+    plans_fwd_[j]->execute(gx_, rho_hist_[j], rho_hist_[j + 1], method_);
+  }
+}
+
+void TimeVaryingTransport::solve_adjoint(const ScalarField& lambda1) {
+  const index_t n = decomp_->local_real_size();
+  const real_t step = dt();
+  lambda_hist_.assign(nt() + 1, ScalarField());
+  lambda_hist_[nt()] = lambda1;
+  for (int j = nt(); j >= 1; --j) {
+    // Advect lam along -v_j with the linear-in-lam source lam div v_j.
+    plans_bwd_[j - 1]->execute(gx_, lambda_hist_[j], nu_at_x_, method_);
+    auto& next = lambda_hist_[j - 1];
+    next.resize(n);
+    const auto& divv = div_v_[j - 1];
+    const auto& divv_X = div_v_at_bwd_[j - 1];
+    for (index_t i = 0; i < n; ++i) {
+      const real_t f0 = nu_at_x_[i] * divv_X[i];
+      const real_t predictor = nu_at_x_[i] + step * f0;
+      next[i] = nu_at_x_[i] + real_t(0.5) * step * (f0 + predictor * divv[i]);
+    }
+  }
+}
+
+void TimeVaryingTransport::solve_displacement(VectorField& u1) {
+  const index_t n = decomp_->local_real_size();
+  const real_t half_dt = real_t(0.5) * dt();
+  u1 = VectorField(n);
+  ScalarField next(n);
+  for (int j = 0; j < nt(); ++j) {
+    for (int d = 0; d < 3; ++d) {
+      if (j == 0) {
+        for (index_t i = 0; i < n; ++i)
+          next[i] = -half_dt * (v_at_fwd_[j][i][d] + v_[j][d][i]);
+      } else {
+        plans_fwd_[j]->execute(gx_, u1[d], nu_at_x_, method_);
+        for (index_t i = 0; i < n; ++i)
+          next[i] = nu_at_x_[i] - half_dt * (v_at_fwd_[j][i][d] + v_[j][d][i]);
+      }
+      std::swap(u1[d], next);
+    }
+  }
+}
+
+}  // namespace diffreg::semilag

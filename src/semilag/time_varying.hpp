@@ -1,0 +1,64 @@
+// Time-varying (non-stationary) velocity transport — the extension the
+// paper names for registering image time series / optical flow ("our
+// approach can be extended to non-stationary velocities... all the
+// parallelism related issues remain the same", section V).
+//
+// The velocity is piecewise stationary on the nt time intervals:
+// v(x, t) = v_j(x) for t in [t_j, t_{j+1}). Each interval gets its own RK2
+// departure points and interpolation plan; everything else (pencil layout,
+// ghost exchange, scatter-phase interpolation) is identical to the
+// stationary solver, exactly as the paper claims.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "grid/ghost_exchange.hpp"
+#include "interp/interp_plan.hpp"
+#include "spectral/operators.hpp"
+
+namespace diffreg::semilag {
+
+class TimeVaryingTransport {
+ public:
+  /// One velocity field per time interval; nt = velocities.size().
+  TimeVaryingTransport(spectral::SpectralOps& ops,
+                       std::span<const grid::VectorField> velocities,
+                       interp::Method method = interp::Method::kTricubic);
+
+  int nt() const { return static_cast<int>(plans_fwd_.size()); }
+  real_t dt() const { return real_t(1) / static_cast<real_t>(nt()); }
+
+  /// Forward solve of the state equation; keeps the nt+1 slices.
+  void solve_state(const grid::ScalarField& rho0);
+  const grid::ScalarField& state(int j) const { return rho_hist_[j]; }
+  const grid::ScalarField& final_state() const { return rho_hist_.back(); }
+
+  /// Backward solve of the adjoint equation from lam(1) = lambda1; stores
+  /// lam(t_j) for all j (the per-interval gradient integrand of the
+  /// time-series formulation uses them).
+  void solve_adjoint(const grid::ScalarField& lambda1);
+  const grid::ScalarField& adjoint(int j) const { return lambda_hist_[j]; }
+
+  /// Displacement u with y = x + u (per-interval velocities).
+  void solve_displacement(grid::VectorField& u1);
+
+ private:
+  spectral::SpectralOps* ops_;
+  grid::PencilDecomp* decomp_;
+  interp::Method method_;
+  grid::GhostExchange gx_;
+
+  std::vector<grid::VectorField> v_;
+  // Per interval: forward/backward departure-point plans, div v_j on the
+  // grid and at the backward points, v_j at the forward points.
+  std::vector<std::unique_ptr<interp::InterpPlan>> plans_fwd_, plans_bwd_;
+  std::vector<grid::ScalarField> div_v_, div_v_at_bwd_;
+  std::vector<std::vector<Vec3>> v_at_fwd_;
+
+  std::vector<grid::ScalarField> rho_hist_, lambda_hist_;
+  grid::ScalarField nu_at_x_;
+};
+
+}  // namespace diffreg::semilag

@@ -1,0 +1,130 @@
+// Semi-Lagrangian solvers for the transport equations of the optimality
+// system (paper sections III-B2 and III-C3):
+//
+//   state              dt rho + v . grad rho = 0                  (2b)
+//   adjoint           -dt lam - div(v lam) = 0                    (3)
+//   incremental state  dt rto + v . grad rto = -vt . grad rho     (5a)
+//   incr. adjoint GN  -dt lto - div(v lto) = 0                    (5c, GN)
+//   incr. adjoint full -dt lto - div(lto v + lam vt) = 0          (5c)
+//   displacement       dt u + v . grad u = -v   =>  y = x + u     (1)
+//
+// All solvers use the unconditionally stable RK2 scheme of eq. (6)/(7): the
+// departure points X are computed once per velocity (they are shared by all
+// time steps because v is stationary), the interpolation communication plans
+// are cached (paper: "the scatter phase needs to be done once per field per
+// Newton iteration"), and each step costs one or two plan executions.
+//
+// The state history rho(t_j) (nt+1 slices) is stored, as are — lazily — the
+// spectral gradients grad rho(t_j), which the gradient/Hessian integrands
+// reuse across all PCG iterations of a Newton step.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "grid/ghost_exchange.hpp"
+#include "interp/interp_plan.hpp"
+#include "spectral/operators.hpp"
+
+namespace diffreg::semilag {
+
+using grid::ScalarField;
+using grid::VectorField;
+
+struct TransportConfig {
+  int nt = 4;  // number of time steps (paper uses 4)
+  interp::Method method = interp::Method::kTricubic;
+  /// When true, div v = 0 is assumed and all div-v source terms vanish.
+  bool incompressible = false;
+};
+
+class Transport {
+ public:
+  Transport(spectral::SpectralOps& ops, const TransportConfig& config);
+
+  const TransportConfig& config() const { return config_; }
+  int nt() const { return config_.nt; }
+  real_t dt() const { return real_t(1) / static_cast<real_t>(config_.nt); }
+
+  /// Computes RK2 departure points for +v and -v, builds both interpolation
+  /// plans, and caches v and div v at the departure points. Collective.
+  void set_velocity(const VectorField& v);
+  const VectorField& velocity() const { return v_; }
+
+  /// Forward solve of (2b); stores rho(t_j) for j = 0..nt.
+  void solve_state(const ScalarField& rho0);
+  const ScalarField& state(int j) const { return rho_hist_[j]; }
+  const ScalarField& final_state() const { return rho_hist_[config_.nt]; }
+
+  /// Spectral gradients of the stored state slices (computed on first use,
+  /// reused by every gradient evaluation and Hessian matvec).
+  const VectorField& state_gradient(int j);
+
+  /// Backward solve of (3) from lam(1) = lambda1; accumulates the gradient
+  /// integrand b = Int lam grad rho dt (trapezoidal in time). When
+  /// `store_lambda` is set the history lam(t_j) is kept for full Newton.
+  void solve_adjoint(const ScalarField& lambda1, VectorField& b,
+                     bool store_lambda = false);
+  const ScalarField& adjoint(int j) const { return lambda_hist_[j]; }
+
+  /// Forward solve of (5a) with rto(0) = 0; returns rto(1). When
+  /// `store_hist` is set the history (and its gradients) are kept for the
+  /// full-Newton matvec.
+  void solve_incremental_state(const VectorField& vtilde,
+                               ScalarField& rho_tilde1,
+                               bool store_hist = false);
+
+  /// Gauss-Newton incremental adjoint: backward solve of (5c) without the
+  /// lam terms, from lto(1) = lambda_tilde1; accumulates
+  /// bt = Int lto grad rho dt.
+  void solve_incremental_adjoint_gn(const ScalarField& lambda_tilde1,
+                                    VectorField& b_tilde);
+
+  /// Full-Newton incremental adjoint: keeps the div(lam vt) source and the
+  /// lam grad rto integrand term. Requires solve_adjoint(store_lambda=true)
+  /// and solve_incremental_state(store_hist=true) first.
+  void solve_incremental_adjoint_full(const ScalarField& lambda_tilde1,
+                                      const VectorField& vtilde,
+                                      VectorField& b_tilde);
+
+  /// Solves (1) for the displacement u = y - x; y1(x) = x + u(x, 1).
+  void solve_displacement(VectorField& u1);
+
+  /// Interpolates an arbitrary scalar field at the forward departure points
+  /// (diagnostics / image warping by one step).
+  void interp_at_forward_points(const ScalarField& f, ScalarField& out);
+
+ private:
+  /// RK2 departure points (eq. 6) for velocity sign * v.
+  void compute_departure_points(int sign, std::vector<Vec3>& points);
+
+  /// One semi-Lagrangian step of d nu/dt = f along the planned direction:
+  /// out(x) = nu(X) + dt/2 (f0(X) + f1(x)); the f terms are optional.
+  void advect_step(interp::InterpPlan& plan, const ScalarField& nu,
+                   const ScalarField* f0_grid, const ScalarField* f1_grid,
+                   ScalarField& out);
+
+  spectral::SpectralOps* ops_;
+  grid::PencilDecomp* decomp_;
+  TransportConfig config_;
+  grid::GhostExchange gx_;
+
+  VectorField v_;
+  ScalarField div_v_;  // empty when incompressible
+  std::unique_ptr<interp::InterpPlan> plan_fwd_;  // departure points of +v
+  std::unique_ptr<interp::InterpPlan> plan_bwd_;  // departure points of -v
+  std::vector<Vec3> v_at_fwd_;                    // v(X) at forward points
+  ScalarField div_v_at_fwd_, div_v_at_bwd_;
+
+  std::vector<ScalarField> rho_hist_;
+  std::vector<std::optional<VectorField>> grad_rho_hist_;
+  std::vector<ScalarField> lambda_hist_;
+  std::vector<ScalarField> rho_tilde_hist_;
+  std::vector<std::optional<VectorField>> grad_rho_tilde_hist_;
+
+  // Scratch buffers reused across steps.
+  ScalarField nu_at_x_, f_at_x_, f0_grid_, f1_grid_, scratch_;
+};
+
+}  // namespace diffreg::semilag

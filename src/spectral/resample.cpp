@@ -1,0 +1,78 @@
+#include "spectral/resample.hpp"
+
+#include "fft/fft3d_serial.hpp"
+#include "grid/field_io.hpp"
+
+namespace diffreg::spectral {
+
+using fft::fft_frequency;
+using grid::PencilDecomp;
+using grid::ScalarField;
+using grid::VectorField;
+
+ScalarField spectral_resample(PencilDecomp& src,
+                              std::span<const real_t> field,
+                              PencilDecomp& dst) {
+  const Int3 sd = src.dims();
+  const Int3 dd = dst.dims();
+
+  // Full field everywhere, then a serial transform (setup-phase cost).
+  auto full = grid::gather_to_all(src, field);
+  fft::SerialFft3d fft_src(sd);
+  std::vector<complex_t> spec_src(fft_src.spectral_size());
+  fft_src.forward(full, spec_src);
+
+  // Copy every mode whose signed frequency is strictly below the Nyquist
+  // limit of BOTH grids (Nyquist modes are dropped: they have no faithful
+  // counterpart on the other grid).
+  fft::SerialFft3d fft_dst(dd);
+  std::vector<complex_t> spec_dst(fft_dst.spectral_size(), complex_t(0, 0));
+  const Int3 ssd = fft_src.spectral_dims();
+  const Int3 dsd = fft_dst.spectral_dims();
+  const real_t scale = static_cast<real_t>(dd.prod()) /
+                       static_cast<real_t>(sd.prod());
+
+  auto below_nyquist = [](index_t f, index_t n) {
+    return 2 * std::abs(f) < n;  // strict: excludes the Nyquist mode
+  };
+  for (index_t a = 0; a < dsd[0]; ++a) {
+    const index_t f1 = fft_frequency(a, dd[0]);
+    if (!below_nyquist(f1, dd[0]) || !below_nyquist(f1, sd[0])) continue;
+    const index_t sa = periodic_index(f1, sd[0]);
+    for (index_t b = 0; b < dsd[1]; ++b) {
+      const index_t f2 = fft_frequency(b, dd[1]);
+      if (!below_nyquist(f2, dd[1]) || !below_nyquist(f2, sd[1])) continue;
+      const index_t sb = periodic_index(f2, sd[1]);
+      for (index_t c = 0; c < dsd[2]; ++c) {
+        const index_t f3 = c;  // half spectrum: k3 >= 0
+        if (!below_nyquist(f3, dd[2]) || !below_nyquist(f3, sd[2])) continue;
+        spec_dst[linear_index(a, b, c, dsd)] =
+            scale * spec_src[linear_index(sa, sb, f3, ssd)];
+      }
+    }
+  }
+
+  std::vector<real_t> full_dst(dd.prod());
+  fft_dst.inverse(spec_dst, full_dst);
+
+  // Extract the locally owned block of the destination decomposition.
+  const Int3 ld = dst.local_real_dims();
+  ScalarField local(dst.local_real_size());
+  index_t pos = 0;
+  for (index_t a = 0; a < ld[0]; ++a)
+    for (index_t b = 0; b < ld[1]; ++b)
+      for (index_t c = 0; c < ld[2]; ++c)
+        local[pos++] = full_dst[linear_index(dst.range1().begin + a,
+                                             dst.range2().begin + b, c, dd)];
+  return local;
+}
+
+VectorField spectral_resample(PencilDecomp& src, const VectorField& field,
+                              PencilDecomp& dst) {
+  VectorField out(dst.local_real_size());
+  for (int d = 0; d < 3; ++d)
+    out[d] = spectral_resample(src, field[d], dst);
+  return out;
+}
+
+}  // namespace diffreg::spectral

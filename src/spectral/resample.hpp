@@ -1,0 +1,34 @@
+// Spectral resampling between grids (restriction / prolongation).
+//
+// The paper names "grid continuation and multilevel preconditioning" as the
+// remedy for the preconditioner's beta sensitivity (section I, Limitations).
+// This utility provides the grid-transfer half: a field on one pencil
+// decomposition is mapped onto another decomposition with different grid
+// dimensions by Fourier truncation (coarsening) or zero padding
+// (refinement). Band-limited fields transfer exactly.
+//
+// Setup-phase utility: it gathers the full field on every rank (one
+// broadcast), so it is meant for continuation drivers, not inner loops.
+#pragma once
+
+#include <span>
+
+#include "grid/decomposition.hpp"
+#include "grid/field_math.hpp"
+
+namespace diffreg::spectral {
+
+/// Returns the local block of `field` (living on `src`) resampled onto the
+/// grid of `dst`. Collective over both decompositions' communicators (which
+/// must wrap the same rank set).
+grid::ScalarField spectral_resample(grid::PencilDecomp& src,
+                                    std::span<const real_t> field,
+                                    grid::PencilDecomp& dst);
+
+/// Component-wise resampling of a vector field (e.g. a velocity for
+/// coarse-to-fine warm starts).
+grid::VectorField spectral_resample(grid::PencilDecomp& src,
+                                    const grid::VectorField& field,
+                                    grid::PencilDecomp& dst);
+
+}  // namespace diffreg::spectral

@@ -1,0 +1,133 @@
+// Unit tests for common/: block distribution, periodic helpers, timers,
+// small linear algebra.
+#include <gtest/gtest.h>
+
+#include "common/partition.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace diffreg {
+namespace {
+
+TEST(Types, LinearIndexRowMajor) {
+  const Int3 n{4, 5, 6};
+  EXPECT_EQ(linear_index(0, 0, 0, n), 0);
+  EXPECT_EQ(linear_index(0, 0, 5, n), 5);
+  EXPECT_EQ(linear_index(0, 1, 0, n), 6);
+  EXPECT_EQ(linear_index(1, 0, 0, n), 30);
+  EXPECT_EQ(linear_index(3, 4, 5, n), 4 * 5 * 6 - 1);
+}
+
+TEST(Types, PeriodicWrapRange) {
+  EXPECT_DOUBLE_EQ(periodic_wrap(0.5, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(periodic_wrap(2.5, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(periodic_wrap(-0.5, 2.0), 1.5);
+  EXPECT_DOUBLE_EQ(periodic_wrap(-4.0, 2.0), 0.0);
+  // Tiny negative values must not round up to the period itself.
+  const real_t w = periodic_wrap(-1e-18, kTwoPi);
+  EXPECT_GE(w, 0.0);
+  EXPECT_LT(w, kTwoPi);
+}
+
+TEST(Types, PeriodicIndex) {
+  EXPECT_EQ(periodic_index(5, 4), 1);
+  EXPECT_EQ(periodic_index(-1, 4), 3);
+  EXPECT_EQ(periodic_index(-5, 4), 3);
+  EXPECT_EQ(periodic_index(0, 4), 0);
+}
+
+TEST(Types, Det3Identity) {
+  EXPECT_DOUBLE_EQ(det3({1, 0, 0}, {0, 1, 0}, {0, 0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(det3({2, 0, 0}, {0, 3, 0}, {0, 0, 4}), 24.0);
+  // Swapping rows flips the sign.
+  EXPECT_DOUBLE_EQ(det3({0, 1, 0}, {1, 0, 0}, {0, 0, 1}), -1.0);
+  // Singular matrix.
+  EXPECT_DOUBLE_EQ(det3({1, 2, 3}, {2, 4, 6}, {0, 0, 1}), 0.0);
+}
+
+struct PartitionCase {
+  index_t n;
+  int p;
+};
+
+class PartitionProperty : public ::testing::TestWithParam<PartitionCase> {};
+
+TEST_P(PartitionProperty, RangesTileExactly) {
+  const auto [n, p] = GetParam();
+  index_t covered = 0;
+  index_t prev_end = 0;
+  for (int r = 0; r < p; ++r) {
+    const BlockRange b = block_range(n, p, r);
+    EXPECT_EQ(b.begin, prev_end) << "ranges must be contiguous";
+    EXPECT_GE(b.size(), n / p);
+    EXPECT_LE(b.size(), n / p + 1);
+    covered += b.size();
+    prev_end = b.end;
+  }
+  EXPECT_EQ(covered, n);
+}
+
+TEST_P(PartitionProperty, OwnerMatchesRange) {
+  const auto [n, p] = GetParam();
+  for (index_t i = 0; i < n; ++i) {
+    const int owner = block_owner(i, n, p);
+    const BlockRange b = block_range(n, p, owner);
+    EXPECT_GE(i, b.begin);
+    EXPECT_LT(i, b.end);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionProperty,
+    ::testing::Values(PartitionCase{1, 1}, PartitionCase{7, 1},
+                      PartitionCase{8, 2}, PartitionCase{7, 2},
+                      PartitionCase{300, 7}, PartitionCase{256, 16},
+                      PartitionCase{10, 10}, PartitionCase{64, 3},
+                      PartitionCase{1024, 32}));
+
+TEST(Timer, AccumulatesByKind) {
+  Timings t;
+  t.add(TimeKind::kFftComm, 1.0);
+  t.add(TimeKind::kFftComm, 0.5);
+  t.add(TimeKind::kInterpExec, 2.0);
+  EXPECT_DOUBLE_EQ(t.get(TimeKind::kFftComm), 1.5);
+  EXPECT_DOUBLE_EQ(t.get(TimeKind::kInterpExec), 2.0);
+  EXPECT_DOUBLE_EQ(t.get(TimeKind::kFftExec), 0.0);
+}
+
+TEST(Timer, MaxWithTakesElementwiseMax) {
+  Timings a, b;
+  a.add(TimeKind::kFftComm, 1.0);
+  b.add(TimeKind::kFftComm, 2.0);
+  a.add(TimeKind::kOther, 3.0);
+  a.max_with(b);
+  EXPECT_DOUBLE_EQ(a.get(TimeKind::kFftComm), 2.0);
+  EXPECT_DOUBLE_EQ(a.get(TimeKind::kOther), 3.0);
+}
+
+TEST(Timer, DeltaSubtracts) {
+  Timings before, after;
+  before.add(TimeKind::kFftExec, 1.0);
+  after.add(TimeKind::kFftExec, 3.5);
+  const Timings d = timings_delta(before, after);
+  EXPECT_DOUBLE_EQ(d.get(TimeKind::kFftExec), 2.5);
+}
+
+TEST(Timer, ScopedTimerMeasuresNonNegative) {
+  Timings t;
+  {
+    ScopedTimer s(t, TimeKind::kOther);
+    volatile double x = 0;
+    for (int i = 0; i < 1000; ++i) x += i;
+    (void)x;
+  }
+  EXPECT_GE(t.get(TimeKind::kOther), 0.0);
+}
+
+TEST(Timer, KindNames) {
+  EXPECT_EQ(time_kind_name(TimeKind::kFftComm), "fft_comm");
+  EXPECT_EQ(time_kind_name(TimeKind::kInterpExec), "interp_exec");
+}
+
+}  // namespace
+}  // namespace diffreg

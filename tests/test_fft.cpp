@@ -1,0 +1,268 @@
+// FFT stack tests: 1D engine against a naive DFT (power-of-two and
+// Bluestein sizes), Parseval/linearity properties, serial 3D round trips and
+// spectral values, and the distributed pencil FFT against the serial
+// reference for several process grids and uneven block sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "fft/fft1d.hpp"
+#include "fft/fft3d_distributed.hpp"
+#include "fft/fft3d_serial.hpp"
+#include "grid/field_io.hpp"
+#include "mpisim/communicator.hpp"
+
+namespace diffreg::fft {
+namespace {
+
+std::vector<complex_t> naive_dft(std::span<const complex_t> x) {
+  const index_t n = static_cast<index_t>(x.size());
+  std::vector<complex_t> out(n);
+  for (index_t j = 0; j < n; ++j) {
+    complex_t sum(0, 0);
+    for (index_t k = 0; k < n; ++k) {
+      const real_t phase = -kTwoPi * static_cast<real_t>(j * k) / n;
+      sum += x[k] * complex_t(std::cos(phase), std::sin(phase));
+    }
+    out[j] = sum;
+  }
+  return out;
+}
+
+std::vector<complex_t> random_signal(index_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<real_t> dist(-1, 1);
+  std::vector<complex_t> x(n);
+  for (auto& v : x) v = complex_t(dist(rng), dist(rng));
+  return x;
+}
+
+class Fft1dSize : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(Fft1dSize, MatchesNaiveDft) {
+  const index_t n = GetParam();
+  auto x = random_signal(n, 42 + static_cast<unsigned>(n));
+  const auto expected = naive_dft(x);
+  Fft1d plan(n);
+  plan.forward(x.data());
+  for (index_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(x[j].real(), expected[j].real(), 1e-9 * n) << "j=" << j;
+    EXPECT_NEAR(x[j].imag(), expected[j].imag(), 1e-9 * n) << "j=" << j;
+  }
+}
+
+TEST_P(Fft1dSize, InverseRoundTrip) {
+  const index_t n = GetParam();
+  auto x = random_signal(n, 7 + static_cast<unsigned>(n));
+  const auto original = x;
+  Fft1d plan(n);
+  plan.forward(x.data());
+  plan.inverse(x.data());
+  for (index_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(x[j].real(), original[j].real(), 1e-10 * n);
+    EXPECT_NEAR(x[j].imag(), original[j].imag(), 1e-10 * n);
+  }
+}
+
+TEST_P(Fft1dSize, ParsevalHolds) {
+  const index_t n = GetParam();
+  auto x = random_signal(n, 3 + static_cast<unsigned>(n));
+  real_t time_energy = 0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  Fft1d plan(n);
+  plan.forward(x.data());
+  real_t freq_energy = 0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, time_energy * n, 1e-8 * n * time_energy);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, Fft1dSize,
+                         ::testing::Values(1, 2, 4, 8, 64, 256));
+INSTANTIATE_TEST_SUITE_P(MixedRadix, Fft1dSize,
+                         ::testing::Values(3, 5, 6, 12, 27, 48, 75, 300));
+INSTANTIATE_TEST_SUITE_P(BluesteinLargePrime, Fft1dSize,
+                         ::testing::Values(67, 127, 134));
+
+TEST(Fft1d, LinearityAndDelta) {
+  // DFT of a delta at k0 is a pure exponential.
+  const index_t n = 16;
+  std::vector<complex_t> x(n, complex_t(0, 0));
+  x[3] = complex_t(1, 0);
+  Fft1d plan(n);
+  plan.forward(x.data());
+  for (index_t j = 0; j < n; ++j) {
+    const real_t phase = -kTwoPi * 3.0 * j / n;
+    EXPECT_NEAR(x[j].real(), std::cos(phase), 1e-12);
+    EXPECT_NEAR(x[j].imag(), std::sin(phase), 1e-12);
+  }
+}
+
+TEST(Fft1d, BatchTransformsRowsIndependently) {
+  const index_t n = 32, rows = 5;
+  auto all = random_signal(n * rows, 11);
+  auto expected = all;
+  Fft1d plan(n);
+  for (index_t r = 0; r < rows; ++r) plan.forward(expected.data() + r * n);
+  plan.forward_batch(all.data(), rows);
+  for (index_t i = 0; i < n * rows; ++i) {
+    EXPECT_NEAR(all[i].real(), expected[i].real(), 1e-12);
+    EXPECT_NEAR(all[i].imag(), expected[i].imag(), 1e-12);
+  }
+}
+
+TEST(Fft1d, ThrowsOnNonPositiveSize) {
+  EXPECT_THROW(Fft1d(0), std::invalid_argument);
+  EXPECT_THROW(Fft1d(-4), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// Serial 3D.
+
+std::vector<real_t> random_real(index_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<real_t> dist(-1, 1);
+  std::vector<real_t> x(n);
+  for (auto& v : x) v = dist(rng);
+  return x;
+}
+
+class SerialFftDims : public ::testing::TestWithParam<Int3> {};
+
+TEST_P(SerialFftDims, RoundTripIsIdentity) {
+  const Int3 dims = GetParam();
+  SerialFft3d fft(dims);
+  auto x = random_real(dims.prod(), 99);
+  std::vector<complex_t> spec(fft.spectral_size());
+  std::vector<real_t> back(dims.prod());
+  fft.forward(x, spec);
+  fft.inverse(spec, back);
+  for (index_t i = 0; i < dims.prod(); ++i)
+    EXPECT_NEAR(back[i], x[i], 1e-10) << "i=" << i;
+}
+
+TEST_P(SerialFftDims, ConstantFieldHasOnlyMeanMode) {
+  const Int3 dims = GetParam();
+  SerialFft3d fft(dims);
+  std::vector<real_t> x(dims.prod(), 2.5);
+  std::vector<complex_t> spec(fft.spectral_size());
+  fft.forward(x, spec);
+  EXPECT_NEAR(spec[0].real(), 2.5 * dims.prod(), 1e-8 * dims.prod());
+  EXPECT_NEAR(spec[0].imag(), 0.0, 1e-9 * dims.prod());
+  real_t rest = 0;
+  for (size_t i = 1; i < spec.size(); ++i) rest += std::abs(spec[i]);
+  EXPECT_NEAR(rest, 0.0, 1e-7 * dims.prod());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SerialFftDims,
+                         ::testing::Values(Int3{8, 8, 8}, Int3{4, 8, 16},
+                                           Int3{8, 12, 10}, Int3{6, 5, 7}));
+
+TEST(SerialFft3d, SingleCosineModeLandsOnOneCoefficient) {
+  const Int3 dims{8, 8, 8};
+  SerialFft3d fft(dims);
+  std::vector<real_t> x(dims.prod());
+  // cos(2 x1) -> modes (±2, 0, 0); the half-spectrum keeps both.
+  const real_t h = kTwoPi / dims[0];
+  for (index_t i1 = 0; i1 < 8; ++i1)
+    for (index_t i2 = 0; i2 < 8; ++i2)
+      for (index_t i3 = 0; i3 < 8; ++i3)
+        x[linear_index(i1, i2, i3, dims)] = std::cos(2 * i1 * h);
+  std::vector<complex_t> spec(fft.spectral_size());
+  fft.forward(x, spec);
+  const Int3 sd = fft.spectral_dims();
+  const index_t total = dims.prod();
+  for (index_t k1 = 0; k1 < sd[0]; ++k1)
+    for (index_t k2 = 0; k2 < sd[1]; ++k2)
+      for (index_t k3 = 0; k3 < sd[2]; ++k3) {
+        const complex_t v = spec[linear_index(k1, k2, k3, sd)];
+        if ((k1 == 2 || k1 == 6) && k2 == 0 && k3 == 0)
+          EXPECT_NEAR(v.real(), total / 2.0, 1e-8 * total);
+        else
+          EXPECT_NEAR(std::abs(v), 0.0, 1e-8 * total);
+      }
+}
+
+// --------------------------------------------------------------------------
+// Distributed 3D against the serial reference.
+
+struct DistCase {
+  Int3 dims;
+  int p1, p2;
+};
+
+class DistributedFft : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributedFft, MatchesSerialForwardAndInverse) {
+  const auto [dims, p1, p2] = GetParam();
+  const int p = p1 * p2;
+
+  // Serial reference.
+  auto full = random_real(dims.prod(), 1234);
+  SerialFft3d serial(dims);
+  std::vector<complex_t> serial_spec(serial.spectral_size());
+  serial.forward(full, serial_spec);
+
+  mpisim::run_spmd(p, [&, dims = dims, p1 = p1, p2 = p2](
+                           mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, dims, p1, p2);
+    DistributedFft3d fft(decomp);
+
+    auto local = grid::scatter_from_root(
+        decomp, comm.is_root() ? std::span<const real_t>(full)
+                               : std::span<const real_t>());
+    std::vector<complex_t> spec(fft.local_spectral_size());
+    fft.forward(local, spec);
+
+    // Check every local spectral value against the serial layout
+    // [k1][k2][k3c] (distributed layout is [k3c][k2][k1]).
+    const Int3 sd = decomp.local_spectral_dims();
+    const Int3 serial_sd = serial.spectral_dims();
+    for (index_t a = 0; a < sd[0]; ++a) {
+      const index_t k3 = decomp.srange3().begin + a;
+      for (index_t b = 0; b < sd[1]; ++b) {
+        const index_t k2 = decomp.srange2().begin + b;
+        for (index_t c = 0; c < sd[2]; ++c) {
+          const complex_t mine = spec[(a * sd[1] + b) * sd[2] + c];
+          const complex_t ref =
+              serial_spec[linear_index(c, k2, k3, serial_sd)];
+          ASSERT_NEAR(mine.real(), ref.real(), 1e-8 * dims.prod());
+          ASSERT_NEAR(mine.imag(), ref.imag(), 1e-8 * dims.prod());
+        }
+      }
+    }
+
+    // Round trip.
+    std::vector<real_t> back(fft.local_real_size());
+    fft.inverse(spec, back);
+    for (index_t i = 0; i < fft.local_real_size(); ++i)
+      ASSERT_NEAR(back[i], local[i], 1e-10);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProcessGrids, DistributedFft,
+    ::testing::Values(DistCase{{8, 8, 8}, 1, 1}, DistCase{{8, 8, 8}, 1, 2},
+                      DistCase{{8, 8, 8}, 2, 1}, DistCase{{8, 8, 8}, 2, 2},
+                      DistCase{{16, 8, 12}, 2, 2},
+                      DistCase{{8, 12, 8}, 2, 3},
+                      DistCase{{12, 10, 6}, 3, 2},
+                      // Uneven blocks: 10 over 4 and 7 over 2/3.
+                      DistCase{{10, 7, 8}, 4, 2},
+                      DistCase{{7, 10, 6}, 2, 3}));
+
+TEST(DistributedFft3d, TimingsAreAttributed) {
+  const Int3 dims{16, 16, 16};
+  auto timings = mpisim::run_spmd(4, [&](mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, dims, 2, 2);
+    DistributedFft3d fft(decomp);
+    std::vector<real_t> x(fft.local_real_size(), 1.0);
+    std::vector<complex_t> spec(fft.local_spectral_size());
+    for (int rep = 0; rep < 3; ++rep) fft.forward(x, spec);
+  });
+  for (const auto& t : timings)
+    EXPECT_GT(t.get(TimeKind::kFftExec), 0.0);
+}
+
+}  // namespace
+}  // namespace diffreg::fft

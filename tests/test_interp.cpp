@@ -1,0 +1,332 @@
+// Interpolation tests: kernel exactness (tricubic reproduces cubic
+// polynomials, trilinear reproduces linear ones), convergence order on
+// smooth fields, and the distributed scatter-phase plan against serial
+// evaluation — including points that left the owner's pencil (large CFL).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "grid/field_io.hpp"
+#include "interp/interp_plan.hpp"
+#include "interp/kernels.hpp"
+#include "mpisim/communicator.hpp"
+
+namespace diffreg::interp {
+namespace {
+
+TEST(CubicWeights, PartitionOfUnity) {
+  for (real_t t : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.999}) {
+    real_t w[4];
+    cubic_weights(t, w);
+    EXPECT_NEAR(w[0] + w[1] + w[2] + w[3], 1.0, 1e-14) << "t=" << t;
+  }
+}
+
+TEST(CubicWeights, InterpolatesNodesExactly) {
+  real_t w[4];
+  cubic_weights(0.0, w);  // at node 0
+  EXPECT_NEAR(w[0], 0.0, 1e-14);
+  EXPECT_NEAR(w[1], 1.0, 1e-14);
+  EXPECT_NEAR(w[2], 0.0, 1e-14);
+  EXPECT_NEAR(w[3], 0.0, 1e-14);
+}
+
+TEST(CubicWeights, ReproducesCubicIn1d) {
+  // Nodes at -1, 0, 1, 2 with values of q(s) = 2 s^3 - s^2 + 3 s - 4.
+  auto q = [](real_t s) { return 2 * s * s * s - s * s + 3 * s - 4; };
+  for (real_t t : {0.05, 0.3, 0.62, 0.97}) {
+    real_t w[4];
+    cubic_weights(t, w);
+    const real_t got =
+        w[0] * q(-1) + w[1] * q(0) + w[2] * q(1) + w[3] * q(2);
+    EXPECT_NEAR(got, q(t), 1e-12);
+  }
+}
+
+/// Builds a small dense block filled from f(i1, i2, i3) in index space.
+template <typename F>
+std::vector<real_t> index_block(const Int3& dims, F&& f) {
+  std::vector<real_t> g(dims.prod());
+  for (index_t a = 0; a < dims[0]; ++a)
+    for (index_t b = 0; b < dims[1]; ++b)
+      for (index_t c = 0; c < dims[2]; ++c)
+        g[linear_index(a, b, c, dims)] = f(static_cast<real_t>(a),
+                                           static_cast<real_t>(b),
+                                           static_cast<real_t>(c));
+  return g;
+}
+
+TEST(TricubicKernel, ExactOnTriCubicPolynomials) {
+  const Int3 dims{8, 8, 8};
+  auto poly = [](real_t a, real_t b, real_t c) {
+    return 0.5 * a * a * a - a * b * c + 2 * b * b - c * c * c / 3 + a - 7;
+  };
+  const auto g = index_block(dims, poly);
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<real_t> dist(1.0, 5.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const real_t u1 = dist(rng), u2 = dist(rng), u3 = dist(rng);
+    EXPECT_NEAR(tricubic_eval(g.data(), dims, u1, u2, u3), poly(u1, u2, u3),
+                1e-10);
+  }
+}
+
+TEST(TrilinearKernel, ExactOnTriLinearPolynomials) {
+  const Int3 dims{6, 6, 6};
+  auto poly = [](real_t a, real_t b, real_t c) {
+    return 2 * a - 3 * b + 0.5 * c + a * b - b * c + a * c + a * b * c + 1;
+  };
+  const auto g = index_block(dims, poly);
+  std::mt19937 rng(6);
+  std::uniform_real_distribution<real_t> dist(0.0, 4.5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const real_t u1 = dist(rng), u2 = dist(rng), u3 = dist(rng);
+    EXPECT_NEAR(trilinear_eval(g.data(), dims, u1, u2, u3), poly(u1, u2, u3),
+                1e-11);
+  }
+}
+
+TEST(TricubicKernel, FourthOrderConvergenceOnSmoothField) {
+  // Interpolate sin(2*pi*x) sampled on grids of spacing h and h/2 at the
+  // same physical points; error must drop by about 2^4.
+  auto run = [](index_t n) {
+    const Int3 dims{n + 4, n + 4, 4};  // padded in the first axis
+    std::vector<real_t> g(dims.prod());
+    const real_t h = 1.0 / static_cast<real_t>(n);
+    for (index_t a = 0; a < dims[0]; ++a)
+      for (index_t b = 0; b < dims[1]; ++b)
+        for (index_t c = 0; c < dims[2]; ++c)
+          g[linear_index(a, b, c, dims)] =
+              std::sin(kTwoPi * (a - 2) * h);
+    real_t max_err = 0;
+    for (int k = 0; k < 40; ++k) {
+      const real_t x = 0.012 + 0.97 * k / 40.0;  // physical in [0,1)
+      const real_t u1 = x / h + 2;
+      const real_t got = tricubic_eval(g.data(), dims, u1, 3.3, 1.6);
+      max_err = std::max(max_err, std::abs(got - std::sin(kTwoPi * x)));
+    }
+    return max_err;
+  };
+  const real_t e1 = run(16);
+  const real_t e2 = run(32);
+  EXPECT_GT(e1 / e2, 10.0) << "expected ~16x error reduction";
+}
+
+TEST(TrilinearKernel, SecondOrderConvergenceOnSmoothField) {
+  auto run = [](index_t n) {
+    const Int3 dims{n + 4, 4, 4};
+    std::vector<real_t> g(dims.prod());
+    const real_t h = 1.0 / static_cast<real_t>(n);
+    for (index_t a = 0; a < dims[0]; ++a)
+      for (index_t b = 0; b < dims[1]; ++b)
+        for (index_t c = 0; c < dims[2]; ++c)
+          g[linear_index(a, b, c, dims)] = std::sin(kTwoPi * (a - 2) * h);
+    real_t max_err = 0;
+    for (int k = 0; k < 40; ++k) {
+      const real_t x = 0.012 + 0.97 * k / 40.0;
+      const real_t got =
+          trilinear_eval(g.data(), dims, x / h + 2, 1.5, 1.5);
+      max_err = std::max(max_err, std::abs(got - std::sin(kTwoPi * x)));
+    }
+    return max_err;
+  };
+  const real_t ratio = run(16) / run(32);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 6.0);  // second order, not fourth
+}
+
+// --------------------------------------------------------------------------
+// Distributed plan.
+
+struct PlanCase {
+  Int3 dims;
+  int p1, p2;
+};
+
+class PlanSweep : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(PlanSweep, MatchesAnalyticSmoothFunction) {
+  const auto [dims, p1, p2] = GetParam();
+  auto f_analytic = [](const Vec3& x) {
+    return std::sin(x[0]) * std::cos(x[1]) + std::sin(2 * x[2]);
+  };
+  // Deterministic query points, including some far outside [0, 2*pi)^3.
+  std::vector<Vec3> points;
+  std::mt19937 rng(77);
+  std::uniform_real_distribution<real_t> dist(-2 * kTwoPi, 3 * kTwoPi);
+  for (int k = 0; k < 200; ++k)
+    points.push_back({dist(rng), dist(rng), dist(rng)});
+
+  mpisim::run_spmd(p1 * p2, [&, dims = dims, p1 = p1,
+                             p2 = p2](mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, dims, p1, p2);
+    // Each rank queries a distinct slice of the points.
+    const BlockRange my =
+        block_range(static_cast<index_t>(points.size()), comm.size(),
+                    comm.rank());
+    std::vector<Vec3> mine(points.begin() + my.begin,
+                           points.begin() + my.end);
+
+    // Field sampled on the grid.
+    const Int3 ld = decomp.local_real_dims();
+    grid::ScalarField field(decomp.local_real_size());
+    const real_t h1 = kTwoPi / dims[0], h2 = kTwoPi / dims[1],
+                 h3 = kTwoPi / dims[2];
+    index_t idx = 0;
+    for (index_t a = 0; a < ld[0]; ++a)
+      for (index_t b = 0; b < ld[1]; ++b)
+        for (index_t c = 0; c < ld[2]; ++c, ++idx)
+          field[idx] = f_analytic({(decomp.range1().begin + a) * h1,
+                                   (decomp.range2().begin + b) * h2, c * h3});
+
+    grid::GhostExchange gx(decomp, kGhostWidth);
+    InterpPlan plan(decomp, mine);
+    std::vector<real_t> out(mine.size());
+    plan.execute(gx, field, out);
+
+    const real_t h = std::max({h1, h2, h3});
+    const real_t tol = 12 * h * h * h * h;  // O(h^4) with a safety factor
+    for (size_t k = 0; k < mine.size(); ++k)
+      EXPECT_NEAR(out[k], f_analytic(mine[k]), tol) << "point " << k;
+  });
+}
+
+TEST_P(PlanSweep, GridPointsReproduceExactly) {
+  // Querying exactly at grid nodes must return the nodal values.
+  const auto [dims, p1, p2] = GetParam();
+  mpisim::run_spmd(p1 * p2, [&, dims = dims, p1 = p1,
+                             p2 = p2](mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, dims, p1, p2);
+    const real_t h1 = kTwoPi / dims[0], h2 = kTwoPi / dims[1],
+                 h3 = kTwoPi / dims[2];
+    // Query a few nodes owned by *other* ranks to exercise the exchange.
+    std::vector<Vec3> pts;
+    std::vector<real_t> expected;
+    for (index_t k = 0; k < 20; ++k) {
+      const index_t g1 = (7 * k + comm.rank()) % dims[0];
+      const index_t g2 = (3 * k + 2 * comm.rank()) % dims[1];
+      const index_t g3 = (5 * k) % dims[2];
+      pts.push_back({g1 * h1, g2 * h2, g3 * h3});
+      expected.push_back(std::sin(g1 * h1 + 2 * g2 * h2) + std::cos(g3 * h3));
+    }
+    grid::ScalarField field(decomp.local_real_size());
+    const Int3 ld = decomp.local_real_dims();
+    index_t idx = 0;
+    for (index_t a = 0; a < ld[0]; ++a)
+      for (index_t b = 0; b < ld[1]; ++b)
+        for (index_t c = 0; c < ld[2]; ++c, ++idx)
+          field[idx] = std::sin((decomp.range1().begin + a) * h1 +
+                                2 * ((decomp.range2().begin + b) * h2)) +
+                       std::cos(c * h3);
+    grid::GhostExchange gx(decomp, kGhostWidth);
+    InterpPlan plan(decomp, pts);
+    std::vector<real_t> out(pts.size());
+    plan.execute(gx, field, out);
+    for (size_t k = 0; k < pts.size(); ++k)
+      EXPECT_NEAR(out[k], expected[k], 1e-12);
+  });
+}
+
+TEST_P(PlanSweep, DecompositionInvariance) {
+  // The same query must give bit-identical answers for p = 1 and p > 1:
+  // each point is evaluated by exactly one rank with the same stencil.
+  const auto [dims, p1, p2] = GetParam();
+  auto field_fn = [](const Vec3& x) {
+    return std::cos(x[0]) * std::sin(2 * x[1]) * std::cos(x[2]);
+  };
+  std::vector<Vec3> points;
+  std::mt19937 rng(123);
+  std::uniform_real_distribution<real_t> dist(0, kTwoPi);
+  for (int k = 0; k < 100; ++k)
+    points.push_back({dist(rng), dist(rng), dist(rng)});
+
+  auto run_with = [&](int q1, int q2) {
+    std::vector<real_t> result(points.size());
+    mpisim::run_spmd(q1 * q2, [&](mpisim::Communicator& comm) {
+      grid::PencilDecomp decomp(comm, dims, q1, q2);
+      grid::ScalarField field(decomp.local_real_size());
+      const Int3 ld = decomp.local_real_dims();
+      const real_t h1 = kTwoPi / dims[0], h2 = kTwoPi / dims[1],
+                   h3 = kTwoPi / dims[2];
+      index_t idx = 0;
+      for (index_t a = 0; a < ld[0]; ++a)
+        for (index_t b = 0; b < ld[1]; ++b)
+          for (index_t c = 0; c < ld[2]; ++c, ++idx)
+            field[idx] = field_fn({(decomp.range1().begin + a) * h1,
+                                   (decomp.range2().begin + b) * h2, c * h3});
+      grid::GhostExchange gx(decomp, kGhostWidth);
+      // Rank 0 queries everything; others query nothing.
+      std::vector<Vec3> mine = comm.is_root() ? points : std::vector<Vec3>{};
+      InterpPlan plan(decomp, mine);
+      std::vector<real_t> out(mine.size());
+      plan.execute(gx, field, out);
+      if (comm.is_root()) result = out;
+    });
+    return result;
+  };
+
+  const auto serial = run_with(1, 1);
+  const auto parallel = run_with(p1, p2);
+  for (size_t k = 0; k < points.size(); ++k)
+    EXPECT_NEAR(parallel[k], serial[k], 1e-13);
+}
+
+TEST_P(PlanSweep, PlanReuseIsDeterministic) {
+  const auto [dims, p1, p2] = GetParam();
+  mpisim::run_spmd(p1 * p2, [&, dims = dims, p1 = p1,
+                             p2 = p2](mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, dims, p1, p2);
+    grid::ScalarField field(decomp.local_real_size());
+    for (size_t i = 0; i < field.size(); ++i)
+      field[i] = static_cast<real_t>((i * 2654435761u) % 1000) / 1000;
+    std::vector<Vec3> pts = {{0.3, 1.2, 4.4}, {5.9, 0.1, 2.2}};
+    grid::GhostExchange gx(decomp, kGhostWidth);
+    InterpPlan plan(decomp, pts);
+    std::vector<real_t> out1(pts.size()), out2(pts.size());
+    plan.execute(gx, field, out1);
+    plan.execute(gx, field, out2);
+    for (size_t k = 0; k < pts.size(); ++k)
+      EXPECT_DOUBLE_EQ(out1[k], out2[k]);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlanSweep,
+    ::testing::Values(PlanCase{{16, 16, 16}, 1, 1},
+                      PlanCase{{16, 16, 16}, 2, 2},
+                      PlanCase{{16, 16, 16}, 1, 4},
+                      PlanCase{{16, 12, 10}, 2, 3},
+                      PlanCase{{18, 14, 16}, 2, 2}));
+
+TEST(InterpPlan, VectorFieldInterpolation) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, {16, 16, 16});
+    grid::VectorField v(decomp.local_real_size());
+    const Int3 ld = decomp.local_real_dims();
+    const real_t h = kTwoPi / 16;
+    index_t idx = 0;
+    for (index_t a = 0; a < ld[0]; ++a)
+      for (index_t b = 0; b < ld[1]; ++b)
+        for (index_t c = 0; c < ld[2]; ++c, ++idx) {
+          const real_t x1 = (decomp.range1().begin + a) * h;
+          v[0][idx] = std::sin(x1);
+          v[1][idx] = std::cos(x1);
+          v[2][idx] = 2 * std::sin(x1);
+        }
+    std::vector<Vec3> pts = {{1.0, 2.0, 3.0}, {4.5, 0.5, 5.5}};
+    grid::GhostExchange gx(decomp, kGhostWidth);
+    InterpPlan plan(decomp, pts);
+    std::vector<Vec3> out;
+    plan.execute(gx, v, out);
+    ASSERT_EQ(out.size(), pts.size());
+    for (size_t k = 0; k < pts.size(); ++k) {
+      EXPECT_NEAR(out[k][0], std::sin(pts[k][0]), 2e-3);
+      EXPECT_NEAR(out[k][1], std::cos(pts[k][0]), 2e-3);
+      EXPECT_NEAR(out[k][2], 2 * std::sin(pts[k][0]), 4e-3);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace diffreg::interp

@@ -1,0 +1,197 @@
+// Tests of the thread-backed message-passing runtime: point-to-point
+// ordering, collectives, alltoallv with uneven buffers, splitting, and
+// exception propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "mpisim/communicator.hpp"
+
+namespace diffreg::mpisim {
+namespace {
+
+class SpmdSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpmdSize, RankAndSize) {
+  const int p = GetParam();
+  std::vector<int> seen(p, -1);
+  run_spmd(p, [&](Communicator& comm) {
+    EXPECT_EQ(comm.size(), p);
+    seen[comm.rank()] = comm.rank();
+  });
+  for (int r = 0; r < p; ++r) EXPECT_EQ(seen[r], r);
+}
+
+TEST_P(SpmdSize, SendRecvRing) {
+  const int p = GetParam();
+  if (p == 1) GTEST_SKIP();
+  std::vector<double> received(p, -1);
+  run_spmd(p, [&](Communicator& comm) {
+    const int next = (comm.rank() + 1) % p;
+    const int prev = (comm.rank() - 1 + p) % p;
+    const double payload = 100.0 + comm.rank();
+    auto got = comm.sendrecv(std::span<const double>(&payload, 1), next, prev,
+                             /*tag=*/7);
+    ASSERT_EQ(got.size(), 1u);
+    received[comm.rank()] = got[0];
+  });
+  for (int r = 0; r < p; ++r)
+    EXPECT_DOUBLE_EQ(received[r], 100.0 + (r - 1 + p) % p);
+}
+
+TEST_P(SpmdSize, PerPairTagOrderingIsFifo) {
+  const int p = GetParam();
+  if (p == 1) GTEST_SKIP();
+  std::vector<std::vector<int>> got(p);
+  run_spmd(p, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int k = 0; k < 10; ++k)
+        for (int r = 1; r < p; ++r)
+          comm.send(std::span<const int>(&k, 1), r, /*tag=*/3);
+    } else {
+      for (int k = 0; k < 10; ++k)
+        got[comm.rank()].push_back(comm.recv<int>(0, 3)[0]);
+    }
+  });
+  for (int r = 1; r < p; ++r) {
+    ASSERT_EQ(got[r].size(), 10u);
+    for (int k = 0; k < 10; ++k) EXPECT_EQ(got[r][k], k);
+  }
+}
+
+TEST_P(SpmdSize, BroadcastFromEveryRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    std::atomic<int> failures{0};
+    run_spmd(p, [&](Communicator& comm) {
+      std::vector<double> data;
+      if (comm.rank() == root) data = {1.5, 2.5, 3.5};
+      comm.broadcast(data, root);
+      if (data != std::vector<double>{1.5, 2.5, 3.5}) ++failures;
+    });
+    EXPECT_EQ(failures.load(), 0) << "root " << root;
+  }
+}
+
+TEST_P(SpmdSize, AllreduceSumMaxMin) {
+  const int p = GetParam();
+  std::atomic<int> failures{0};
+  run_spmd(p, [&](Communicator& comm) {
+    const double sum = comm.allreduce_sum(static_cast<double>(comm.rank() + 1));
+    const int mx = comm.allreduce_max(comm.rank());
+    const int mn = comm.allreduce_min(comm.rank() + 5);
+    if (sum != p * (p + 1) / 2.0 || mx != p - 1 || mn != 5) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(SpmdSize, AllgatherOrdered) {
+  const int p = GetParam();
+  std::atomic<int> failures{0};
+  run_spmd(p, [&](Communicator& comm) {
+    auto all = comm.allgather(comm.rank() * 10);
+    for (int r = 0; r < p; ++r)
+      if (all[r] != r * 10) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(SpmdSize, AlltoallvUnevenPayloads) {
+  // Rank r sends r+q+1 values "r*1000 + q" to rank q.
+  const int p = GetParam();
+  std::atomic<int> failures{0};
+  run_spmd(p, [&](Communicator& comm) {
+    const int r = comm.rank();
+    std::vector<std::vector<int>> send(p);
+    for (int q = 0; q < p; ++q) send[q].assign(r + q + 1, r * 1000 + q);
+    auto recv = comm.alltoallv(std::move(send), /*tag=*/11);
+    for (int q = 0; q < p; ++q) {
+      if (recv[q].size() != static_cast<size_t>(q + r + 1)) ++failures;
+      for (int v : recv[q])
+        if (v != q * 1000 + r) ++failures;
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(SpmdSize, BarrierSeparatesPhases) {
+  const int p = GetParam();
+  std::atomic<int> phase_counter{0};
+  std::atomic<int> failures{0};
+  run_spmd(p, [&](Communicator& comm) {
+    for (int round = 0; round < 5; ++round) {
+      ++phase_counter;
+      comm.barrier();
+      // After the barrier every rank of this round has incremented.
+      if (phase_counter.load() < (round + 1) * p) ++failures;
+      comm.barrier();
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(SpmdSize, SplitRowsAndColumns) {
+  const int p = GetParam();
+  if (p % 2 != 0) GTEST_SKIP();
+  std::atomic<int> failures{0};
+  run_spmd(p, [&](Communicator& comm) {
+    // Two colors: even and odd ranks.
+    Communicator sub = comm.split(comm.rank() % 2);
+    const int expected_size = p / 2;
+    if (sub.size() != expected_size) ++failures;
+    if (sub.rank() != comm.rank() / 2) ++failures;
+    // The sub-communicator must work for collectives.
+    const int sum = sub.allreduce_sum(1);
+    if (sum != expected_size) ++failures;
+    // A second split from the same parent must also work.
+    Communicator sub2 = comm.split(comm.rank() % 2 == 0 ? 7 : 9);
+    if (sub2.size() != expected_size) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SpmdSize, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Spmd, ExceptionPropagatesToLauncher) {
+  EXPECT_THROW(
+      run_spmd(3,
+               [&](Communicator& comm) {
+                 comm.barrier();
+                 if (comm.rank() == 1)
+                   throw std::runtime_error("rank 1 failed");
+               }),
+      std::runtime_error);
+}
+
+TEST(Spmd, TimingsReturnedPerRank) {
+  auto timings = run_spmd(2, [&](Communicator& comm) {
+    comm.set_time_kind(TimeKind::kFftComm);
+    comm.barrier();
+    ScopedTimer t(comm.timings(), TimeKind::kInterpExec);
+  });
+  ASSERT_EQ(timings.size(), 2u);
+  for (const auto& t : timings) {
+    EXPECT_GE(t.get(TimeKind::kFftComm), 0.0);
+    EXPECT_GE(t.get(TimeKind::kInterpExec), 0.0);
+  }
+}
+
+TEST(Spmd, LargeMessageRoundTrip) {
+  const size_t n = 1 << 18;  // 2 MB of doubles
+  run_spmd(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> data(n);
+      std::iota(data.begin(), data.end(), 0.0);
+      comm.send(std::span<const double>(data), 1, 5);
+    } else {
+      auto got = comm.recv<double>(0, 5);
+      ASSERT_EQ(got.size(), n);
+      EXPECT_DOUBLE_EQ(got[12345], 12345.0);
+      EXPECT_DOUBLE_EQ(got[n - 1], static_cast<double>(n - 1));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace diffreg::mpisim

@@ -1,0 +1,125 @@
+// Tests for spectral grid transfer and two-level grid continuation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/continuation.hpp"
+#include "imaging/synthetic.hpp"
+#include "mpisim/communicator.hpp"
+#include "spectral/resample.hpp"
+
+namespace diffreg::spectral {
+namespace {
+
+using grid::PencilDecomp;
+using grid::ScalarField;
+
+template <typename F>
+ScalarField fill(PencilDecomp& d, F&& f) {
+  const Int3 dims = d.dims();
+  const Int3 ld = d.local_real_dims();
+  const real_t h1 = kTwoPi / dims[0], h2 = kTwoPi / dims[1],
+               h3 = kTwoPi / dims[2];
+  ScalarField out(d.local_real_size());
+  index_t idx = 0;
+  for (index_t a = 0; a < ld[0]; ++a)
+    for (index_t b = 0; b < ld[1]; ++b)
+      for (index_t c = 0; c < ld[2]; ++c, ++idx)
+        out[idx] = f((d.range1().begin + a) * h1, (d.range2().begin + b) * h2,
+                     c * h3);
+  return out;
+}
+
+TEST(Resample, BandLimitedFieldTransfersExactlyBothWays) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp fine(comm, {16, 16, 16});
+    PencilDecomp coarse(comm, {8, 8, 8});
+    // Band limited for BOTH grids: |k| <= 2 < 8/2.
+    auto f = [](real_t x1, real_t x2, real_t x3) {
+      return 1.5 + std::sin(x1) * std::cos(2 * x2) + std::cos(x3);
+    };
+    auto on_fine = fill(fine, f);
+    auto on_coarse = fill(coarse, f);
+
+    auto restricted = spectral_resample(fine, on_fine, coarse);
+    for (size_t i = 0; i < restricted.size(); ++i)
+      ASSERT_NEAR(restricted[i], on_coarse[i], 1e-11);
+
+    auto prolonged = spectral_resample(coarse, on_coarse, fine);
+    for (size_t i = 0; i < prolonged.size(); ++i)
+      ASSERT_NEAR(prolonged[i], on_fine[i], 1e-11);
+  });
+}
+
+TEST(Resample, CoarseningRemovesOnlyHighFrequencies) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp fine(comm, {16, 16, 16});
+    PencilDecomp coarse(comm, {8, 8, 8});
+    // Low mode (k=1, survives) + high mode (k=6 >= coarse Nyquist 4, dies).
+    auto on_fine = fill(fine, [](real_t x1, real_t, real_t) {
+      return std::sin(x1) + std::sin(6 * x1);
+    });
+    auto restricted = spectral_resample(fine, on_fine, coarse);
+    auto expected = fill(coarse, [](real_t x1, real_t, real_t) {
+      return std::sin(x1);
+    });
+    for (size_t i = 0; i < restricted.size(); ++i)
+      ASSERT_NEAR(restricted[i], expected[i], 1e-11);
+  });
+}
+
+TEST(Resample, AnisotropicGridsSupported) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp src(comm, {12, 16, 8});
+    PencilDecomp dst(comm, {8, 12, 12});
+    auto f = [](real_t x1, real_t x2, real_t x3) {
+      return std::cos(x1) + std::sin(x2) * std::cos(x3);
+    };
+    auto resampled = spectral_resample(src, fill(src, f), dst);
+    auto expected = fill(dst, f);
+    for (size_t i = 0; i < resampled.size(); ++i)
+      ASSERT_NEAR(resampled[i], expected[i], 1e-11);
+  });
+}
+
+TEST(GridContinuation, CoarseWarmStartHelpsTheFineSolve) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp fine(comm, {24, 24, 24});
+    spectral::SpectralOps ops(fine);
+    auto rho_t = imaging::synthetic_template(fine);
+    auto v_star = imaging::synthetic_velocity(fine, 0.5);
+    auto rho_r = imaging::make_reference(ops, rho_t, v_star);
+
+    core::RegistrationOptions opt;
+    opt.beta = 1e-2;
+    opt.gtol = 1e-2;
+    opt.max_newton_iters = 10;
+
+    core::RegistrationSolver cold_solver(fine, opt);
+    auto cold = cold_solver.run(rho_t, rho_r);
+
+    auto two_level = core::run_grid_continuation(fine, opt, rho_t, rho_r);
+
+    // The two-level fine solve must reach a comparable fit with no more
+    // fine-grid work than the cold start.
+    EXPECT_LE(two_level.fine.newton.total_matvecs,
+              cold.newton.total_matvecs);
+    EXPECT_LT(two_level.fine.rel_residual, cold.rel_residual + 0.05);
+    EXPECT_GT(two_level.fine.min_det, 0.0);
+    // And the coarse stage did real work.
+    EXPECT_GT(two_level.coarse.newton.total_matvecs, 0);
+  });
+}
+
+TEST(GridContinuation, RejectsOddDims) {
+  mpisim::run_spmd(1, [&](mpisim::Communicator& comm) {
+    PencilDecomp fine(comm, {9, 8, 8});
+    core::RegistrationOptions opt;
+    ScalarField a(fine.local_real_size(), 0), b(fine.local_real_size(), 0);
+    EXPECT_THROW(core::run_grid_continuation(fine, opt, a, b),
+                 std::invalid_argument);
+  });
+}
+
+}  // namespace
+}  // namespace diffreg::spectral

@@ -1,0 +1,334 @@
+// Semi-Lagrangian transport tests: analytic advection solutions, second
+// order convergence in time, unconditional stability at large CFL numbers,
+// state/adjoint inner-product consistency, incremental solvers as
+// directional derivatives, and the displacement/deformation map.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/deformation.hpp"
+#include "imaging/synthetic.hpp"
+#include "mpisim/communicator.hpp"
+#include "semilag/transport.hpp"
+
+namespace diffreg::semilag {
+namespace {
+
+using grid::PencilDecomp;
+using grid::ScalarField;
+using grid::VectorField;
+
+template <typename F>
+ScalarField fill(PencilDecomp& d, F&& f) {
+  const Int3 dims = d.dims();
+  const Int3 ld = d.local_real_dims();
+  const real_t h1 = kTwoPi / dims[0], h2 = kTwoPi / dims[1],
+               h3 = kTwoPi / dims[2];
+  ScalarField out(d.local_real_size());
+  index_t idx = 0;
+  for (index_t a = 0; a < ld[0]; ++a)
+    for (index_t b = 0; b < ld[1]; ++b)
+      for (index_t c = 0; c < ld[2]; ++c, ++idx)
+        out[idx] = f((d.range1().begin + a) * h1, (d.range2().begin + b) * h2,
+                     c * h3);
+  return out;
+}
+
+class TransportRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransportRanks, ConstantVelocityTranslatesExactly) {
+  // For constant v the solution is rho(x, 1) = rho0(x - v); with the smooth
+  // trig field the only error is O(h^4) interpolation.
+  const int p = GetParam();
+  mpisim::run_spmd(p, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {32, 32, 32});
+    spectral::SpectralOps ops(decomp);
+    TransportConfig tc;
+    tc.nt = 4;
+    Transport transport(ops, tc);
+
+    const Vec3 c{0.7, -0.4, 0.25};
+    VectorField v(decomp.local_real_size());
+    for (int d = 0; d < 3; ++d)
+      for (auto& val : v[d]) val = c[d];
+    transport.set_velocity(v);
+
+    auto rho0 = fill(decomp, [](real_t x1, real_t x2, real_t x3) {
+      return std::sin(x1) * std::cos(x2) + 0.5 * std::sin(x3);
+    });
+    transport.solve_state(rho0);
+    auto expected = fill(decomp, [&](real_t x1, real_t x2, real_t x3) {
+      return std::sin(x1 - c[0]) * std::cos(x2 - c[1]) +
+             0.5 * std::sin(x3 - c[2]);
+    });
+    const auto& got = transport.final_state();
+    for (size_t i = 0; i < got.size(); ++i)
+      ASSERT_NEAR(got[i], expected[i], 5e-4) << i;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, TransportRanks, ::testing::Values(1, 2, 4));
+
+TEST(Transport, SecondOrderConvergenceInTime) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {32, 32, 32});
+    spectral::SpectralOps ops(decomp);
+    auto rho0 = imaging::synthetic_template(decomp);
+    auto v = imaging::synthetic_velocity(decomp, 0.8);
+
+    auto solve_with_nt = [&](int nt) {
+      TransportConfig tc;
+      tc.nt = nt;
+      Transport transport(ops, tc);
+      transport.set_velocity(v);
+      transport.solve_state(rho0);
+      return transport.final_state();
+    };
+
+    const auto coarse = solve_with_nt(2);
+    const auto medium = solve_with_nt(4);
+    const auto fine = solve_with_nt(16);  // reference
+
+    real_t e_coarse = 0, e_medium = 0;
+    for (size_t i = 0; i < fine.size(); ++i) {
+      e_coarse = std::max(e_coarse, std::abs(coarse[i] - fine[i]));
+      e_medium = std::max(e_medium, std::abs(medium[i] - fine[i]));
+    }
+    e_coarse = comm.allreduce_max(e_coarse);
+    e_medium = comm.allreduce_max(e_medium);
+    // RK2: halving dt should reduce the error by about 4 (allow slack for
+    // the interpolation-error floor).
+    EXPECT_GT(e_coarse / e_medium, 2.5)
+        << "coarse " << e_coarse << " medium " << e_medium;
+  });
+}
+
+TEST(Transport, UnconditionallyStableAtLargeCfl) {
+  // CFL = |v| dt / h ~ 0.9 * (1/2) / (2*pi/16) ~ 1.15 per step with nt = 2;
+  // amplify the velocity so a CFL-limited scheme would explode.
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {16, 16, 16});
+    spectral::SpectralOps ops(decomp);
+    auto rho0 = imaging::synthetic_template(decomp);
+    auto v = imaging::synthetic_velocity(decomp, 6.0);  // CFL >> 1
+    TransportConfig tc;
+    tc.nt = 2;
+    Transport transport(ops, tc);
+    transport.set_velocity(v);
+    transport.solve_state(rho0);
+    const real_t max_val = grid::norm_inf(decomp, transport.final_state());
+    // Pure advection cannot amplify the field (modulo interpolation
+    // overshoot); anything beyond a small factor indicates instability.
+    EXPECT_LT(max_val, 1.5);
+  });
+}
+
+TEST(Transport, StateHistoryEndpointsAreConsistent) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {16, 16, 16});
+    spectral::SpectralOps ops(decomp);
+    auto rho0 = imaging::synthetic_template(decomp);
+    auto v = imaging::synthetic_velocity(decomp, 0.5);
+    TransportConfig tc;
+    tc.nt = 4;
+    Transport transport(ops, tc);
+    transport.set_velocity(v);
+    transport.solve_state(rho0);
+    // slice 0 is the initial condition, slice nt the final state.
+    for (size_t i = 0; i < rho0.size(); ++i)
+      ASSERT_DOUBLE_EQ(transport.state(0)[i], rho0[i]);
+    for (size_t i = 0; i < rho0.size(); ++i)
+      ASSERT_DOUBLE_EQ(transport.state(4)[i], transport.final_state()[i]);
+  });
+}
+
+TEST(Transport, AdjointInnerProductConsistency) {
+  // The adjoint transport is (approximately) the L2 adjoint of the state
+  // transport: <S rho0, lam1> == <rho0, S* lam1> up to discretization error.
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {24, 24, 24});
+    spectral::SpectralOps ops(decomp);
+    auto v = imaging::synthetic_velocity(decomp, 0.4);
+    TransportConfig tc;
+    tc.nt = 4;
+    Transport transport(ops, tc);
+    transport.set_velocity(v);
+
+    auto rho0 = fill(decomp, [](real_t x1, real_t x2, real_t) {
+      return std::sin(x1) * std::cos(2 * x2);
+    });
+    auto lam1 = fill(decomp, [](real_t, real_t x2, real_t x3) {
+      return std::cos(x2) * std::sin(x3);
+    });
+
+    transport.solve_state(rho0);
+    const real_t lhs = grid::dot(decomp, transport.final_state(), lam1);
+
+    // S* lam1: backward solve; solve_adjoint stores lam(0) in the history.
+    VectorField b;
+    transport.solve_adjoint(lam1, b, /*store_lambda=*/true);
+    const real_t rhs = grid::dot(decomp, rho0, transport.adjoint(0));
+
+    const real_t scale = std::max(std::abs(lhs), std::abs(rhs));
+    EXPECT_NEAR(lhs, rhs, 0.02 * scale + 1e-3);
+  });
+}
+
+TEST(Transport, IncrementalStateIsDirectionalDerivative) {
+  // rho_tilde(1) must match (rho(1; v + eps w) - rho(1; v - eps w)) / 2 eps.
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {16, 16, 16});
+    spectral::SpectralOps ops(decomp);
+    auto rho0 = imaging::synthetic_template(decomp);
+    auto v = imaging::synthetic_velocity(decomp, 0.4);
+    auto w = imaging::synthetic_velocity_divfree(decomp, 0.3);
+
+    TransportConfig tc;
+    tc.nt = 4;
+    Transport transport(ops, tc);
+    transport.set_velocity(v);
+    transport.solve_state(rho0);
+    ScalarField rho_tilde1;
+    transport.solve_incremental_state(w, rho_tilde1);
+
+    const real_t eps = 1e-4;
+    auto perturbed = [&](real_t sign) {
+      VectorField vp = v;
+      grid::axpy(sign * eps, w, vp);
+      Transport t2(ops, tc);
+      t2.set_velocity(vp);
+      t2.solve_state(rho0);
+      return t2.final_state();
+    };
+    const auto plus = perturbed(+1);
+    const auto minus = perturbed(-1);
+
+    real_t max_err = 0, max_ref = 0;
+    for (size_t i = 0; i < plus.size(); ++i) {
+      const real_t fd = (plus[i] - minus[i]) / (2 * eps);
+      max_err = std::max(max_err, std::abs(fd - rho_tilde1[i]));
+      max_ref = std::max(max_ref, std::abs(fd));
+    }
+    max_err = comm.allreduce_max(max_err);
+    max_ref = comm.allreduce_max(max_ref);
+    EXPECT_LT(max_err, 0.06 * max_ref + 1e-6)
+        << "err " << max_err << " ref " << max_ref;
+  });
+}
+
+TEST(Transport, DisplacementForConstantVelocityIsMinusV) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {16, 16, 16});
+    spectral::SpectralOps ops(decomp);
+    const Vec3 c{0.5, -0.3, 0.2};
+    VectorField v(decomp.local_real_size());
+    for (int d = 0; d < 3; ++d)
+      for (auto& val : v[d]) val = c[d];
+    TransportConfig tc;
+    tc.nt = 4;
+    Transport transport(ops, tc);
+    transport.set_velocity(v);
+    VectorField u;
+    transport.solve_displacement(u);
+    // y(x, 1) = x - v  =>  u = -v, det(grad y) = 1.
+    for (int d = 0; d < 3; ++d)
+      for (real_t val : u[d]) ASSERT_NEAR(val, -c[d], 1e-10);
+
+    ScalarField det;
+    core::jacobian_determinant(ops, u, det);
+    for (real_t d : det) ASSERT_NEAR(d, 1.0, 1e-9);
+  });
+}
+
+TEST(Transport, DivergenceFreeVelocityPreservesVolume) {
+  // Incompressible velocity => det(grad y) = 1 pointwise (paper section
+  // II-A); discretization errors of O(dt^2 + h^4) remain.
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {24, 24, 24});
+    spectral::SpectralOps ops(decomp);
+    auto v = imaging::synthetic_velocity_divfree(decomp, 0.5);
+    TransportConfig tc;
+    tc.nt = 8;
+    tc.incompressible = true;
+    Transport transport(ops, tc);
+    transport.set_velocity(v);
+    auto analysis = core::analyze_deformation(ops, transport);
+    EXPECT_NEAR(analysis.min_det, 1.0, 0.02);
+    EXPECT_NEAR(analysis.max_det, 1.0, 0.02);
+    EXPECT_NEAR(analysis.mean_det, 1.0, 0.005);
+  });
+}
+
+TEST(Transport, CompressibleVelocityChangesVolumeButStaysDiffeomorphic) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {24, 24, 24});
+    spectral::SpectralOps ops(decomp);
+    auto v = imaging::synthetic_velocity(decomp, 0.5);  // div v != 0
+    TransportConfig tc;
+    tc.nt = 4;
+    Transport transport(ops, tc);
+    transport.set_velocity(v);
+    auto analysis = core::analyze_deformation(ops, transport);
+    EXPECT_GT(analysis.min_det, 0.0) << "map must stay diffeomorphic";
+    EXPECT_GT(analysis.max_det - analysis.min_det, 0.05)
+        << "compressible flow should change volume somewhere";
+  });
+}
+
+TEST(Transport, AdjointOfConstantVelocityTranslatesBackward) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {32, 32, 32});
+    spectral::SpectralOps ops(decomp);
+    const Vec3 c{0.6, 0.0, -0.3};
+    VectorField v(decomp.local_real_size());
+    for (int d = 0; d < 3; ++d)
+      for (auto& val : v[d]) val = c[d];
+    TransportConfig tc;
+    tc.nt = 4;
+    Transport transport(ops, tc);
+    transport.set_velocity(v);
+    // With div v = 0 (constant), the adjoint is advection along -v:
+    // lam(x, 0) = lam1(x + v).
+    auto rho0 = fill(decomp, [](real_t x1, real_t, real_t) {
+      return std::sin(x1);
+    });
+    transport.solve_state(rho0);
+    auto lam1 = fill(decomp, [](real_t x1, real_t x2, real_t) {
+      return std::cos(x1) * std::sin(x2);
+    });
+    VectorField b;
+    transport.solve_adjoint(lam1, b, /*store_lambda=*/true);
+    auto expected = fill(decomp, [&](real_t x1, real_t x2, real_t) {
+      return std::cos(x1 + c[0]) * std::sin(x2 + c[1]);
+    });
+    const auto& lam0 = transport.adjoint(0);
+    for (size_t i = 0; i < lam0.size(); ++i)
+      ASSERT_NEAR(lam0[i], expected[i], 5e-4);
+  });
+}
+
+TEST(Transport, RejectsUseBeforeSetVelocity) {
+  mpisim::run_spmd(1, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {8, 8, 8});
+    spectral::SpectralOps ops(decomp);
+    TransportConfig tc;
+    Transport transport(ops, tc);
+    ScalarField rho(decomp.local_real_size(), 0);
+    EXPECT_THROW(transport.solve_state(rho), std::logic_error);
+    VectorField b;
+    EXPECT_THROW(transport.solve_adjoint(rho, b), std::logic_error);
+  });
+}
+
+TEST(Transport, RejectsInvalidNt) {
+  mpisim::run_spmd(1, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {8, 8, 8});
+    spectral::SpectralOps ops(decomp);
+    TransportConfig tc;
+    tc.nt = 0;
+    EXPECT_THROW(Transport(ops, tc), std::invalid_argument);
+  });
+}
+
+}  // namespace
+}  // namespace diffreg::semilag
