@@ -9,6 +9,8 @@
 //  * tricubic vs trilinear execution cost
 //  * Hessian matvec: Gauss-Newton vs full Newton
 //  * ghost-layer exchange
+//  * mpisim collectives (allreduce/broadcast wall-time vs rank count), so
+//    comm-path regressions show up before they skew the Tables I-IV splits
 #include <benchmark/benchmark.h>
 
 #include "core/diffreg.hpp"
@@ -180,6 +182,59 @@ void BM_HessianMatvec(benchmark::State& state) {
   state.SetLabel(gauss_newton ? "gauss-newton" : "full-newton");
 }
 BENCHMARK(BM_HessianMatvec)->Arg(0)->Arg(1);
+
+// Rounds per run_spmd launch in the collectives benchmarks: enough that the
+// p-thread spawn/join cost is amortized to noise and the timing isolates the
+// collective itself.
+constexpr int kCollectiveRounds = 1024;
+
+void BM_AllreduceScalar(benchmark::State& state) {
+  // Comm-path regression guard: recursive-doubling scalar allreduce
+  // wall-time vs rank count p (the per-iteration norm/dot pattern of PCG).
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpisim::run_spmd(p, [&](mpisim::Communicator& comm) {
+      real_t acc = comm.rank() + 1.0;
+      for (int round = 0; round < kCollectiveRounds; ++round)
+        acc = comm.allreduce_sum(acc);
+      benchmark::DoNotOptimize(acc);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kCollectiveRounds);
+}
+BENCHMARK(BM_AllreduceScalar)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(8);
+
+void BM_AllreduceVector(benchmark::State& state) {
+  // Reduce-then-broadcast vector allreduce on a batch of field norms.
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpisim::run_spmd(p, [&](mpisim::Communicator& comm) {
+      std::vector<real_t> norms(8, comm.rank() + 0.5);
+      for (int round = 0; round < kCollectiveRounds; ++round)
+        comm.allreduce_sum(norms);
+      benchmark::DoNotOptimize(norms.data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kCollectiveRounds);
+}
+BENCHMARK(BM_AllreduceVector)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(8);
+
+void BM_BroadcastTree(benchmark::State& state) {
+  // Binomial-tree broadcast of a pencil-sized buffer vs rank count p.
+  const int p = static_cast<int>(state.range(0));
+  const size_t n = 1 << 14;  // 128 KiB of doubles
+  const int rounds = 64;     // fewer rounds: each one moves (p-1)*128 KiB
+  for (auto _ : state) {
+    mpisim::run_spmd(p, [&](mpisim::Communicator& comm) {
+      std::vector<real_t> buf;
+      if (comm.rank() == 0) buf.assign(n, 1.0);
+      for (int round = 0; round < rounds; ++round) comm.broadcast(buf, 0);
+      benchmark::DoNotOptimize(buf.data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * n);
+}
+BENCHMARK(BM_BroadcastTree)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(8);
 
 void BM_LerayProjection(benchmark::State& state) {
   World& w = world(state.range(0));

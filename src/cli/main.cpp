@@ -4,10 +4,8 @@
 // imaging::write_raw_volume) and reports the paper's diagnostics. Examples:
 //
 //   diffreg --grid 64,64,64 --ranks 2 --workload synthetic
-//   diffreg --grid 48,56,48 --ranks 2 --workload brain --continuation \
-//           --out result
-//   diffreg --grid 64,64,64 --template t --reference r --beta 1e-3 \
-//           --incompressible
+//   diffreg --grid 48,56,48 --workload brain --continuation --out result
+//   diffreg --grid 64,64,64 --template t --reference r --incompressible
 //
 // With --out PREFIX the deformed template, the residual and the
 // det(grad y) map are written as PREFIX_*.{raw,mhd} volumes plus a

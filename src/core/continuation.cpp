@@ -17,6 +17,12 @@ ContinuationResult run_beta_continuation(RegistrationSolver& solver,
   for (int stage = 0; stage < copt.max_stages; ++stage) {
     solver.mutable_options().beta = beta;
     RegistrationResult result = solver.run(rho_t, rho_r, warm_start);
+    // ||g(0)|| is beta-independent (the quadratic regularizer's gradient
+    // vanishes at v = 0): the cold first stage measures it, later
+    // warm-started stages reuse it instead of re-solving state + adjoint.
+    if (warm_start == nullptr)
+      solver.mutable_options().gradient_reference =
+          result.newton.initial_gradient_norm;
 
     out.stage_betas.push_back(beta);
     out.stage_residuals.push_back(result.rel_residual);

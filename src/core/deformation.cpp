@@ -36,8 +36,11 @@ DeformationAnalysis analyze_deformation(spectral::SpectralOps& ops,
   }
   auto& comm = decomp.comm();
   comm.set_time_kind(TimeKind::kOther);
-  out.min_det = comm.allreduce_min(local_min);
-  out.max_det = comm.allreduce_max(local_max);
+  // min and -max share one vector allreduce (min(-x) = -max(x)).
+  std::vector<real_t> extrema{local_min, -local_max};
+  comm.allreduce_min(extrema);
+  out.min_det = extrema[0];
+  out.max_det = -extrema[1];
   out.mean_det = comm.allreduce_sum(local_sum) /
                  static_cast<real_t>(decomp.dims().prod());
   return out;

@@ -27,6 +27,11 @@ struct RegistrationOptions {
   // Newton-Krylov solver.
   bool gauss_newton = true;
   real_t gtol = 1e-2;           // relative gradient reduction
+  // ||g|| at zero velocity, the reference for gtol in warm-started solves.
+  // <= 0 means unknown: the solver computes it (one extra state + adjoint
+  // solve) when given a warm start. Continuation drivers cache it across
+  // stages on the same grid, where it is independent of beta.
+  real_t gradient_reference = 0;
   int max_newton_iters = 50;
   int max_krylov_iters = 100;
   Forcing forcing = Forcing::kQuadratic;

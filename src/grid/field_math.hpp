@@ -71,9 +71,11 @@ inline real_t norm_inf(PencilDecomp& decomp, std::span<const real_t> a) {
 }
 
 inline real_t norm_inf(PencilDecomp& decomp, const VectorField& a) {
-  real_t m = 0;
-  for (int d = 0; d < 3; ++d) m = std::max(m, norm_inf(decomp, a[d]));
-  return m;
+  real_t local = 0;
+  for (int d = 0; d < 3; ++d)
+    for (real_t v : a[d]) local = std::max(local, std::abs(v));
+  decomp.comm().set_time_kind(TimeKind::kOther);
+  return decomp.comm().allreduce_max(local);
 }
 
 // Local (no communication) BLAS-1 style helpers.

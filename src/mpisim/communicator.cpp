@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 #include <thread>
 
 namespace diffreg::mpisim {
@@ -34,6 +35,25 @@ std::vector<std::byte> Mailbox::pop(int src, int tag) {
 SharedState::SharedState(int size_in) : size(size_in), mailboxes(size_in) {}
 
 }  // namespace detail
+
+void Communicator::check_collective_consistent(std::int64_t value,
+                                               const char* what) {
+  if (size() == 1) return;
+  struct Extent {
+    std::int64_t lo, hi;
+  };
+  const Extent mine{value, value};
+  const Extent global = allreduce_op(
+      mine,
+      [](Extent a, Extent b) {
+        return Extent{a.lo < b.lo ? a.lo : b.lo, a.hi > b.hi ? a.hi : b.hi};
+      },
+      kCollectiveTag + 5);
+  if (global.lo != global.hi)
+    throw std::runtime_error(
+        std::string("mpisim: ranks disagree on ") + what +
+        " (collective-consistency self-check failed)");
+}
 
 void Communicator::barrier() {
   if (size() == 1) return;

@@ -9,11 +9,27 @@
 // the Timings categories (the comm/exec split of Tables I-IV).
 //
 // Supported surface (what the solver needs): rank/size, barrier, send/recv,
-// sendrecv, broadcast, allreduce (sum/max/min), allgather, alltoall(v), and
-// communicator splitting (row/col sub-communicators of the pencil grid).
+// sendrecv, broadcast, allreduce (sum/max/min, scalar and element-wise
+// vector), allgather, alltoall(v), and communicator splitting (row/col
+// sub-communicators of the pencil grid).
+//
+// Collective algorithms (all O(log p) message depth, no rank-0 funnel):
+//   broadcast         binomial tree rooted at `root`
+//   allgather         Bruck dissemination (works for any p)
+//   allreduce scalar  recursive doubling; non-power-of-two ranks fold into
+//                     the largest power-of-two group first and get the
+//                     result back afterwards
+//   allreduce vector  binomial-tree reduce to rank 0 + binomial broadcast
+//                     (reduce-then-broadcast, for batched field norms)
+//   alltoallv         pairwise exchange (p-1 rounds, bandwidth-bound by
+//                     design) with a collective-consistency self-check
+// Scalar allreduce combines operands in subgroup order, so every rank
+// computes bitwise-identical results; the vector form broadcasts rank 0's
+// combination, which is likewise identical everywhere.
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
@@ -113,6 +129,19 @@ class Communicator {
   template <typename T>
   T allreduce_min(T value);
 
+  /// Element-wise in-place vector allreduce (reduce to rank 0, broadcast
+  /// back): 2 log p rounds and 2(p-1) messages carrying the whole batch,
+  /// versus log p rounds and p log p messages per scalar allreduce — batching
+  /// k >= 2 field norms cuts messages, and from k >= 3 also depth. All ranks
+  /// must pass the same number of elements; a mismatch poisons the reduction
+  /// and throws (never hangs).
+  template <typename T>
+  void allreduce_sum(std::vector<T>& data);
+  template <typename T>
+  void allreduce_max(std::vector<T>& data);
+  template <typename T>
+  void allreduce_min(std::vector<T>& data);
+
   template <typename T>
   std::vector<T> allgather(T value);
 
@@ -131,6 +160,17 @@ class Communicator {
   static std::vector<std::byte> serialize(std::span<const T> data);
   template <typename T>
   static std::vector<T> deserialize(std::vector<std::byte> bytes);
+
+  /// Recursive-doubling scalar allreduce with any associative commutative op.
+  template <typename T, typename Op>
+  T allreduce_op(T value, Op op, int tag);
+  /// Binomial-tree reduce to rank 0 + broadcast, element-wise over `data`.
+  template <typename T, typename Op>
+  void allreduce_vec(std::vector<T>& data, Op op, int tag);
+  /// Collective-consistency self-check: throws on EVERY rank (instead of
+  /// hanging some of them) if `value` differs across the communicator. One
+  /// O(log p) allreduce of a packed (min, max) pair.
+  void check_collective_consistent(std::int64_t value, const char* what);
 
   std::shared_ptr<detail::SharedState> state_;
   int rank_ = 0;
@@ -197,51 +237,175 @@ std::vector<T> Communicator::sendrecv(std::span<const T> send_data, int dest,
 template <typename T>
 void Communicator::broadcast(std::vector<T>& data, int root) {
   const int tag = kCollectiveTag + 1;
-  if (rank_ == root) {
-    for (int r = 0; r < size(); ++r)
-      if (r != root) send(std::span<const T>(data), r, tag);
-  } else {
-    data = recv<T>(root, tag);
+  const int p = size();
+  if (p == 1) return;
+  // Binomial tree in root-relative rank space: vrank 0 is the root; a rank
+  // receives from the partner that clears its lowest set bit, then forwards
+  // to every vrank obtained by setting a higher-order bit.
+  const int vrank = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      data = recv<T>((vrank - mask + root) % p, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  // Forward to the subtree children: all bits below the receive bit are
+  // clear, so vrank + mask addresses a distinct rank for each smaller mask.
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < p)
+      send(std::span<const T>(data), (vrank + mask + root) % p, tag);
+    mask >>= 1;
   }
 }
 
 template <typename T>
 std::vector<T> Communicator::allgather(T value) {
   const int tag = kCollectiveTag + 2;
-  std::vector<T> all(size());
-  if (rank_ == 0) {
-    all[0] = value;
-    for (int r = 1; r < size(); ++r) all[r] = recv<T>(r, tag)[0];
-  } else {
-    send(std::span<const T>(&value, 1), 0, tag);
+  const int p = size();
+  // Bruck dissemination: after the round with distance d, this rank holds
+  // the values of ranks rank .. rank+2d-1 (mod p) in shifted order. ceil(log2
+  // p) rounds for any p.
+  std::vector<T> shifted{value};
+  for (int d = 1; d < p; d <<= 1) {
+    const int dest = (rank_ - d + p) % p;
+    const int src = (rank_ + d) % p;
+    const int count = std::min(d, p - d);
+    auto got = sendrecv(
+        std::span<const T>(shifted.data(), static_cast<size_t>(count)), dest,
+        src, tag);
+    shifted.insert(shifted.end(), got.begin(), got.end());
   }
-  broadcast(all, 0);
+  std::vector<T> all(p);
+  for (int j = 0; j < p; ++j) all[(rank_ + j) % p] = shifted[j];
   return all;
+}
+
+template <typename T, typename Op>
+T Communicator::allreduce_op(T value, Op op, int tag) {
+  const int p = size();
+  if (p == 1) return value;
+  int pof2 = 1;
+  while (pof2 * 2 <= p) pof2 *= 2;
+  const int rem = p - pof2;
+
+  // Fold phase: the odd ranks below 2*rem hand their value to the even
+  // neighbour, leaving a power-of-two group (group ids: even folded ranks
+  // get rank/2, the rest rank - rem).
+  T acc = value;
+  int group_id = -1;
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 == 1) {
+      send(std::span<const T>(&acc, 1), rank_ - 1, tag);
+    } else {
+      acc = op(acc, recv<T>(rank_ + 1, tag)[0]);
+      group_id = rank_ / 2;
+    }
+  } else {
+    group_id = rank_ - rem;
+  }
+
+  // Recursive doubling inside the power-of-two group. Both partners combine
+  // (lower subgroup, higher subgroup) in that order, so every rank computes
+  // the bitwise-identical result.
+  if (group_id >= 0) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int partner_id = group_id ^ mask;
+      const int partner = partner_id < rem ? partner_id * 2 : partner_id + rem;
+      T other = sendrecv(std::span<const T>(&acc, 1), partner, partner,
+                         tag)[0];
+      acc = group_id < partner_id ? op(acc, other) : op(other, acc);
+    }
+  }
+
+  // Unfold phase: folded odd ranks get the finished result back.
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 == 1)
+      acc = recv<T>(rank_ - 1, tag)[0];
+    else
+      send(std::span<const T>(&acc, 1), rank_ + 1, tag);
+  }
+  return acc;
+}
+
+template <typename T, typename Op>
+void Communicator::allreduce_vec(std::vector<T>& data, Op op, int tag) {
+  const int p = size();
+  if (p == 1) return;
+  // Binomial-tree reduce to rank 0 (mirror of the broadcast tree): receive
+  // and fold the higher-rank subtrees, then send the partial to the parent.
+  // Length validation piggybacks on the tree: a parent seeing a mismatched
+  // child length "poisons" the reduction by forwarding an empty buffer, and
+  // rank 0 broadcasts the result plus one sentinel element when clean or an
+  // empty buffer when poisoned — so mismatches throw instead of hanging, at
+  // no extra message cost.
+  const size_t my_size = data.size();
+  bool poisoned = false;
+  int mask = 1;
+  while (mask < p) {
+    if (rank_ & mask) {
+      if (poisoned) data.clear();
+      send(std::span<const T>(data), rank_ ^ mask, tag);
+      break;
+    }
+    if (rank_ + mask < p) {
+      auto other = recv<T>(rank_ + mask, tag);
+      if (other.size() != my_size) {
+        poisoned = true;
+      } else {
+        for (size_t i = 0; i < my_size; ++i) data[i] = op(data[i], other[i]);
+      }
+    }
+    mask <<= 1;
+  }
+  if (rank_ == 0) {
+    if (poisoned)
+      data.clear();
+    else
+      data.push_back(T{});  // sentinel: distinguishes a clean empty result
+  }
+  broadcast(data, 0);
+  if (data.size() != my_size + 1)
+    throw std::runtime_error(
+        "mpisim: vector allreduce element counts differ across ranks");
+  data.pop_back();
 }
 
 template <typename T>
 T Communicator::allreduce_sum(T value) {
-  T result{};
-  for (T v : allgather(value)) result += v;
-  return result;
+  return allreduce_op(value, [](T a, T b) { return a + b; },
+                      kCollectiveTag + 3);
 }
 
 template <typename T>
 T Communicator::allreduce_max(T value) {
-  auto all = allgather(value);
-  T result = all[0];
-  for (T v : all)
-    if (v > result) result = v;
-  return result;
+  return allreduce_op(value, [](T a, T b) { return a > b ? a : b; },
+                      kCollectiveTag + 3);
 }
 
 template <typename T>
 T Communicator::allreduce_min(T value) {
-  auto all = allgather(value);
-  T result = all[0];
-  for (T v : all)
-    if (v < result) result = v;
-  return result;
+  return allreduce_op(value, [](T a, T b) { return a < b ? a : b; },
+                      kCollectiveTag + 3);
+}
+
+template <typename T>
+void Communicator::allreduce_sum(std::vector<T>& data) {
+  allreduce_vec(data, [](T a, T b) { return a + b; }, kCollectiveTag + 4);
+}
+
+template <typename T>
+void Communicator::allreduce_max(std::vector<T>& data) {
+  allreduce_vec(data, [](T a, T b) { return a > b ? a : b; },
+                kCollectiveTag + 4);
+}
+
+template <typename T>
+void Communicator::allreduce_min(std::vector<T>& data) {
+  allreduce_vec(data, [](T a, T b) { return a < b ? a : b; },
+                kCollectiveTag + 4);
 }
 
 template <typename T>
@@ -249,6 +413,11 @@ std::vector<std::vector<T>> Communicator::alltoallv(
     std::vector<std::vector<T>> send_bufs, int tag) {
   if (static_cast<int>(send_bufs.size()) != size())
     throw std::runtime_error("mpisim: alltoallv needs one buffer per rank");
+  // Every rank must have entered the same alltoallv (same tag) — a
+  // mismatched schedule would otherwise deliver buffers to the wrong
+  // exchange and corrupt data silently. O(log p) cost, negligible against
+  // the pairwise payload exchange.
+  check_collective_consistent(tag, "alltoallv tag");
   std::vector<std::vector<T>> recv_bufs(size());
   recv_bufs[rank_] = std::move(send_bufs[rank_]);
   for (int offset = 1; offset < size(); ++offset) {

@@ -118,7 +118,7 @@ TEST(Timer, ScopedTimerMeasuresNonNegative) {
   {
     ScopedTimer s(t, TimeKind::kOther);
     volatile double x = 0;
-    for (int i = 0; i < 1000; ++i) x += i;
+    for (int i = 0; i < 1000; ++i) x = x + i;
     (void)x;
   }
   EXPECT_GE(t.get(TimeKind::kOther), 0.0);

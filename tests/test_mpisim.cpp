@@ -3,7 +3,10 @@
 // exception propagation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "mpisim/communicator.hpp"
@@ -152,6 +155,151 @@ TEST_P(SpmdSize, SplitRowsAndColumns) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, SpmdSize, ::testing::Values(1, 2, 3, 4, 8));
+
+// Cross-checks of the logarithmic collectives against a serial reference,
+// covering the power-of-two (2, 8) and non-power-of-two (3) code paths of
+// the recursive-doubling fold/unfold phases and the Bruck dissemination.
+class CollectiveVsSerial : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveVsSerial, TreeBroadcastMatchesSerialPayload) {
+  const int p = GetParam();
+  // Reference: what a single rank holds is what every rank must end up with.
+  std::vector<double> reference(257);
+  std::iota(reference.begin(), reference.end(), 0.25);
+  for (int root = 0; root < p; ++root) {
+    std::atomic<int> failures{0};
+    run_spmd(p, [&](Communicator& comm) {
+      std::vector<double> data;
+      if (comm.rank() == root) data = reference;
+      comm.broadcast(data, root);
+      if (data != reference) ++failures;
+    });
+    EXPECT_EQ(failures.load(), 0) << "p " << p << " root " << root;
+  }
+}
+
+TEST_P(CollectiveVsSerial, AllreduceMatchesSerialReference) {
+  const int p = GetParam();
+  // Integer-valued doubles: the tree combination order cannot change the
+  // result, so the comparison against the serial loop is exact.
+  auto contribution = [](int rank) { return static_cast<double>(3 * rank + 1); };
+  double ref_sum = 0, ref_max = contribution(0), ref_min = contribution(0);
+  for (int r = 0; r < p; ++r) {
+    ref_sum += contribution(r);
+    ref_max = std::max(ref_max, contribution(r));
+    ref_min = std::min(ref_min, contribution(r));
+  }
+  std::atomic<int> failures{0};
+  run_spmd(p, [&](Communicator& comm) {
+    if (comm.allreduce_sum(contribution(comm.rank())) != ref_sum) ++failures;
+    if (comm.allreduce_max(contribution(comm.rank())) != ref_max) ++failures;
+    if (comm.allreduce_min(contribution(comm.rank())) != ref_min) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(CollectiveVsSerial, AllreduceIsIdenticalOnEveryRank) {
+  // With "messy" floating-point contributions the tree sum may round
+  // differently from a serial loop, but all ranks must agree bitwise and
+  // match the serial reference to rounding accuracy.
+  const int p = GetParam();
+  auto contribution = [](int rank) { return 0.1 * (rank + 1) + 1e-13 * rank; };
+  double ref_sum = 0;
+  for (int r = 0; r < p; ++r) ref_sum += contribution(r);
+  std::vector<double> per_rank(p);
+  run_spmd(p, [&](Communicator& comm) {
+    per_rank[comm.rank()] = comm.allreduce_sum(contribution(comm.rank()));
+  });
+  for (int r = 1; r < p; ++r) EXPECT_EQ(per_rank[r], per_rank[0]);
+  EXPECT_NEAR(per_rank[0], ref_sum, 1e-12 * std::abs(ref_sum));
+}
+
+TEST_P(CollectiveVsSerial, VectorAllreduceSumMaxMin) {
+  const int p = GetParam();
+  const size_t n = 33;
+  std::atomic<int> failures{0};
+  run_spmd(p, [&](Communicator& comm) {
+    const int r = comm.rank();
+    std::vector<double> sums(n), maxs(n), mins(n);
+    for (size_t i = 0; i < n; ++i) {
+      sums[i] = r + static_cast<double>(i);
+      maxs[i] = (r * 7 + static_cast<int>(i) * 3) % 11;
+      mins[i] = maxs[i];
+    }
+    comm.allreduce_sum(sums);
+    comm.allreduce_max(maxs);
+    comm.allreduce_min(mins);
+    for (size_t i = 0; i < n; ++i) {
+      double ref_sum = 0;
+      double ref_max = std::numeric_limits<double>::lowest();
+      double ref_min = std::numeric_limits<double>::max();
+      for (int q = 0; q < p; ++q) {
+        ref_sum += q + static_cast<double>(i);
+        const double v = (q * 7 + static_cast<int>(i) * 3) % 11;
+        ref_max = std::max(ref_max, v);
+        ref_min = std::min(ref_min, v);
+      }
+      if (sums[i] != ref_sum || maxs[i] != ref_max || mins[i] != ref_min)
+        ++failures;
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(CollectiveVsSerial, AllgatherMatchesSerialReference) {
+  const int p = GetParam();
+  std::atomic<int> failures{0};
+  run_spmd(p, [&](Communicator& comm) {
+    auto all = comm.allgather(7.5 * comm.rank() - 3);
+    for (int r = 0; r < p; ++r)
+      if (all[r] != 7.5 * r - 3) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CollectiveVsSerial,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(Collectives, VectorAllreduceRejectsMismatchedLengths) {
+  EXPECT_THROW(run_spmd(2,
+                        [&](Communicator& comm) {
+                          std::vector<double> data(comm.rank() == 0 ? 4 : 5,
+                                                   1.0);
+                          comm.allreduce_sum(data);
+                        }),
+               std::runtime_error);
+  // Zero-length vs non-zero-length must also be caught (the poison marker is
+  // an empty buffer, the sentinel element disambiguates a clean empty batch).
+  EXPECT_THROW(run_spmd(3,
+                        [&](Communicator& comm) {
+                          std::vector<double> data(comm.rank() == 1 ? 3 : 0,
+                                                   1.0);
+                          comm.allreduce_sum(data);
+                        }),
+               std::runtime_error);
+}
+
+TEST(Collectives, VectorAllreduceEmptyBatchIsClean) {
+  std::atomic<int> failures{0};
+  run_spmd(3, [&](Communicator& comm) {
+    std::vector<double> data;
+    comm.allreduce_sum(data);
+    if (!data.empty()) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Collectives, AlltoallvDetectsCollectiveMismatch) {
+  // Ranks disagreeing on which alltoallv they entered must be caught by the
+  // consistency self-check instead of silently mixing exchanges.
+  EXPECT_THROW(run_spmd(2,
+                        [&](Communicator& comm) {
+                          std::vector<std::vector<int>> bufs(2);
+                          comm.alltoallv(std::move(bufs),
+                                         comm.rank() == 0 ? 21 : 22);
+                        }),
+               std::runtime_error);
+}
 
 TEST(Spmd, ExceptionPropagatesToLauncher) {
   EXPECT_THROW(
