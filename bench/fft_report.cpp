@@ -1,0 +1,123 @@
+// FFT trajectory reporter: times the distributed forward/inverse transforms
+// and dumps one JSON record per configuration (size, process grid, wall
+// times, comm bytes/messages/alltoallv exchanges) to BENCH_fft.json, so CI
+// runs of successive PRs can track both the kernel speed and the message
+// count of the hottest path in the solver.
+//
+// Usage: fft_report [output.json]
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "fft/fft3d_distributed.hpp"
+#include "grid/decomposition.hpp"
+#include "mpisim/communicator.hpp"
+
+using namespace diffreg;
+
+namespace {
+
+struct Record {
+  index_t n = 0;
+  int p = 0;
+  double forward_ms = 0;
+  double inverse_ms = 0;
+  std::uint64_t comm_bytes = 0;
+  std::uint64_t comm_messages = 0;
+  std::uint64_t exchanges = 0;
+};
+
+Record run_case(index_t n, int p, int reps) {
+  Record rec;
+  rec.n = n;
+  rec.p = p;
+  const Int3 dims{n, n, n};
+
+  // Slowest-rank wall times and counters, like the paper's tables.
+  double fwd_max = 0, inv_max = 0;
+  Timings agg;
+  auto timings = mpisim::run_spmd(p, [&](mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, dims);
+    fft::DistributedFft3d fft(decomp);
+    std::vector<real_t> x(fft.local_real_size(), 1.0);
+    for (index_t i = 0; i < fft.local_real_size(); ++i)
+      x[i] = static_cast<real_t>((i * 2654435761u) % 1000) / 1000.0;
+    std::vector<complex_t> spec(fft.local_spectral_size());
+
+    fft.forward(x, spec);  // warm-up
+    fft.inverse(spec, x);
+    comm.timings().clear();
+
+    WallTimer t;
+    for (int r = 0; r < reps; ++r) fft.forward(x, spec);
+    const double fwd = t.seconds() / reps;
+    t.reset();
+    for (int r = 0; r < reps; ++r) fft.inverse(spec, x);
+    const double inv = t.seconds() / reps;
+
+    static std::mutex mu;
+    std::scoped_lock lock(mu);
+    fwd_max = std::max(fwd_max, fwd);
+    inv_max = std::max(inv_max, inv);
+  });
+  for (const auto& t : timings) agg += t;
+
+  rec.forward_ms = fwd_max * 1e3;
+  rec.inverse_ms = inv_max * 1e3;
+  // Per-rank, per-transform averages, so records are comparable across rank
+  // counts (and against the 2-exchanges-per-transform invariant the tests
+  // assert).
+  const std::uint64_t norm = 2ull * reps * static_cast<std::uint64_t>(p);
+  rec.comm_bytes = agg.bytes(TimeKind::kFftComm) / norm;
+  rec.comm_messages = agg.messages(TimeKind::kFftComm) / norm;
+  rec.exchanges = agg.exchanges(TimeKind::kFftComm) / norm;
+  return rec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_fft.json";
+
+  std::vector<Record> records;
+  records.push_back(run_case(32, 1, 20));
+  records.push_back(run_case(64, 1, 5));
+  records.push_back(run_case(32, 4, 10));
+  records.push_back(run_case(64, 4, 3));
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "fft_report: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fft\",\n  \"records\": [\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(f,
+                 "    {\"size\": %lld, \"ranks\": %d, \"forward_ms\": %.4f, "
+                 "\"inverse_ms\": %.4f, \"comm_bytes_per_rank_transform\": "
+                 "%llu, \"comm_messages_per_rank_transform\": %llu, "
+                 "\"alltoallv_exchanges_per_rank_transform\": %llu}%s\n",
+                 static_cast<long long>(r.n), r.p, r.forward_ms, r.inverse_ms,
+                 static_cast<unsigned long long>(r.comm_bytes),
+                 static_cast<unsigned long long>(r.comm_messages),
+                 static_cast<unsigned long long>(r.exchanges),
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  for (const Record& r : records)
+    std::printf(
+        "fft %lld^3 p=%d: forward %.3f ms, inverse %.3f ms, "
+        "%llu B / %llu msgs / %llu exchanges per rank per transform\n",
+        static_cast<long long>(r.n), r.p, r.forward_ms, r.inverse_ms,
+        static_cast<unsigned long long>(r.comm_bytes),
+        static_cast<unsigned long long>(r.comm_messages),
+        static_cast<unsigned long long>(r.exchanges));
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

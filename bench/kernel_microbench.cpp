@@ -65,6 +65,38 @@ void BM_Fft3dRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_Fft3dRoundTrip)->Arg(32)->Arg(64);
 
+void BM_Fft3dInverseMany(benchmark::State& state) {
+  // Batched 3-component inverse (one exchange schedule for the whole vector
+  // field) vs. three scalar inverses — the CLAIRE-style batching ablation.
+  const bool batched = state.range(1) == 1;
+  World& w = world(state.range(0));
+  auto& fft = w.ops.fft();
+  std::vector<real_t> x(fft.local_real_size(), 1.0);
+  std::array<std::vector<complex_t>, 3> spec;
+  std::array<std::vector<real_t>, 3> back;
+  for (int c = 0; c < 3; ++c) {
+    spec[c].resize(fft.local_spectral_size());
+    back[c].assign(fft.local_real_size(), 0.0);
+    fft.forward(x, spec[c]);
+  }
+  for (auto _ : state) {
+    if (batched) {
+      const complex_t* specs[3] = {spec[0].data(), spec[1].data(),
+                                   spec[2].data()};
+      real_t* reals[3] = {back[0].data(), back[1].data(), back[2].data()};
+      fft.inverse_many(std::span<const complex_t* const>(specs),
+                       std::span<real_t* const>(reals));
+    } else {
+      for (int c = 0; c < 3; ++c) fft.inverse(spec[c], back[c]);
+    }
+    benchmark::DoNotOptimize(back[0].data());
+  }
+  state.SetLabel(batched ? "batched" : "sequential");
+  state.SetItemsProcessed(state.iterations() * 3 * fft.local_real_size());
+}
+BENCHMARK(BM_Fft3dInverseMany)->Args({32, 0})->Args({32, 1})->Args({64, 0})
+    ->Args({64, 1});
+
 void BM_SpectralGradient(benchmark::State& state) {
   World& w = world(state.range(0));
   auto f = imaging::synthetic_template(w.decomp);

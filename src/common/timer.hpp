@@ -1,10 +1,15 @@
 // Wall-clock timers with the accounting categories used in the paper's
 // evaluation tables: FFT communication, FFT execution, interpolation
 // communication, interpolation execution (Tables I-IV report exactly these).
+// Alongside the wall-clock split, each category also accumulates
+// communication *volume* (bytes and messages sent, and collective alltoallv
+// exchanges entered), so a message-count regression is visible even when the
+// wall-clock split looks unchanged.
 #pragma once
 
 #include <array>
 #include <chrono>
+#include <cstdint>
 #include <string_view>
 
 namespace diffreg {
@@ -36,27 +41,81 @@ class WallTimer {
   clock::time_point start_;
 };
 
-/// Per-rank accumulator for the paper's timing categories.
+/// Per-rank accumulator for the paper's timing categories plus the
+/// communication volume charged to each category.
 class Timings {
  public:
   void add(TimeKind kind, double seconds) {
     seconds_[static_cast<int>(kind)] += seconds;
   }
   double get(TimeKind kind) const { return seconds_[static_cast<int>(kind)]; }
-  void clear() { seconds_.fill(0.0); }
+
+  /// Accounts one point-to-point message of `bytes` payload (sender side).
+  void add_message(TimeKind kind, std::uint64_t bytes) {
+    add_comm(kind, bytes, 1, 0);
+  }
+  /// Accounts one alltoallv exchange entered by this rank.
+  void add_exchange(TimeKind kind) { add_comm(kind, 0, 0, 1); }
+  /// Raw counter accumulation (used by add_message/add_exchange and deltas).
+  void add_comm(TimeKind kind, std::uint64_t bytes, std::uint64_t messages,
+                std::uint64_t exchanges) {
+    bytes_[static_cast<int>(kind)] += bytes;
+    messages_[static_cast<int>(kind)] += messages;
+    exchanges_[static_cast<int>(kind)] += exchanges;
+  }
+
+  std::uint64_t bytes(TimeKind kind) const {
+    return bytes_[static_cast<int>(kind)];
+  }
+  std::uint64_t messages(TimeKind kind) const {
+    return messages_[static_cast<int>(kind)];
+  }
+  std::uint64_t exchanges(TimeKind kind) const {
+    return exchanges_[static_cast<int>(kind)];
+  }
+  std::uint64_t total_bytes() const {
+    std::uint64_t sum = 0;
+    for (auto b : bytes_) sum += b;
+    return sum;
+  }
+  std::uint64_t total_messages() const {
+    std::uint64_t sum = 0;
+    for (auto m : messages_) sum += m;
+    return sum;
+  }
+
+  void clear() {
+    seconds_.fill(0.0);
+    bytes_.fill(0);
+    messages_.fill(0);
+    exchanges_.fill(0);
+  }
 
   Timings& operator+=(const Timings& other) {
-    for (int k = 0; k < kNumTimeKinds; ++k) seconds_[k] += other.seconds_[k];
+    for (int k = 0; k < kNumTimeKinds; ++k) {
+      seconds_[k] += other.seconds_[k];
+      bytes_[k] += other.bytes_[k];
+      messages_[k] += other.messages_[k];
+      exchanges_[k] += other.exchanges_[k];
+    }
     return *this;
   }
   /// Element-wise max, used to report the slowest rank like the paper does.
   void max_with(const Timings& other) {
-    for (int k = 0; k < kNumTimeKinds; ++k)
+    for (int k = 0; k < kNumTimeKinds; ++k) {
       if (other.seconds_[k] > seconds_[k]) seconds_[k] = other.seconds_[k];
+      if (other.bytes_[k] > bytes_[k]) bytes_[k] = other.bytes_[k];
+      if (other.messages_[k] > messages_[k]) messages_[k] = other.messages_[k];
+      if (other.exchanges_[k] > exchanges_[k])
+        exchanges_[k] = other.exchanges_[k];
+    }
   }
 
  private:
   std::array<double, kNumTimeKinds> seconds_{};
+  std::array<std::uint64_t, kNumTimeKinds> bytes_{};
+  std::array<std::uint64_t, kNumTimeKinds> messages_{};
+  std::array<std::uint64_t, kNumTimeKinds> exchanges_{};
 };
 
 /// Per-category `after - before`, for timing a phase of a longer run.
@@ -65,6 +124,9 @@ inline Timings timings_delta(const Timings& before, const Timings& after) {
   for (int k = 0; k < kNumTimeKinds; ++k) {
     const auto kind = static_cast<TimeKind>(k);
     d.add(kind, after.get(kind) - before.get(kind));
+    d.add_comm(kind, after.bytes(kind) - before.bytes(kind),
+               after.messages(kind) - before.messages(kind),
+               after.exchanges(kind) - before.exchanges(kind));
   }
   return d;
 }

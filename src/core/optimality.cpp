@@ -17,9 +17,9 @@ real_t OptimalitySystem::evaluate(const VectorField& v) {
 void OptimalitySystem::gradient(VectorField& g) {
   const index_t n = decomp().local_real_size();
   // Adjoint terminal condition lam(1) = rho_r - rho(1) = -lambda1_.
-  ScalarField lam1(n);
-  for (index_t i = 0; i < n; ++i) lam1[i] = -lambda1_[i];
-  transport_->solve_adjoint(lam1, b_, /*store_lambda=*/!gauss_newton_);
+  if (lam_scratch_.size() != static_cast<size_t>(n)) lam_scratch_.resize(n);
+  for (index_t i = 0; i < n; ++i) lam_scratch_[i] = -lambda1_[i];
+  transport_->solve_adjoint(lam_scratch_, b_, /*store_lambda=*/!gauss_newton_);
 
   if (incompressible_) ops_->leray_project(b_);
   reg_->apply(transport_->velocity(), reg_term_);
@@ -33,18 +33,17 @@ void OptimalitySystem::hessian_matvec(const VectorField& vtilde,
   const index_t n = decomp().local_real_size();
   transport_->solve_incremental_state(vtilde, rho_tilde1_,
                                       /*store_hist=*/!gauss_newton_);
-  ScalarField lam_tilde1(n);
-  for (index_t i = 0; i < n; ++i) lam_tilde1[i] = -rho_tilde1_[i];
+  if (lam_scratch_.size() != static_cast<size_t>(n)) lam_scratch_.resize(n);
+  for (index_t i = 0; i < n; ++i) lam_scratch_[i] = -rho_tilde1_[i];
 
-  VectorField b_tilde;
   if (gauss_newton_)
-    transport_->solve_incremental_adjoint_gn(lam_tilde1, b_tilde);
+    transport_->solve_incremental_adjoint_gn(lam_scratch_, b_tilde_);
   else
-    transport_->solve_incremental_adjoint_full(lam_tilde1, vtilde, b_tilde);
+    transport_->solve_incremental_adjoint_full(lam_scratch_, vtilde, b_tilde_);
 
-  if (incompressible_) ops_->leray_project(b_tilde);
+  if (incompressible_) ops_->leray_project(b_tilde_);
   reg_->apply(vtilde, out);
-  grid::axpy(real_t(1), b_tilde, out);
+  grid::axpy(real_t(1), b_tilde_, out);
 }
 
 void OptimalitySystem::apply_preconditioner(const VectorField& r,

@@ -73,9 +73,10 @@ class OptimalitySystem {
   real_t mismatch_ = 0;
   int matvecs_ = 0;
 
-  // Scratch.
-  ScalarField lambda1_, rho_tilde1_;
-  VectorField b_, reg_term_;
+  // Scratch, persistent across calls so the PCG-hot gradient/matvec paths
+  // do not allocate per invocation.
+  ScalarField lambda1_, rho_tilde1_, lam_scratch_;
+  VectorField b_, b_tilde_, reg_term_;
 };
 
 }  // namespace diffreg::core

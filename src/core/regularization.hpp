@@ -7,7 +7,9 @@
 //                inverse the paper uses as the spectral preconditioner)
 //
 // Both operators are diagonal in Fourier space, so `apply` and `invert` cost
-// one forward + one inverse FFT per component. `invert` acts as the identity
+// one batched forward + one batched inverse FFT for all three velocity
+// components (the components share each transpose's alltoallv exchange, so
+// an apply is 4 exchanges instead of 12). `invert` acts as the identity
 // on the k = 0 mode (the seminorms do not control the mean; passing it
 // through unchanged keeps the operator SPD so it is a valid preconditioner).
 #pragma once
@@ -33,11 +35,12 @@ class Regularization {
 
   int gamma() const { return type_ == RegType::kH1Seminorm ? 1 : 2; }
 
-  /// J_reg(v) = beta/2 <v, A v>.
+  /// J_reg(v) = beta/2 <v, A v>. `av_` is persistent scratch: evaluate() is
+  /// called once per line-search step, so the apply must not allocate.
   real_t evaluate(const VectorField& v) {
-    VectorField av(v.local_size());
-    ops_->neg_laplacian_pow(v, gamma(), av);
-    return real_t(0.5) * beta_ * grid::dot(ops_->decomp(), v, av);
+    if (av_.local_size() != v.local_size()) av_ = VectorField(v.local_size());
+    ops_->neg_laplacian_pow(v, gamma(), av_);
+    return real_t(0.5) * beta_ * grid::dot(ops_->decomp(), v, av_);
   }
 
   /// out = beta A v.
@@ -58,6 +61,7 @@ class Regularization {
   spectral::SpectralOps* ops_;
   RegType type_;
   real_t beta_;
+  VectorField av_;  // scratch for evaluate()
 };
 
 }  // namespace diffreg::core

@@ -38,7 +38,9 @@ Fft1d::Fft1d(index_t n) : n_(n) {
   if (is_power_of_two(n)) {
     path_ = Path::kPow2;
     twiddles_ = make_twiddles(n_);
+    inv_twiddles_ = conj_all(twiddles_);
     bitrev_ = make_bitrev(n_);
+    swap_pairs_ = make_swap_pairs(bitrev_);
   } else if (largest_prime_factor(n) <= 61) {
     path_ = Path::kMixedRadix;
     root_table_.resize(n_);
@@ -51,7 +53,9 @@ Fft1d::Fft1d(index_t n) : n_(n) {
     path_ = Path::kBluestein;
     m_ = next_pow2(2 * n_ - 1);
     twiddles_m_ = make_twiddles(m_);
+    inv_twiddles_m_ = conj_all(twiddles_m_);
     bitrev_m_ = make_bitrev(m_);
+    swap_pairs_m_ = make_swap_pairs(bitrev_m_);
     chirp_.resize(n_);
     for (index_t k = 0; k < n_; ++k) {
       // k^2 mod 2n keeps the phase argument small for large n.
@@ -65,7 +69,7 @@ Fft1d::Fft1d(index_t n) : n_(n) {
       filter[k] = std::conj(chirp_[k]);
       if (k > 0) filter[m_ - k] = std::conj(chirp_[k]);
     }
-    pow2_transform(filter.data(), m_, /*inverse=*/false, twiddles_m_);
+    pow2_transform(filter.data(), m_, /*inverse=*/false);
     chirp_filter_fft_ = std::move(filter);
     scratch_.resize(m_);
   }
@@ -77,6 +81,18 @@ index_t Fft1d::next_pow2(index_t n) {
   return m;
 }
 
+namespace {
+/// Snaps a twiddle component to the exact lattice values {-1, 0, 1} when the
+/// libm result is within a couple of ulps (e.g. cos(pi/2) = 6.1e-17).
+real_t snap(real_t v) {
+  constexpr real_t eps = 4e-16;
+  if (std::abs(v) < eps) return 0;
+  if (std::abs(v - 1) < eps) return 1;
+  if (std::abs(v + 1) < eps) return -1;
+  return v;
+}
+}  // namespace
+
 std::vector<complex_t> Fft1d::make_twiddles(index_t n) {
   // Layout: for stage length len = 2,4,...,n the len/2 twiddles are stored
   // consecutively starting at offset len/2 - 1 (total n - 1 entries).
@@ -85,10 +101,16 @@ std::vector<complex_t> Fft1d::make_twiddles(index_t n) {
     const index_t half = len / 2;
     for (index_t j = 0; j < half; ++j) {
       const real_t phase = -2.0 * kPi * static_cast<real_t>(j) / static_cast<real_t>(len);
-      tw[half - 1 + j] = complex_t(std::cos(phase), std::sin(phase));
+      tw[half - 1 + j] = complex_t(snap(std::cos(phase)), snap(std::sin(phase)));
     }
   }
   return tw;
+}
+
+std::vector<complex_t> Fft1d::conj_all(const std::vector<complex_t>& tw) {
+  std::vector<complex_t> out(tw.size());
+  for (size_t i = 0; i < tw.size(); ++i) out[i] = std::conj(tw[i]);
+  return out;
 }
 
 std::vector<index_t> Fft1d::make_bitrev(index_t n) {
@@ -104,34 +126,99 @@ std::vector<index_t> Fft1d::make_bitrev(index_t n) {
   return rev;
 }
 
-void Fft1d::pow2_transform(complex_t* data, index_t n, bool inverse,
-                           const std::vector<complex_t>& twiddles) {
-  const std::vector<index_t>& rev = (n == n_) ? bitrev_ : bitrev_m_;
-  for (index_t i = 0; i < n; ++i) {
-    const index_t j = rev[i];
-    if (i < j) std::swap(data[i], data[j]);
-  }
-  for (index_t len = 2; len <= n; len <<= 1) {
-    const index_t half = len / 2;
-    const complex_t* tw = twiddles.data() + (half - 1);
-    for (index_t start = 0; start < n; start += len) {
-      complex_t* lo = data + start;
-      complex_t* hi = lo + half;
-      for (index_t j = 0; j < half; ++j) {
-        const complex_t w = inverse ? std::conj(tw[j]) : tw[j];
-        const complex_t t = hi[j] * w;
-        hi[j] = lo[j] - t;
-        lo[j] += t;
+std::vector<Fft1d::SwapPair> Fft1d::make_swap_pairs(
+    const std::vector<index_t>& rev) {
+  std::vector<SwapPair> pairs;
+  for (index_t i = 0; i < static_cast<index_t>(rev.size()); ++i)
+    if (i < rev[i]) pairs.push_back({i, rev[i]});
+  return pairs;
+}
+
+void Fft1d::pow2_stages(complex_t* data, index_t rows, index_t n,
+                        const complex_t* twiddles, bool inverse) {
+  // Stage-major over the block: one stage's twiddles stay hot across every
+  // row before the next stage starts. The first two stages are multiply
+  // free: their twiddles are 1 and -+i.
+  if (n >= 2) {
+    for (index_t r = 0; r < rows; ++r) {
+      complex_t* row = data + r * n;
+      for (index_t s = 0; s < n; s += 2) {
+        const complex_t t = row[s + 1];
+        row[s + 1] = row[s] - t;
+        row[s] += t;
       }
     }
   }
+  if (n >= 4) {
+    for (index_t r = 0; r < rows; ++r) {
+      complex_t* row = data + r * n;
+      for (index_t s = 0; s < n; s += 4) {
+        {
+          const complex_t t = row[s + 2];
+          row[s + 2] = row[s] - t;
+          row[s] += t;
+        }
+        {
+          const complex_t hi = row[s + 3];
+          const complex_t t = inverse ? complex_t(-hi.imag(), hi.real())
+                                      : complex_t(hi.imag(), -hi.real());
+          row[s + 3] = row[s + 1] - t;
+          row[s + 1] += t;
+        }
+      }
+    }
+  }
+  for (index_t len = 8; len <= n; len <<= 1) {
+    const index_t half = len / 2;
+    const complex_t* tw = twiddles + (half - 1);
+    for (index_t r = 0; r < rows; ++r) {
+      complex_t* row = data + r * n;
+      for (index_t start = 0; start < n; start += len) {
+        complex_t* lo = row + start;
+        complex_t* hi = lo + half;
+        for (index_t j = 0; j < half; ++j) {
+          const complex_t t = hi[j] * tw[j];
+          hi[j] = lo[j] - t;
+          lo[j] += t;
+        }
+      }
+    }
+  }
+}
+
+void Fft1d::pow2_transform(complex_t* data, index_t n, bool inverse) {
+  const bool own = (n == n_ && path_ == Path::kPow2);
+  const std::vector<SwapPair>& pairs = own ? swap_pairs_ : swap_pairs_m_;
+  const std::vector<complex_t>& tw =
+      own ? (inverse ? inv_twiddles_ : twiddles_)
+          : (inverse ? inv_twiddles_m_ : twiddles_m_);
+  for (const SwapPair& pr : pairs) std::swap(data[pr.a], data[pr.b]);
+  pow2_stages(data, 1, n, tw.data(), inverse);
   if (inverse) {
     const real_t scale = real_t(1) / static_cast<real_t>(n);
     for (index_t i = 0; i < n; ++i) data[i] *= scale;
   }
 }
 
-void Fft1d::bluestein_transform(complex_t* data, bool inverse) {
+void Fft1d::pow2_batch(complex_t* data, index_t count, bool inverse,
+                       real_t scale) {
+  const complex_t* tw = (inverse ? inv_twiddles_ : twiddles_).data();
+  const index_t block = std::max<index_t>(
+      1, kBatchBlockBytes / (n_ * static_cast<index_t>(sizeof(complex_t))));
+  for (index_t r0 = 0; r0 < count; r0 += block) {
+    const index_t rows = std::min(block, count - r0);
+    complex_t* base = data + r0 * n_;
+    for (index_t r = 0; r < rows; ++r) {
+      complex_t* row = base + r * n_;
+      for (const SwapPair& pr : swap_pairs_) std::swap(row[pr.a], row[pr.b]);
+    }
+    pow2_stages(base, rows, n_, tw, inverse);
+    if (scale != real_t(1))
+      for (index_t i = 0; i < rows * n_; ++i) base[i] *= scale;
+  }
+}
+
+void Fft1d::bluestein_transform(complex_t* data, bool inverse, real_t scale) {
   // Forward: X_j = c_j * (u conv v)_j with u_k = x_k c_k, v = conj-chirp.
   // Inverse: IDFT(x) = conj(DFT(conj(x))) / n.
   if (inverse)
@@ -141,16 +228,14 @@ void Fft1d::bluestein_transform(complex_t* data, bool inverse) {
   for (index_t k = 0; k < n_; ++k) u[k] = data[k] * chirp_[k];
   for (index_t k = n_; k < m_; ++k) u[k] = complex_t(0, 0);
 
-  pow2_transform(u, m_, /*inverse=*/false, twiddles_m_);
+  pow2_transform(u, m_, /*inverse=*/false);
   for (index_t k = 0; k < m_; ++k) u[k] *= chirp_filter_fft_[k];
-  pow2_transform(u, m_, /*inverse=*/true, twiddles_m_);
+  pow2_transform(u, m_, /*inverse=*/true);
 
   for (index_t k = 0; k < n_; ++k) data[k] = u[k] * chirp_[k];
 
-  if (inverse) {
-    const real_t scale = real_t(1) / static_cast<real_t>(n_);
+  if (inverse)
     for (index_t k = 0; k < n_; ++k) data[k] = std::conj(data[k]) * scale;
-  }
 }
 
 void Fft1d::mixed_radix_rec(complex_t* x, complex_t* tmp, index_t n,
@@ -192,7 +277,7 @@ void Fft1d::transform(complex_t* data, bool inverse) {
   if (n_ == 1) return;
   switch (path_) {
     case Path::kPow2:
-      pow2_transform(data, n_, inverse, twiddles_);
+      pow2_transform(data, n_, inverse);
       break;
     case Path::kMixedRadix: {
       // Inverse via conjugation: IDFT(x) = conj(DFT(conj(x))) / n.
@@ -206,17 +291,79 @@ void Fft1d::transform(complex_t* data, bool inverse) {
       break;
     }
     case Path::kBluestein:
-      bluestein_transform(data, inverse);
+      bluestein_transform(data, inverse,
+                          real_t(1) / static_cast<real_t>(n_));
       break;
   }
 }
 
 void Fft1d::forward_batch(complex_t* data, index_t count) {
+  if (n_ == 1) return;
+  if (path_ == Path::kPow2) {
+    pow2_batch(data, count, /*inverse=*/false, /*scale=*/real_t(1));
+    return;
+  }
   for (index_t r = 0; r < count; ++r) forward(data + r * n_);
 }
 
 void Fft1d::inverse_batch(complex_t* data, index_t count) {
+  if (n_ == 1) return;
+  if (path_ == Path::kPow2) {
+    pow2_batch(data, count, /*inverse=*/true,
+               real_t(1) / static_cast<real_t>(n_));
+    return;
+  }
   for (index_t r = 0; r < count; ++r) inverse(data + r * n_);
+}
+
+void Fft1d::inverse_batch_noscale(complex_t* data, index_t count) {
+  if (n_ == 1) return;
+  switch (path_) {
+    case Path::kPow2:
+      pow2_batch(data, count, /*inverse=*/true, /*scale=*/real_t(1));
+      break;
+    case Path::kMixedRadix:
+      // Unnormalized IDFT(x) = conj(DFT(conj(x))).
+      for (index_t r = 0; r < count; ++r) {
+        complex_t* row = data + r * n_;
+        for (index_t k = 0; k < n_; ++k) row[k] = std::conj(row[k]);
+        mixed_radix_rec(row, mixed_scratch_.data(), n_, 1);
+        for (index_t k = 0; k < n_; ++k) row[k] = std::conj(row[k]);
+      }
+      break;
+    case Path::kBluestein:
+      for (index_t r = 0; r < count; ++r)
+        bluestein_transform(data + r * n_, /*inverse=*/true,
+                            /*scale=*/real_t(1));
+      break;
+  }
+}
+
+void Fft1d::inverse_batch_noscale(const complex_t* src, complex_t* dst,
+                                  index_t count) {
+  if (n_ == 1) {
+    std::copy(src, src + count, dst);
+    return;
+  }
+  if (path_ != Path::kPow2) {
+    std::copy(src, src + count * n_, dst);
+    inverse_batch_noscale(dst, count);
+    return;
+  }
+  const complex_t* tw = inv_twiddles_.data();
+  const index_t block = std::max<index_t>(
+      1, kBatchBlockBytes / (n_ * static_cast<index_t>(sizeof(complex_t))));
+  for (index_t r0 = 0; r0 < count; r0 += block) {
+    const index_t rows = std::min(block, count - r0);
+    complex_t* base = dst + r0 * n_;
+    // The bit-reversal permutation doubles as the src -> dst gather.
+    for (index_t r = 0; r < rows; ++r) {
+      const complex_t* s = src + (r0 + r) * n_;
+      complex_t* d = base + r * n_;
+      for (index_t i = 0; i < n_; ++i) d[i] = s[bitrev_[i]];
+    }
+    pow2_stages(base, rows, n_, tw, /*inverse=*/true);
+  }
 }
 
 }  // namespace diffreg::fft

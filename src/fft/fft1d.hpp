@@ -9,6 +9,13 @@
 //  * sizes with a large prime factor: Bluestein's algorithm built on a
 //    power-of-two convolution.
 //
+// The power-of-two path keeps a separate conjugated twiddle table so the
+// inverse butterflies never call std::conj per element, and the bit-reversal
+// permutation is precomputed once as a swap-pair list that every row of a
+// batch reuses. Batched transforms run the butterfly stages over blocks of
+// rows (stage-major within a cache-sized block), which keeps each stage's
+// twiddles hot across rows.
+//
 // Forward transforms are unnormalized; inverse transforms scale by 1/N, so
 // inverse(forward(x)) == x.
 //
@@ -37,29 +44,61 @@ class Fft1d {
   void forward_batch(complex_t* data, index_t count);
   void inverse_batch(complex_t* data, index_t count);
 
+  /// In-place inverse without the 1/N normalization, for pipelines that fold
+  /// the overall scale of a multi-dimensional inverse into one final pass.
+  void inverse_batch_noscale(complex_t* data, index_t count);
+
+  /// Out-of-place unnormalized inverse of `count` contiguous rows: reads
+  /// `src`, writes `dst` (must not alias). On the power-of-two path the
+  /// bit-reversal permutation doubles as the src->dst gather, so no separate
+  /// copy pass is needed.
+  void inverse_batch_noscale(const complex_t* src, complex_t* dst,
+                             index_t count);
+
  private:
   enum class Path { kPow2, kMixedRadix, kBluestein };
 
+  /// One bit-reversal swap (i < j); the in-place permutation is the list of
+  /// all such swaps, applied per row.
+  struct SwapPair {
+    index_t a, b;
+  };
+
+  /// Butterfly-stage block size: rows processed stage-major in groups whose
+  /// working set stays around L1 size.
+  static constexpr index_t kBatchBlockBytes = 1 << 15;
+
   void transform(complex_t* data, bool inverse);
-  void pow2_transform(complex_t* data, index_t n, bool inverse,
-                      const std::vector<complex_t>& twiddles);
-  void bluestein_transform(complex_t* data, bool inverse);
+  void pow2_transform(complex_t* data, index_t n, bool inverse);
+  /// Butterfly stages (no permutation, no scaling) over `rows` contiguous
+  /// rows of length n, using the given stage-indexed twiddle table. The
+  /// first two stages are specialized: their twiddles are 1 and -+i, so they
+  /// run multiply-free (`inverse` selects the +-i direction).
+  static void pow2_stages(complex_t* data, index_t rows, index_t n,
+                          const complex_t* twiddles, bool inverse);
+  void pow2_batch(complex_t* data, index_t count, bool inverse, real_t scale);
+  /// `scale` is the normalization applied on the inverse path (1/n for the
+  /// standard inverse, 1 for the unnormalized variant); ignored on forward.
+  void bluestein_transform(complex_t* data, bool inverse, real_t scale);
 
   /// Recursive mixed-radix step: transforms x (length n) in place using tmp
   /// as scratch; the roots of unity of this level are root_table_[k * rs].
   void mixed_radix_rec(complex_t* x, complex_t* tmp, index_t n, index_t rs);
 
   static std::vector<complex_t> make_twiddles(index_t n);
+  static std::vector<complex_t> conj_all(const std::vector<complex_t>& tw);
+  static std::vector<SwapPair> make_swap_pairs(const std::vector<index_t>& rev);
   static index_t smallest_prime_factor(index_t n);
   static index_t largest_prime_factor(index_t n);
 
   index_t n_;
   Path path_;
 
-  // Radix-2 path: forward twiddles for the size-n transform (inverse uses
-  // conjugates), plus the bit-reversal permutation.
-  std::vector<complex_t> twiddles_;
+  // Radix-2 path: forward and (pre-conjugated) inverse twiddles for the
+  // size-n transform, the bit-reversal permutation, and its swap-pair list.
+  std::vector<complex_t> twiddles_, inv_twiddles_;
   std::vector<index_t> bitrev_;
+  std::vector<SwapPair> swap_pairs_;
 
   // Mixed-radix path: exact table of exp(-2 pi i t / n), t = 0..n-1, plus a
   // scratch buffer for the recursion.
@@ -72,8 +111,9 @@ class Fft1d {
   index_t m_ = 0;
   std::vector<complex_t> chirp_;
   std::vector<complex_t> chirp_filter_fft_;
-  std::vector<complex_t> twiddles_m_;
+  std::vector<complex_t> twiddles_m_, inv_twiddles_m_;
   std::vector<index_t> bitrev_m_;
+  std::vector<SwapPair> swap_pairs_m_;
   std::vector<complex_t> scratch_;
 
   static bool is_power_of_two(index_t n) { return n > 0 && (n & (n - 1)) == 0; }

@@ -102,4 +102,13 @@ inline void copy(const VectorField& x, VectorField& y) {
   for (int d = 0; d < 3; ++d) y[d] = x[d];
 }
 
+/// Sizes x to n and zeroes it, reusing the existing storage when the size
+/// already matches (hot-path accumulator reset without reallocation).
+inline void resize_zero(VectorField& x, index_t n) {
+  if (x.local_size() != n)
+    x = VectorField(n);
+  else
+    x.fill(real_t(0));
+}
+
 }  // namespace diffreg::grid

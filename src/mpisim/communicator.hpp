@@ -22,10 +22,19 @@
 //   allreduce vector  binomial-tree reduce to rank 0 + binomial broadcast
 //                     (reduce-then-broadcast, for batched field norms)
 //   alltoallv         pairwise exchange (p-1 rounds, bandwidth-bound by
-//                     design) with a collective-consistency self-check
+//                     design) with a collective-consistency self-check; a
+//                     span-based overload works over caller-owned flat
+//                     buffers so hot paths (the FFT transposes) allocate
+//                     nothing per call
 // Scalar allreduce combines operands in subgroup order, so every rank
 // computes bitwise-identical results; the vector form broadcasts rank 0's
 // combination, which is likewise identical everywhere.
+//
+// Every send is also accounted to the rank's Timings as (bytes, messages)
+// under the communicator's current TimeKind, and each alltoallv entered
+// bumps an exchange counter — this is the comm-volume side of the paper's
+// comm/exec split (Tables I-IV report time; the counters make message-count
+// regressions visible too).
 #pragma once
 
 #include <condition_variable>
@@ -114,6 +123,11 @@ class Communicator {
   template <typename T>
   std::vector<T> recv(int src, int tag);
 
+  /// Receives into a caller-provided buffer (no allocation on the caller
+  /// side); throws if the message payload does not match `out` exactly.
+  template <typename T>
+  void recv_into(std::span<T> out, int src, int tag);
+
   /// Exchanges buffers with a partner rank without deadlocking.
   template <typename T>
   std::vector<T> sendrecv(std::span<const T> send_data, int dest, int src,
@@ -150,6 +164,17 @@ class Communicator {
   template <typename T>
   std::vector<std::vector<T>> alltoallv(std::vector<std::vector<T>> send_bufs,
                                         int tag);
+
+  /// Zero-allocation personalized all-to-all over caller-provided flat
+  /// buffers: rank r's chunk occupies send[sum(send_counts[0..r-1]) ..) and
+  /// lands in recv at the offset implied by recv_counts. Both count arrays
+  /// must have one entry per rank and sum to the corresponding span size;
+  /// the caller owns (and can reuse) all four buffers across calls.
+  /// Self-exchange is a local copy.
+  template <typename T>
+  void alltoallv(std::span<const T> send, std::span<const index_t> send_counts,
+                 std::span<T> recv, std::span<const index_t> recv_counts,
+                 int tag);
 
   /// Splits into sub-communicators by color; new ranks are ordered by the
   /// parent rank. Collective over the parent communicator.
@@ -217,6 +242,7 @@ std::vector<T> Communicator::deserialize(std::vector<std::byte> bytes) {
 template <typename T>
 void Communicator::send(std::span<const T> data, int dest, int tag) {
   ScopedTimer timer(*timings_, time_kind_);
+  timings_->add_message(time_kind_, data.size_bytes());
   state_->mailboxes[dest].push({rank_, tag, serialize(data)});
 }
 
@@ -224,6 +250,17 @@ template <typename T>
 std::vector<T> Communicator::recv(int src, int tag) {
   ScopedTimer timer(*timings_, time_kind_);
   return deserialize<T>(state_->mailboxes[rank_].pop(src, tag));
+}
+
+template <typename T>
+void Communicator::recv_into(std::span<T> out, int src, int tag) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ScopedTimer timer(*timings_, time_kind_);
+  const std::vector<std::byte> bytes = state_->mailboxes[rank_].pop(src, tag);
+  if (bytes.size() != out.size_bytes())
+    throw std::runtime_error(
+        "mpisim: recv_into buffer size does not match message payload");
+  if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
 }
 
 template <typename T>
@@ -418,6 +455,7 @@ std::vector<std::vector<T>> Communicator::alltoallv(
   // exchange and corrupt data silently. O(log p) cost, negligible against
   // the pairwise payload exchange.
   check_collective_consistent(tag, "alltoallv tag");
+  timings_->add_exchange(time_kind_);
   std::vector<std::vector<T>> recv_bufs(size());
   recv_bufs[rank_] = std::move(send_bufs[rank_]);
   for (int offset = 1; offset < size(); ++offset) {
@@ -429,6 +467,57 @@ std::vector<std::vector<T>> Communicator::alltoallv(
     recv_bufs[src] = recv<T>(src, tag);
   }
   return recv_bufs;
+}
+
+template <typename T>
+void Communicator::alltoallv(std::span<const T> send,
+                             std::span<const index_t> send_counts,
+                             std::span<T> recv,
+                             std::span<const index_t> recv_counts, int tag) {
+  const int p = size();
+  if (static_cast<int>(send_counts.size()) != p ||
+      static_cast<int>(recv_counts.size()) != p)
+    throw std::runtime_error("mpisim: alltoallv needs one count per rank");
+  index_t send_total = 0, recv_total = 0;
+  for (int r = 0; r < p; ++r) {
+    send_total += send_counts[r];
+    recv_total += recv_counts[r];
+  }
+  if (send_total != static_cast<index_t>(send.size()) ||
+      recv_total != static_cast<index_t>(recv.size()))
+    throw std::runtime_error("mpisim: alltoallv counts do not sum to buffers");
+  check_collective_consistent(tag, "alltoallv tag");
+  timings_->add_exchange(time_kind_);
+
+  // Offsets are prefix sums of the counts; computed on the fly so the call
+  // itself allocates nothing.
+  index_t self_send_off = 0, self_recv_off = 0;
+  for (int r = 0; r < rank_; ++r) {
+    self_send_off += send_counts[r];
+    self_recv_off += recv_counts[r];
+  }
+  if (send_counts[rank_] != recv_counts[rank_])
+    throw std::runtime_error("mpisim: alltoallv self chunk size mismatch");
+  if (send_counts[rank_] > 0)
+    std::memcpy(recv.data() + self_recv_off, send.data() + self_send_off,
+                static_cast<size_t>(send_counts[rank_]) * sizeof(T));
+
+  for (int offset = 1; offset < p; ++offset) {
+    const int dest = (rank_ + offset) % p;
+    index_t off = 0;
+    for (int r = 0; r < dest; ++r) off += send_counts[r];
+    this->send(send.subspan(static_cast<size_t>(off),
+                            static_cast<size_t>(send_counts[dest])),
+               dest, tag);
+  }
+  for (int offset = 1; offset < p; ++offset) {
+    const int src = (rank_ - offset + p) % p;
+    index_t off = 0;
+    for (int r = 0; r < src; ++r) off += recv_counts[r];
+    recv_into(recv.subspan(static_cast<size_t>(off),
+                           static_cast<size_t>(recv_counts[src])),
+              src, tag);
+  }
 }
 
 }  // namespace diffreg::mpisim

@@ -140,7 +140,7 @@ void Transport::solve_adjoint(const ScalarField& lambda1, VectorField& b,
 
   ScalarField cur = lambda1;
   ScalarField next(n);
-  b = VectorField(n);
+  grid::resize_zero(b, n);
 
   auto accumulate = [&](int j, const ScalarField& lam) {
     const real_t w = dt() * ((j == 0 || j == nt) ? real_t(0.5) : real_t(1));
@@ -251,7 +251,7 @@ void Transport::solve_incremental_adjoint_full(
 
   ScalarField cur = lambda_tilde1;
   ScalarField next(n);
-  b_tilde = VectorField(n);
+  grid::resize_zero(b_tilde, n);
 
   auto accumulate = [&](int j, const ScalarField& lam_tilde) {
     const real_t w = dt() * ((j == 0 || j == nt) ? real_t(0.5) : real_t(1));

@@ -251,6 +251,128 @@ INSTANTIATE_TEST_SUITE_P(
                       DistCase{{10, 7, 8}, 4, 2},
                       DistCase{{7, 10, 6}, 2, 3}));
 
+// r2c/c2r axis-3 coverage: even/odd/mixed-radix/Bluestein N3, including odd
+// local row counts (exercising the unpaired-last-row path) and the
+// transpose-correctness sweep over p in {1, 2, 4, 6}.
+INSTANTIATE_TEST_SUITE_P(
+    RealTransformSizes, DistributedFft,
+    ::testing::Values(DistCase{{5, 5, 5}, 1, 1},     // odd N3, odd rows
+                      DistCase{{5, 5, 8}, 1, 2},     // odd local rows, p = 2
+                      DistCase{{6, 6, 9}, 2, 2},     // mixed-radix odd N3
+                      DistCase{{8, 6, 12}, 2, 3},    // mixed-radix even N3
+                      DistCase{{5, 4, 67}, 1, 2},    // Bluestein N3
+                      DistCase{{67, 4, 6}, 2, 1},    // Bluestein N1
+                      DistCase{{4, 67, 6}, 2, 2},    // Bluestein N2
+                      DistCase{{9, 7, 10}, 1, 4},    // p = 4, uneven
+                      DistCase{{10, 9, 7}, 4, 1},    // p = 4, col-only
+                      DistCase{{12, 7, 9}, 6, 1},    // p = 6, col-only
+                      DistCase{{7, 12, 9}, 1, 6}));  // p = 6, row-only
+
+TEST(DistributedFft3d, BatchedManyMatchesSequentialBitwise) {
+  // forward_many/inverse_many must agree bitwise with per-component
+  // transforms: the batch changes the exchange schedule, not the arithmetic.
+  const Int3 dims{8, 12, 10};
+  mpisim::run_spmd(4, [&](mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, dims, 2, 2);
+    DistributedFft3d fft(decomp);
+    const index_t nr = fft.local_real_size();
+    const index_t ns = fft.local_spectral_size();
+
+    std::vector<std::vector<real_t>> x(3);
+    for (int c = 0; c < 3; ++c)
+      x[c] = random_real(nr, 100 + 7 * static_cast<unsigned>(c) +
+                                 static_cast<unsigned>(comm.rank()));
+
+    // Sequential reference.
+    std::vector<std::vector<complex_t>> spec_seq(3);
+    for (int c = 0; c < 3; ++c) {
+      spec_seq[c].resize(ns);
+      fft.forward(x[c], spec_seq[c]);
+    }
+    std::vector<std::vector<real_t>> back_seq(3);
+    for (int c = 0; c < 3; ++c) {
+      back_seq[c].resize(nr);
+      fft.inverse(spec_seq[c], back_seq[c]);
+    }
+
+    // Batched.
+    std::vector<std::vector<complex_t>> spec_many(3);
+    for (auto& s : spec_many) s.resize(ns);
+    const real_t* reals[3] = {x[0].data(), x[1].data(), x[2].data()};
+    complex_t* specs[3] = {spec_many[0].data(), spec_many[1].data(),
+                           spec_many[2].data()};
+    fft.forward_many(std::span<const real_t* const>(reals),
+                     std::span<complex_t* const>(specs));
+    for (int c = 0; c < 3; ++c)
+      for (index_t i = 0; i < ns; ++i) {
+        ASSERT_EQ(spec_many[c][i].real(), spec_seq[c][i].real());
+        ASSERT_EQ(spec_many[c][i].imag(), spec_seq[c][i].imag());
+      }
+
+    std::vector<std::vector<real_t>> back_many(3);
+    for (auto& b : back_many) b.resize(nr);
+    const complex_t* cspecs[3] = {spec_many[0].data(), spec_many[1].data(),
+                                  spec_many[2].data()};
+    real_t* backs[3] = {back_many[0].data(), back_many[1].data(),
+                        back_many[2].data()};
+    fft.inverse_many(std::span<const complex_t* const>(cspecs),
+                     std::span<real_t* const>(backs));
+    for (int c = 0; c < 3; ++c)
+      for (index_t i = 0; i < nr; ++i)
+        ASSERT_EQ(back_many[c][i], back_seq[c][i]);
+  });
+}
+
+TEST(DistributedFft3d, RepeatedTransformsReuseBuffersBitwise) {
+  // All pack/unpack scratch lives in the plan; running the same transform
+  // twice must produce bit-identical results with the buffers reused (the
+  // zero-allocation acceptance check of the flat-buffer pipeline).
+  const Int3 dims{12, 10, 8};
+  mpisim::run_spmd(4, [&](mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, dims, 2, 2);
+    DistributedFft3d fft(decomp);
+    auto x = random_real(fft.local_real_size(),
+                         55 + static_cast<unsigned>(comm.rank()));
+    std::vector<complex_t> spec1(fft.local_spectral_size());
+    std::vector<complex_t> spec2(fft.local_spectral_size());
+    std::vector<real_t> back1(fft.local_real_size());
+    std::vector<real_t> back2(fft.local_real_size());
+    fft.forward(x, spec1);
+    fft.inverse(spec1, back1);
+    fft.forward(x, spec2);
+    fft.inverse(spec2, back2);
+    for (index_t i = 0; i < fft.local_spectral_size(); ++i) {
+      ASSERT_EQ(spec1[i].real(), spec2[i].real());
+      ASSERT_EQ(spec1[i].imag(), spec2[i].imag());
+    }
+    for (index_t i = 0; i < fft.local_real_size(); ++i)
+      ASSERT_EQ(back1[i], back2[i]);
+  });
+}
+
+TEST(DistributedFft3d, CommCountersTrackExchangesAndBytes) {
+  // One forward = 2 alltoallv exchanges (row + col); with p1 = p2 = 2 every
+  // rank ships data to one peer per exchange, so bytes and messages are
+  // nonzero and attributed to the FFT comm category.
+  const Int3 dims{8, 8, 8};
+  auto timings = mpisim::run_spmd(4, [&](mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, dims, 2, 2);
+    DistributedFft3d fft(decomp);
+    std::vector<real_t> x(fft.local_real_size(), 1.0);
+    std::vector<complex_t> spec(fft.local_spectral_size());
+    comm.timings().clear();
+    fft.forward(x, spec);
+    EXPECT_EQ(comm.timings().exchanges(TimeKind::kFftComm), 2u);
+    fft.inverse(spec, x);
+    EXPECT_EQ(comm.timings().exchanges(TimeKind::kFftComm), 4u);
+  });
+  for (const auto& t : timings) {
+    EXPECT_EQ(t.exchanges(TimeKind::kFftComm), 4u);
+    EXPECT_GT(t.bytes(TimeKind::kFftComm), 0u);
+    EXPECT_GT(t.messages(TimeKind::kFftComm), 0u);
+  }
+}
+
 TEST(DistributedFft3d, TimingsAreAttributed) {
   const Int3 dims{16, 16, 16};
   auto timings = mpisim::run_spmd(4, [&](mpisim::Communicator& comm) {

@@ -289,6 +289,72 @@ TEST(Collectives, VectorAllreduceEmptyBatchIsClean) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+TEST_P(SpmdSize, SpanAlltoallvMatchesVectorOverload) {
+  // The zero-allocation flat-buffer alltoallv must deliver exactly what the
+  // vector-of-vectors overload does, including uneven per-peer chunks.
+  const int p = GetParam();
+  std::atomic<int> failures{0};
+  run_spmd(p, [&](Communicator& comm) {
+    const int r = comm.rank();
+    // Same payload schedule as AlltoallvUnevenPayloads: r sends r+q+1
+    // values "r*1000 + q" to q.
+    std::vector<index_t> send_counts(p), recv_counts(p);
+    for (int q = 0; q < p; ++q) {
+      send_counts[q] = r + q + 1;
+      recv_counts[q] = q + r + 1;
+    }
+    index_t stotal = 0, rtotal = 0;
+    for (int q = 0; q < p; ++q) {
+      stotal += send_counts[q];
+      rtotal += recv_counts[q];
+    }
+    std::vector<int> send(stotal), recv(rtotal);
+    index_t pos = 0;
+    for (int q = 0; q < p; ++q)
+      for (index_t i = 0; i < send_counts[q]; ++i) send[pos++] = r * 1000 + q;
+    comm.alltoallv(std::span<const int>(send),
+                   std::span<const index_t>(send_counts),
+                   std::span<int>(recv), std::span<const index_t>(recv_counts),
+                   /*tag=*/31);
+    pos = 0;
+    for (int q = 0; q < p; ++q)
+      for (index_t i = 0; i < recv_counts[q]; ++i)
+        if (recv[pos++] != q * 1000 + r) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Collectives, SpanAlltoallvRejectsBadCounts) {
+  EXPECT_THROW(
+      run_spmd(2,
+               [&](Communicator& comm) {
+                 std::vector<int> send(4), recv(4);
+                 std::vector<index_t> counts{2, 2};
+                 std::vector<index_t> bad{1, 2};  // sums to 3, buffer has 4
+                 comm.alltoallv(std::span<const int>(send),
+                                std::span<const index_t>(bad),
+                                std::span<int>(recv),
+                                std::span<const index_t>(counts), 33);
+               }),
+      std::runtime_error);
+}
+
+TEST(Collectives, SendAccountsBytesAndMessages) {
+  auto timings = run_spmd(2, [&](Communicator& comm) {
+    comm.set_time_kind(TimeKind::kFftComm);
+    comm.timings().clear();
+    const int peer = 1 - comm.rank();
+    std::vector<double> payload(16, 1.0);
+    comm.send(std::span<const double>(payload), peer, /*tag=*/7);
+    (void)comm.recv<double>(peer, /*tag=*/7);
+  });
+  for (const auto& t : timings) {
+    EXPECT_EQ(t.messages(TimeKind::kFftComm), 1u);
+    EXPECT_EQ(t.bytes(TimeKind::kFftComm), 16 * sizeof(double));
+    EXPECT_EQ(t.exchanges(TimeKind::kFftComm), 0u);
+  }
+}
+
 TEST(Collectives, AlltoallvDetectsCollectiveMismatch) {
   // Ranks disagreeing on which alltoallv they entered must be caught by the
   // consistency self-check instead of silently mixing exchanges.

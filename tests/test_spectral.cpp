@@ -210,6 +210,35 @@ INSTANTIATE_TEST_SUITE_P(Sweep, SpectralSweep,
                                            SpectralCase{{16, 12, 10}, 2},
                                            SpectralCase{{12, 18, 16}, 6}));
 
+TEST(Spectral, GradientUsesBatchedInverseExchanges) {
+  // Pre-batching, gradient cost 1 forward + 3 scalar inverses = 8 alltoallv
+  // exchanges per rank; the batched inverse_many brings that to 4 (2 for the
+  // forward, 2 for all three components together).
+  const Int3 dims{8, 8, 8};
+  mpisim::run_spmd(4, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, dims, 2, 2);
+    SpectralOps ops(decomp);
+    ScalarField f(decomp.local_real_size(), 1.0);
+    VectorField g(decomp.local_real_size());
+    comm.timings().clear();
+    ops.gradient(f, g);
+    EXPECT_EQ(comm.timings().exchanges(TimeKind::kFftComm), 4u);
+
+    // Divergence batches its forward the same way: 2 + 2 instead of 6 + 2.
+    VectorField v(decomp.local_real_size());
+    ScalarField div(decomp.local_real_size());
+    comm.timings().clear();
+    ops.divergence(v, div);
+    EXPECT_EQ(comm.timings().exchanges(TimeKind::kFftComm), 4u);
+
+    // Vector Laplacian (the regularization apply): 4 instead of 12.
+    VectorField w(decomp.local_real_size());
+    comm.timings().clear();
+    ops.neg_laplacian_pow(v, 1, w);
+    EXPECT_EQ(comm.timings().exchanges(TimeKind::kFftComm), 4u);
+  });
+}
+
 TEST(Spectral, GaussianSmoothingDampsHighFrequencies) {
   mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
     PencilDecomp decomp(comm, {16, 16, 16});
