@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the CI Release job.
+
+Compares freshly produced bench JSONs (BENCH_fft.json, BENCH_semilag.json)
+against the committed baselines in bench/baselines/. Two classes of fields:
+
+* Wall-time fields (ending in ``_ms``): fail when the current value exceeds
+  baseline * (1 + --time-tolerance). Machines differ, so CI passes a wider
+  tolerance than the 25% default that is meant for like-for-like local runs.
+* Counter fields (comm messages / alltoallv exchanges): deterministic
+  properties of the communication schedule, so ANY increase over the
+  baseline fails, regardless of tolerance.
+* Byte counters (fields containing ``bytes``): near-deterministic, but the
+  interpolation byte volume depends on which rank owns each departure point
+  — a floating-point classification that can shift by a few points across
+  compilers/FMA contraction — so they get a small tolerance
+  (--bytes-tolerance, default 1%).
+
+Records are matched by their identity keys (``size``/``ranks``/``case``);
+a record or file missing from the baseline is reported (and fails, unless
+--allow-missing) so new benches get a committed baseline alongside them.
+
+Usage:
+  python3 bench/check_regression.py \
+      --baseline-dir bench/baselines [--time-tolerance 0.25] \
+      BENCH_fft.json BENCH_semilag.json
+
+Exit code 0 = no regression, 1 = regression or comparison error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+IDENTITY_KEYS = ("size", "ranks", "case", "bench")
+TIME_SUFFIX = "_ms"
+
+
+def record_key(record):
+    return tuple((k, record[k]) for k in IDENTITY_KEYS if k in record)
+
+
+def load_records(path):
+    with open(path) as f:
+        doc = json.load(f)
+    records = {}
+    for rec in doc.get("records", []):
+        records[record_key(rec)] = rec
+    return doc.get("bench", os.path.basename(path)), records
+
+
+def compare_file(current_path, baseline_path, time_tol, bytes_tol, failures,
+                 notes):
+    bench, current = load_records(current_path)
+    _, baseline = load_records(baseline_path)
+
+    # Coverage loss is itself a regression: every baseline record and field
+    # must still be produced by the current run.
+    for key, base in sorted(baseline.items()):
+        ident = ", ".join(f"{k}={v}" for k, v in key)
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{bench}: baseline record ({ident}) missing "
+                            "from the current output (bench case dropped?)")
+            continue
+        for field in base:
+            if field not in cur:
+                failures.append(f"{bench} ({ident}): baseline field {field} "
+                                "missing from the current output")
+
+    for key, cur in sorted(current.items()):
+        base = baseline.get(key)
+        ident = ", ".join(f"{k}={v}" for k, v in key)
+        if base is None:
+            notes.append(f"{bench}: no baseline record for ({ident}); "
+                         "refresh bench/baselines/")
+            continue
+        for field, cur_val in cur.items():
+            if field in IDENTITY_KEYS or not isinstance(cur_val, (int, float)):
+                continue
+            base_val = base.get(field)
+            if base_val is None:
+                notes.append(f"{bench} ({ident}): field {field} missing from "
+                             "baseline")
+                continue
+            if field.endswith(TIME_SUFFIX):
+                limit = base_val * (1.0 + time_tol)
+                if cur_val > limit:
+                    failures.append(
+                        f"{bench} ({ident}): {field} regressed "
+                        f"{base_val:.3f} -> {cur_val:.3f} ms "
+                        f"(limit {limit:.3f}, tolerance {time_tol:.0%})")
+                elif base_val > 0 and cur_val < base_val / (1.0 + time_tol):
+                    notes.append(
+                        f"{bench} ({ident}): {field} improved "
+                        f"{base_val:.3f} -> {cur_val:.3f} ms; consider "
+                        "refreshing the baseline")
+            elif "bytes" in field:
+                # Byte volume is data-dependent at the margin (departure
+                # point ownership is a floating-point classification).
+                limit = base_val * (1.0 + bytes_tol)
+                if cur_val > limit:
+                    failures.append(
+                        f"{bench} ({ident}): byte counter {field} grew "
+                        f"{base_val} -> {cur_val} (limit {limit:.0f}, "
+                        f"tolerance {bytes_tol:.0%})")
+            else:
+                # Deterministic communication counters: never allowed to grow.
+                if cur_val > base_val:
+                    failures.append(
+                        f"{bench} ({ident}): counter {field} grew "
+                        f"{base_val} -> {cur_val} (counters are exact; any "
+                        "increase is a comm-schedule regression)")
+                elif cur_val < base_val:
+                    notes.append(
+                        f"{bench} ({ident}): counter {field} dropped "
+                        f"{base_val} -> {cur_val}; refresh the baseline to "
+                        "lock in the win")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", nargs="+",
+                        help="bench JSONs produced by this run")
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--time-tolerance", type=float,
+                        default=float(os.environ.get("BENCH_TIME_TOLERANCE",
+                                                     0.25)),
+                        help="allowed fractional wall-time growth "
+                             "(default 0.25; env BENCH_TIME_TOLERANCE)")
+    parser.add_argument("--bytes-tolerance", type=float, default=0.01,
+                        help="allowed fractional growth of byte counters "
+                             "(default 0.01)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not fail when a baseline file is absent")
+    args = parser.parse_args()
+
+    failures, notes = [], []
+    for current_path in args.current:
+        baseline_path = os.path.join(args.baseline_dir,
+                                     os.path.basename(current_path))
+        if not os.path.exists(current_path):
+            failures.append(f"missing bench output {current_path}")
+            continue
+        if not os.path.exists(baseline_path):
+            msg = f"no committed baseline {baseline_path}"
+            (notes if args.allow_missing else failures).append(msg)
+            continue
+        compare_file(current_path, baseline_path, args.time_tolerance,
+                     args.bytes_tolerance, failures, notes)
+
+    for note in notes:
+        print(f"note: {note}")
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"bench regression gate passed "
+          f"({len(args.current)} file(s), time tolerance "
+          f"{args.time_tolerance:.0%}, bytes tolerance "
+          f"{args.bytes_tolerance:.0%}, message/exchange counters exact)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

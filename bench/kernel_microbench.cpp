@@ -127,18 +127,49 @@ void BM_TricubicKernelRaw(benchmark::State& state) {
 BENCHMARK(BM_TricubicKernelRaw);
 
 void BM_InterpPlanBuild(benchmark::State& state) {
-  // The scatter phase the paper amortizes: rebuild the plan every time.
+  // The scatter phase the paper amortizes: force a rebuild every iteration
+  // by alternating between two velocities (a repeated velocity would hit
+  // the plan cache and measure nothing).
   World& w = world(state.range(0));
   semilag::TransportConfig tc;
   semilag::Transport transport(w.ops, tc);
-  auto v = imaging::synthetic_velocity(w.decomp, 0.5);
+  auto va = imaging::synthetic_velocity(w.decomp, 0.5);
+  auto vb = imaging::synthetic_velocity(w.decomp, 0.51);
+  bool flip = false;
   for (auto _ : state) {
-    transport.set_velocity(v);  // trajectory + two plan builds
+    transport.set_velocity(flip ? va : vb);  // trajectory + two plan builds
+    flip = !flip;
     benchmark::DoNotOptimize(&transport);
   }
   state.SetItemsProcessed(state.iterations() * w.decomp.local_real_size());
 }
 BENCHMARK(BM_InterpPlanBuild)->Arg(32);
+
+void BM_InterpBatchedVsSequential(benchmark::State& state) {
+  // Ablation: 3 fields through one interpolate_many (arg 1) vs three
+  // sequential interpolate calls (arg 0) on the same cached plan.
+  World& w = world(32);
+  const bool batched = state.range(0) == 1;
+  semilag::TransportConfig tc;
+  semilag::Transport transport(w.ops, tc);
+  transport.set_velocity(imaging::synthetic_velocity(w.decomp, 0.5));
+  const index_t n = w.decomp.local_real_size();
+  grid::VectorField f(n), out(n);
+  for (index_t i = 0; i < n; ++i)
+    for (int d = 0; d < 3; ++d)
+      f[d][i] = static_cast<real_t>(((i + d) * 2654435761u) % 1000) / 1000;
+  for (auto _ : state) {
+    if (batched) {
+      transport.interp_vec_at_forward_points(f, out);
+    } else {
+      for (int d = 0; d < 3; ++d)
+        transport.interp_at_forward_points(f[d], out[d]);
+    }
+    benchmark::DoNotOptimize(out[0].data());
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * n);
+}
+BENCHMARK(BM_InterpBatchedVsSequential)->Arg(0)->Arg(1);
 
 void BM_InterpPlanExecute(benchmark::State& state) {
   // Executing a cached plan (one ghost exchange + eval + return): the fast

@@ -1,0 +1,163 @@
+// Semi-Lagrangian transport trajectory reporter: times the plan build
+// (departure points + scatter phase), the cached-plan solves (state and the
+// Gauss-Newton Hessian-matvec transports), and the batched vector
+// interpolation, and dumps one JSON record per configuration (size, ranks,
+// wall times, interp comm bytes/messages/alltoallv exchanges per matvec) to
+// BENCH_semilag.json. Together with BENCH_fft.json this feeds the CI
+// bench-regression gate (bench/check_regression.py): wall times are gated
+// with a tolerance, the comm counters exactly.
+//
+// Usage: semilag_report [output.json]
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "imaging/synthetic.hpp"
+#include "mpisim/communicator.hpp"
+#include "semilag/transport.hpp"
+
+using namespace diffreg;
+
+namespace {
+
+struct Record {
+  index_t n = 0;
+  int p = 0;
+  double plan_build_ms = 0;   // set_velocity of a fresh velocity
+  double state_ms = 0;        // solve_state (nt cached-plan steps)
+  double matvec_ms = 0;       // incr. state + GN incr. adjoint transports
+  double interp_vec3_ms = 0;  // one batched 3-component interpolation
+  std::uint64_t comm_bytes = 0;     // interp comm per rank per matvec
+  std::uint64_t comm_messages = 0;
+  std::uint64_t exchanges = 0;      // alltoallv+alltoall per rank per matvec
+};
+
+Record run_case(index_t n, int p, int reps) {
+  Record rec;
+  rec.n = n;
+  rec.p = p;
+  const Int3 dims{n, n, n};
+
+  double build_max = 0, state_max = 0, matvec_max = 0, vec3_max = 0;
+  Timings agg;
+  std::mutex mu;
+  mpisim::run_spmd(p, [&](mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, dims);
+    spectral::SpectralOps ops(decomp);
+    semilag::TransportConfig tc;
+    tc.nt = 4;
+    semilag::Transport transport(ops, tc);
+
+    auto rho0 = imaging::synthetic_template(decomp);
+    auto va = imaging::synthetic_velocity(decomp, 0.5);
+    auto vb = imaging::synthetic_velocity(decomp, 0.52);
+    auto w = imaging::synthetic_velocity_divfree(decomp, 0.3);
+
+    // Warm-up: builds the plans and grows every scratch buffer once.
+    grid::ScalarField rho_tilde1;
+    grid::VectorField b, vec_out;
+    transport.set_velocity(va);
+    transport.solve_state(rho0);
+    transport.solve_incremental_state(w, rho_tilde1);
+    transport.solve_incremental_adjoint_gn(rho_tilde1, b);
+    transport.interp_vec_at_forward_points(w, vec_out);
+
+    // Plan build: alternate two velocities so every call rebuilds (a
+    // repeated velocity would hit the plan cache).
+    WallTimer t;
+    for (int r = 0; r < reps; ++r)
+      transport.set_velocity(r % 2 == 0 ? vb : va);
+    const double build = t.seconds() / reps;
+
+    t.reset();
+    for (int r = 0; r < reps; ++r) transport.solve_state(rho0);
+    const double state = t.seconds() / reps;
+
+    const Timings before = comm.timings();
+    t.reset();
+    for (int r = 0; r < reps; ++r) {
+      transport.solve_incremental_state(w, rho_tilde1);
+      transport.solve_incremental_adjoint_gn(rho_tilde1, b);
+    }
+    const double matvec = t.seconds() / reps;
+    const Timings matvec_delta = timings_delta(before, comm.timings());
+
+    t.reset();
+    for (int r = 0; r < reps; ++r)
+      transport.interp_vec_at_forward_points(w, vec_out);
+    const double vec3 = t.seconds() / reps;
+
+    std::scoped_lock lock(mu);
+    build_max = std::max(build_max, build);
+    state_max = std::max(state_max, state);
+    matvec_max = std::max(matvec_max, matvec);
+    vec3_max = std::max(vec3_max, vec3);
+    agg += matvec_delta;
+  });
+
+  rec.plan_build_ms = build_max * 1e3;
+  rec.state_ms = state_max * 1e3;
+  rec.matvec_ms = matvec_max * 1e3;
+  rec.interp_vec3_ms = vec3_max * 1e3;
+  // Per-rank, per-matvec averages (deterministic: the plan's comm schedule
+  // is fixed by the velocity, not by timing).
+  const std::uint64_t norm =
+      static_cast<std::uint64_t>(reps) * static_cast<std::uint64_t>(p);
+  rec.comm_bytes = agg.bytes(TimeKind::kInterpComm) / norm;
+  rec.comm_messages = agg.messages(TimeKind::kInterpComm) / norm;
+  rec.exchanges = agg.exchanges(TimeKind::kInterpComm) / norm;
+  return rec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_semilag.json";
+
+  std::vector<Record> records;
+  records.push_back(run_case(32, 1, 10));
+  records.push_back(run_case(64, 1, 3));
+  records.push_back(run_case(32, 4, 5));
+  records.push_back(run_case(64, 4, 2));
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "semilag_report: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"semilag\",\n  \"records\": [\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(
+        f,
+        "    {\"size\": %lld, \"ranks\": %d, \"plan_build_ms\": %.4f, "
+        "\"state_ms\": %.4f, \"matvec_ms\": %.4f, \"interp_vec3_ms\": %.4f, "
+        "\"interp_comm_bytes_per_rank_matvec\": %llu, "
+        "\"interp_comm_messages_per_rank_matvec\": %llu, "
+        "\"interp_exchanges_per_rank_matvec\": %llu}%s\n",
+        static_cast<long long>(r.n), r.p, r.plan_build_ms, r.state_ms,
+        r.matvec_ms, r.interp_vec3_ms,
+        static_cast<unsigned long long>(r.comm_bytes),
+        static_cast<unsigned long long>(r.comm_messages),
+        static_cast<unsigned long long>(r.exchanges),
+        i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  for (const Record& r : records)
+    std::printf(
+        "semilag %lld^3 p=%d: plan build %.3f ms, state %.3f ms, matvec "
+        "%.3f ms, vec3 interp %.3f ms, %llu B / %llu msgs / %llu exchanges "
+        "per rank per matvec\n",
+        static_cast<long long>(r.n), r.p, r.plan_build_ms, r.state_ms,
+        r.matvec_ms, r.interp_vec3_ms,
+        static_cast<unsigned long long>(r.comm_bytes),
+        static_cast<unsigned long long>(r.comm_messages),
+        static_cast<unsigned long long>(r.exchanges));
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

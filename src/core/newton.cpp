@@ -31,6 +31,7 @@ NewtonReport newton_solve(OptimalitySystem& system, VectorField& v,
   const index_t n = decomp.local_real_size();
 
   system.reset_matvec_count();
+  const int plan_builds_before = system.transport().plan_build_count();
 
   VectorField g(n), rhs(n), step(n), v_trial(n);
 
@@ -139,6 +140,8 @@ NewtonReport newton_solve(OptimalitySystem& system, VectorField& v,
   report.final_gradient_norm =
       report.log.empty() ? real_t(0) : report.log.back().gradient_norm;
   report.total_matvecs = system.matvec_count();
+  report.plan_builds =
+      system.transport().plan_build_count() - plan_builds_before;
   return report;
 }
 

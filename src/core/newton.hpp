@@ -23,6 +23,11 @@ struct NewtonReport {
   bool converged = false;
   int iterations = 0;
   int total_matvecs = 0;
+  /// Interpolation-plan rebuilds (departure-point recomputations) the solve
+  /// triggered. Every objective evaluation of a *new* velocity costs one;
+  /// all PCG matvecs and the accepted-iterate re-evaluation reuse cached
+  /// plans, so this stays far below total_matvecs.
+  int plan_builds = 0;
   real_t initial_gradient_norm = 0;
   real_t final_gradient_norm = 0;
   real_t final_objective = 0;

@@ -1,5 +1,6 @@
 #include "grid/ghost_exchange.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -22,60 +23,93 @@ GhostExchange::GhostExchange(PencilDecomp& decomp, index_t width,
             ldims_[2] + 2 * width_};
 }
 
+void GhostExchange::ensure_slab_capacity(int nfields) {
+  const index_t slab1 = width_ * ldims_[1] * gdims_[2];
+  const index_t slab2 = gdims_[0] * width_ * gdims_[2];
+  const size_t need =
+      static_cast<size_t>(std::max(slab1, slab2)) * nfields;
+  if (pack_buf_.size() < need) pack_buf_.resize(need);
+  if (recv_buf_.size() < need) recv_buf_.resize(need);
+}
+
 void GhostExchange::exchange(std::span<const real_t> local,
                              std::vector<real_t>& ghosted) {
   assert(static_cast<index_t>(local.size()) == ldims_.prod());
-  ghosted.assign(ghost_size(), real_t(0));
+  if (ghosted.size() != static_cast<size_t>(ghost_size()))
+    ghosted.resize(ghost_size());
+  const real_t* locals[1] = {local.data()};
+  exchange_many(std::span<const real_t* const>(locals, 1), ghosted);
+}
+
+void GhostExchange::exchange_many(std::span<const real_t* const> locals,
+                                  std::span<real_t> ghosted) {
+  const int m = static_cast<int>(locals.size());
+  assert(static_cast<index_t>(ghosted.size()) == m * ghost_size());
+  ensure_slab_capacity(m);
   const index_t w = width_;
   const index_t n3 = ldims_[2];
+  const index_t gsize = ghost_size();
 
-  // Interior copy + local periodic wrap along dim 3.
-  for (index_t i1 = 0; i1 < ldims_[0]; ++i1) {
-    for (index_t i2 = 0; i2 < ldims_[1]; ++i2) {
-      const real_t* src = local.data() + (i1 * ldims_[1] + i2) * n3;
-      real_t* dst =
-          ghosted.data() + linear_index(i1 + w, i2 + w, 0, gdims_);
-      for (index_t i3 = 0; i3 < n3; ++i3) dst[w + i3] = src[i3];
-      for (index_t i3 = 0; i3 < w; ++i3) {
-        dst[i3] = src[n3 - w + i3];          // low halo <- high interior
-        dst[w + n3 + i3] = src[i3];          // high halo <- low interior
+  // Interior copy + local periodic wrap along dim 3, one block per field.
+  for (int f = 0; f < m; ++f) {
+    const real_t* local = locals[f];
+    real_t* gblock = ghosted.data() + f * gsize;
+    for (index_t i1 = 0; i1 < ldims_[0]; ++i1) {
+      for (index_t i2 = 0; i2 < ldims_[1]; ++i2) {
+        const real_t* src = local + (i1 * ldims_[1] + i2) * n3;
+        real_t* dst = gblock + linear_index(i1 + w, i2 + w, 0, gdims_);
+        for (index_t i3 = 0; i3 < n3; ++i3) dst[w + i3] = src[i3];
+        for (index_t i3 = 0; i3 < w; ++i3) {
+          dst[i3] = src[n3 - w + i3];          // low halo <- high interior
+          dst[w + n3 + i3] = src[i3];          // high halo <- low interior
+        }
       }
     }
   }
 
-  exchange_dim1(ghosted);
-  exchange_dim2(ghosted);
+  exchange_dim1(ghosted, m);
+  exchange_dim2(ghosted, m);
 }
 
-void GhostExchange::exchange_dim1(std::vector<real_t>& ghosted) {
-  // Slabs cover interior dim 2 and the already-wrapped dim 3.
+void GhostExchange::exchange_dim1(std::span<real_t> ghosted, int nfields) {
+  // Slabs cover interior dim 2 and the already-wrapped dim 3; all fields of
+  // the batch are packed back to back into the same message.
   const index_t w = width_;
   const index_t slab = w * ldims_[1] * gdims_[2];
   const index_t n1l = ldims_[0];
-  auto pack = [&](index_t i1_begin) {
-    std::vector<real_t> buf(slab);
+  const index_t gsize = ghost_size();
+  auto pack = [&](std::span<real_t> buf, index_t i1_begin) {
     index_t pos = 0;
-    for (index_t i1 = i1_begin; i1 < i1_begin + w; ++i1)
-      for (index_t i2 = 0; i2 < ldims_[1]; ++i2) {
-        const real_t* src =
-            ghosted.data() + linear_index(i1, i2 + w, 0, gdims_);
-        for (index_t i3 = 0; i3 < gdims_[2]; ++i3) buf[pos++] = src[i3];
-      }
-    return buf;
+    for (int f = 0; f < nfields; ++f) {
+      const real_t* gblock = ghosted.data() + f * gsize;
+      for (index_t i1 = i1_begin; i1 < i1_begin + w; ++i1)
+        for (index_t i2 = 0; i2 < ldims_[1]; ++i2) {
+          const real_t* src = gblock + linear_index(i1, i2 + w, 0, gdims_);
+          for (index_t i3 = 0; i3 < gdims_[2]; ++i3) buf[pos++] = src[i3];
+        }
+    }
   };
-  auto unpack = [&](const std::vector<real_t>& buf, index_t i1_begin) {
+  auto unpack = [&](std::span<const real_t> buf, index_t i1_begin) {
     index_t pos = 0;
-    for (index_t i1 = i1_begin; i1 < i1_begin + w; ++i1)
-      for (index_t i2 = 0; i2 < ldims_[1]; ++i2) {
-        real_t* dst = ghosted.data() + linear_index(i1, i2 + w, 0, gdims_);
-        for (index_t i3 = 0; i3 < gdims_[2]; ++i3) dst[i3] = buf[pos++];
-      }
+    for (int f = 0; f < nfields; ++f) {
+      real_t* gblock = ghosted.data() + f * gsize;
+      for (index_t i1 = i1_begin; i1 < i1_begin + w; ++i1)
+        for (index_t i2 = 0; i2 < ldims_[1]; ++i2) {
+          real_t* dst = gblock + linear_index(i1, i2 + w, 0, gdims_);
+          for (index_t i3 = 0; i3 < gdims_[2]; ++i3) dst[i3] = buf[pos++];
+        }
+    }
   };
 
+  const index_t msg = slab * nfields;
+  const std::span<real_t> send_buf(pack_buf_.data(), msg);
+  const std::span<real_t> halo_buf(recv_buf_.data(), msg);
   const int p1 = decomp_->p1();
   if (p1 == 1) {
-    unpack(pack(w + n1l - w), 0);      // low halo <- own high interior
-    unpack(pack(w), w + n1l);          // high halo <- own low interior
+    pack(send_buf, w + n1l - w);       // low halo <- own high interior
+    unpack(send_buf, 0);
+    pack(send_buf, w);                 // high halo <- own low interior
+    unpack(send_buf, w + n1l);
     return;
   }
   auto& comm = decomp_->comm();
@@ -86,44 +120,54 @@ void GhostExchange::exchange_dim1(std::vector<real_t>& ghosted) {
                                       decomp_->r2());
   // My high interior goes to hi_nbr's low halo (travels "high", kTagHigh);
   // I receive my low halo from lo_nbr.
-  auto high_interior = pack(w + n1l - w);
-  auto low_halo = comm.sendrecv(std::span<const real_t>(high_interior),
-                                hi_nbr, lo_nbr, kTagHigh);
-  unpack(low_halo, 0);
-  auto low_interior = pack(w);
-  auto high_halo = comm.sendrecv(std::span<const real_t>(low_interior),
-                                 lo_nbr, hi_nbr, kTagLow);
-  unpack(high_halo, w + n1l);
+  pack(send_buf, w + n1l - w);
+  comm.send(std::span<const real_t>(send_buf), hi_nbr, kTagHigh);
+  comm.recv_into(halo_buf, lo_nbr, kTagHigh);
+  unpack(halo_buf, 0);
+  pack(send_buf, w);
+  comm.send(std::span<const real_t>(send_buf), lo_nbr, kTagLow);
+  comm.recv_into(halo_buf, hi_nbr, kTagLow);
+  unpack(halo_buf, w + n1l);
 }
 
-void GhostExchange::exchange_dim2(std::vector<real_t>& ghosted) {
+void GhostExchange::exchange_dim2(std::span<real_t> ghosted, int nfields) {
   // Slabs cover the FULL ghosted dim 1 (so corners come along) and dim 3.
   const index_t w = width_;
   const index_t slab = gdims_[0] * w * gdims_[2];
   const index_t n2l = ldims_[1];
-  auto pack = [&](index_t i2_begin) {
-    std::vector<real_t> buf(slab);
+  const index_t gsize = ghost_size();
+  auto pack = [&](std::span<real_t> buf, index_t i2_begin) {
     index_t pos = 0;
-    for (index_t i1 = 0; i1 < gdims_[0]; ++i1)
-      for (index_t i2 = i2_begin; i2 < i2_begin + w; ++i2) {
-        const real_t* src = ghosted.data() + linear_index(i1, i2, 0, gdims_);
-        for (index_t i3 = 0; i3 < gdims_[2]; ++i3) buf[pos++] = src[i3];
-      }
-    return buf;
+    for (int f = 0; f < nfields; ++f) {
+      const real_t* gblock = ghosted.data() + f * gsize;
+      for (index_t i1 = 0; i1 < gdims_[0]; ++i1)
+        for (index_t i2 = i2_begin; i2 < i2_begin + w; ++i2) {
+          const real_t* src = gblock + linear_index(i1, i2, 0, gdims_);
+          for (index_t i3 = 0; i3 < gdims_[2]; ++i3) buf[pos++] = src[i3];
+        }
+    }
   };
-  auto unpack = [&](const std::vector<real_t>& buf, index_t i2_begin) {
+  auto unpack = [&](std::span<const real_t> buf, index_t i2_begin) {
     index_t pos = 0;
-    for (index_t i1 = 0; i1 < gdims_[0]; ++i1)
-      for (index_t i2 = i2_begin; i2 < i2_begin + w; ++i2) {
-        real_t* dst = ghosted.data() + linear_index(i1, i2, 0, gdims_);
-        for (index_t i3 = 0; i3 < gdims_[2]; ++i3) dst[i3] = buf[pos++];
-      }
+    for (int f = 0; f < nfields; ++f) {
+      real_t* gblock = ghosted.data() + f * gsize;
+      for (index_t i1 = 0; i1 < gdims_[0]; ++i1)
+        for (index_t i2 = i2_begin; i2 < i2_begin + w; ++i2) {
+          real_t* dst = gblock + linear_index(i1, i2, 0, gdims_);
+          for (index_t i3 = 0; i3 < gdims_[2]; ++i3) dst[i3] = buf[pos++];
+        }
+    }
   };
 
+  const index_t msg = slab * nfields;
+  const std::span<real_t> send_buf(pack_buf_.data(), msg);
+  const std::span<real_t> halo_buf(recv_buf_.data(), msg);
   const int p2 = decomp_->p2();
   if (p2 == 1) {
-    unpack(pack(w + n2l - w), 0);
-    unpack(pack(w), w + n2l);
+    pack(send_buf, w + n2l - w);
+    unpack(send_buf, 0);
+    pack(send_buf, w);
+    unpack(send_buf, w + n2l);
     return;
   }
   auto& comm = decomp_->comm();
@@ -132,14 +176,14 @@ void GhostExchange::exchange_dim2(std::vector<real_t>& ghosted) {
                                       (decomp_->r2() - 1 + p2) % p2);
   const int hi_nbr = decomp_->rank_of(decomp_->r1(),
                                       (decomp_->r2() + 1) % p2);
-  auto high_interior = pack(w + n2l - w);
-  auto low_halo = comm.sendrecv(std::span<const real_t>(high_interior),
-                                hi_nbr, lo_nbr, kTagHigh);
-  unpack(low_halo, 0);
-  auto low_interior = pack(w);
-  auto high_halo = comm.sendrecv(std::span<const real_t>(low_interior),
-                                 lo_nbr, hi_nbr, kTagLow);
-  unpack(high_halo, w + n2l);
+  pack(send_buf, w + n2l - w);
+  comm.send(std::span<const real_t>(send_buf), hi_nbr, kTagHigh);
+  comm.recv_into(halo_buf, lo_nbr, kTagHigh);
+  unpack(halo_buf, 0);
+  pack(send_buf, w);
+  comm.send(std::span<const real_t>(send_buf), lo_nbr, kTagLow);
+  comm.recv_into(halo_buf, hi_nbr, kTagLow);
+  unpack(halo_buf, w + n2l);
 }
 
 }  // namespace diffreg::grid

@@ -7,6 +7,12 @@
 // process grid; corner values are picked up by exchanging dimension 1 first
 // and then dimension 2 over the already-widened slabs (two-phase trick).
 // Dimension 3 is fully local, so its halo is a periodic wrap in memory.
+//
+// The exchanger owns persistent pack/unpack buffers, so a steady-state
+// exchange performs no heap allocation, and `exchange_many` widens several
+// fields through the SAME four neighbour messages (one packed slab per
+// direction instead of one per field) — the halo analogue of the batched
+// interpolation exchange.
 #pragma once
 
 #include <span>
@@ -31,15 +37,28 @@ class GhostExchange {
   /// Fills `ghosted` (resized to ghost_size()) from the owned block.
   void exchange(std::span<const real_t> local, std::vector<real_t>& ghosted);
 
+  /// Batched exchange: widens `locals.size()` fields into consecutive
+  /// ghost_size() blocks of `ghosted` (which must hold exactly
+  /// locals.size() * ghost_size() elements). All fields share the four
+  /// neighbour messages, so the message count is independent of the batch.
+  void exchange_many(std::span<const real_t* const> locals,
+                     std::span<real_t> ghosted);
+
  private:
-  void exchange_dim1(std::vector<real_t>& ghosted);
-  void exchange_dim2(std::vector<real_t>& ghosted);
+  void exchange_dim1(std::span<real_t> ghosted, int nfields);
+  void exchange_dim2(std::span<real_t> ghosted, int nfields);
+  /// Grows the two slab buffers to fit `nfields` packed slabs.
+  void ensure_slab_capacity(int nfields);
 
   PencilDecomp* decomp_;
   index_t width_;
   Int3 ldims_;   // local owned block
   Int3 gdims_;   // ghosted block
   TimeKind comm_kind_;
+
+  // Persistent slab buffers (grow-only): sized for the larger of the dim-1
+  // and dim-2 slabs times the widest batch seen so far.
+  std::vector<real_t> pack_buf_, recv_buf_;
 
   static constexpr int kTagLow = 201;   // data travelling toward lower index
   static constexpr int kTagHigh = 202;  // data travelling toward higher index

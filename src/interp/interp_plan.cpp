@@ -8,112 +8,226 @@ namespace diffreg::interp {
 using grid::GhostExchange;
 using grid::PencilDecomp;
 
+InterpPlan::InterpPlan(PencilDecomp& decomp) : decomp_(&decomp) {
+  const int p = decomp.comm().size();
+  send_counts_.assign(p, 0);
+  recv_counts_.assign(p, 0);
+  cursor_.assign(p, 0);
+  val_send_counts_.assign(p, 0);
+  val_recv_counts_.assign(p, 0);
+}
+
 InterpPlan::InterpPlan(PencilDecomp& decomp, std::span<const Vec3> points)
-    : decomp_(&decomp), num_points_(static_cast<index_t>(points.size())) {
-  auto& comm = decomp.comm();
+    : InterpPlan(decomp) {
+  build(points);
+}
+
+void InterpPlan::build(std::span<const Vec3> points) {
+  auto& comm = decomp_->comm();
   Timings& timings = comm.timings();
   comm.set_time_kind(TimeKind::kInterpComm);
-  const Int3 dims = decomp.dims();
+  const Int3 dims = decomp_->dims();
   const int p = comm.size();
+  num_points_ = static_cast<index_t>(points.size());
 
-  // Scatter phase: classify every point by the pencil that owns it and pack
-  // its coordinates in grid units.
-  std::vector<std::vector<real_t>> send_coords(p);
-  send_index_.assign(p, {});
+  // Classify every point by the pencil that owns it (pass 1: counts), then
+  // pack its grid-unit coordinates dest-ordered (pass 2). Two passes over
+  // the points replace the old per-rank vector<vector> staging, so the
+  // buffers below are flat and reused across rebuilds.
   {
     ScopedTimer t(timings, TimeKind::kInterpExec);
     const real_t h1 = kTwoPi / static_cast<real_t>(dims[0]);
     const real_t h2 = kTwoPi / static_cast<real_t>(dims[1]);
     const real_t h3 = kTwoPi / static_cast<real_t>(dims[2]);
+    if (owner_.size() < static_cast<size_t>(num_points_)) {
+      owner_.resize(num_points_);
+      wrapped_.resize(3 * num_points_);
+      send_index_.resize(num_points_);
+      send_coords_.resize(3 * num_points_);
+    }
+    std::fill(send_counts_.begin(), send_counts_.end(), index_t(0));
     for (index_t i = 0; i < num_points_; ++i) {
       const real_t u1 = periodic_wrap(points[i][0], kTwoPi) / h1;
       const real_t u2 = periodic_wrap(points[i][1], kTwoPi) / h2;
       const real_t u3 = periodic_wrap(points[i][2], kTwoPi) / h3;
       const index_t f1 = periodic_index(static_cast<index_t>(u1), dims[0]);
       const index_t f2 = periodic_index(static_cast<index_t>(u2), dims[1]);
-      const int owner = decomp.owner_of(f1, f2);
-      send_index_[owner].push_back(i);
-      auto& buf = send_coords[owner];
-      buf.push_back(u1);
-      buf.push_back(u2);
-      buf.push_back(u3);
+      const int owner = decomp_->owner_of(f1, f2);
+      owner_[i] = owner;
+      wrapped_[3 * i] = u1;
+      wrapped_[3 * i + 1] = u2;
+      wrapped_[3 * i + 2] = u3;
+      ++send_counts_[owner];
+    }
+    cursor_[0] = 0;
+    for (int r = 1; r < p; ++r)
+      cursor_[r] = cursor_[r - 1] + send_counts_[r - 1];
+    for (index_t i = 0; i < num_points_; ++i) {
+      const index_t slot = cursor_[owner_[i]]++;
+      send_index_[slot] = i;
+      send_coords_[3 * slot] = wrapped_[3 * i];
+      send_coords_[3 * slot + 1] = wrapped_[3 * i + 1];
+      send_coords_[3 * slot + 2] = wrapped_[3 * i + 2];
     }
   }
 
-  recv_coords_ = comm.alltoallv(std::move(send_coords), kTagCoords);
+  // Learn how many points each rank sends me (one fixed-count alltoall),
+  // then exchange the coordinates themselves (one alltoallv). The count
+  // tables double as the per-peer tables of every later value exchange.
+  comm.alltoall(std::span<const index_t>(send_counts_),
+                std::span<index_t>(recv_counts_), kTagCounts);
+  recv_total_ = 0;
+  for (int r = 0; r < p; ++r) recv_total_ += recv_counts_[r];
+  for (int r = 0; r < p; ++r) {
+    val_send_counts_[r] = 3 * send_counts_[r];
+    val_recv_counts_[r] = 3 * recv_counts_[r];
+  }
+  if (recv_coords_.size() < static_cast<size_t>(3 * recv_total_))
+    recv_coords_.resize(3 * recv_total_);
+  comm.alltoallv(
+      std::span<const real_t>(send_coords_.data(), 3 * num_points_),
+      std::span<const index_t>(val_send_counts_),
+      std::span<real_t>(recv_coords_.data(), 3 * recv_total_),
+      std::span<const index_t>(val_recv_counts_), kTagCoords);
 
   // Convert the received global grid-unit coordinates into ghosted-block
-  // units once, so execute() does no coordinate arithmetic.
+  // units and precompute the tricubic stencils (base offset + separable
+  // weights) once, so the interpolate sweep does no coordinate arithmetic
+  // at all — the paper's "interpolation coefficients computed once per
+  // Newton iteration".
   {
     ScopedTimer t(timings, TimeKind::kInterpExec);
     const real_t off1 =
-        static_cast<real_t>(kGhostWidth - decomp.range1().begin);
+        static_cast<real_t>(kGhostWidth - decomp_->range1().begin);
     const real_t off2 =
-        static_cast<real_t>(kGhostWidth - decomp.range2().begin);
+        static_cast<real_t>(kGhostWidth - decomp_->range2().begin);
     const real_t off3 = static_cast<real_t>(kGhostWidth);
-    for (auto& buf : recv_coords_) {
-      for (size_t j = 0; j < buf.size(); j += 3) {
-        buf[j] += off1;
-        buf[j + 1] += off2;
-        buf[j + 2] += off3;
-      }
+    const Int3 ld = decomp_->local_real_dims();
+    const Int3 gdims{ld[0] + 2 * kGhostWidth, ld[1] + 2 * kGhostWidth,
+                     ld[2] + 2 * kGhostWidth};
+    if (stencils_.size() < static_cast<size_t>(recv_total_))
+      stencils_.resize(recv_total_);
+    for (index_t j = 0; j < recv_total_; ++j) {
+      recv_coords_[3 * j] += off1;
+      recv_coords_[3 * j + 1] += off2;
+      recv_coords_[3 * j + 2] += off3;
+      make_cubic_stencil(gdims, recv_coords_[3 * j], recv_coords_[3 * j + 1],
+                         recv_coords_[3 * j + 2], stencils_[j]);
     }
   }
+
+  // Pre-size the value buffers for the common vector-field batch so the
+  // first interpolate of a fresh velocity allocates nothing.
+  constexpr int kPresizeBatch = 3;
+  if (eval_vals_.size() < static_cast<size_t>(kPresizeBatch * recv_total_))
+    eval_vals_.resize(kPresizeBatch * recv_total_);
+  if (ret_vals_.size() < static_cast<size_t>(kPresizeBatch * num_points_))
+    ret_vals_.resize(kPresizeBatch * num_points_);
+
+  built_ = true;
+  ++builds_;
 }
 
-void InterpPlan::execute(GhostExchange& gx, std::span<const real_t> field,
-                         std::span<real_t> out, Method method) {
+void InterpPlan::interpolate(GhostExchange& gx, std::span<const real_t> field,
+                             std::span<real_t> out, Method method) {
   assert(static_cast<index_t>(out.size()) == num_points_);
-  assert(gx.width() >= kGhostWidth);
+  const real_t* fields[1] = {field.data()};
+  real_t* outs[1] = {out.data()};
+  interpolate_many(gx, std::span<const real_t* const>(fields, 1),
+                   std::span<real_t* const>(outs, 1), method);
+}
+
+void InterpPlan::interpolate_many(GhostExchange& gx,
+                                  std::span<const real_t* const> fields,
+                                  std::span<real_t* const> outs,
+                                  Method method) {
+  assert(built_);
+  assert(fields.size() == outs.size());
+  // The planned coordinates and stencil offsets are expressed in blocks
+  // ghosted by exactly kGhostWidth.
+  assert(gx.width() == kGhostWidth);
+  const int m = static_cast<int>(fields.size());
   auto& comm = decomp_->comm();
   Timings& timings = comm.timings();
   comm.set_time_kind(TimeKind::kInterpComm);
   const int p = comm.size();
+  const index_t gsize = gx.ghost_size();
 
-  gx.exchange(field, ghosted_);
+  if (ghosted_.size() < static_cast<size_t>(m) * gsize)
+    ghosted_.resize(static_cast<size_t>(m) * gsize);
+  if (eval_vals_.size() < static_cast<size_t>(m) * recv_total_)
+    eval_vals_.resize(static_cast<size_t>(m) * recv_total_);
+  if (ret_vals_.size() < static_cast<size_t>(m) * num_points_)
+    ret_vals_.resize(static_cast<size_t>(m) * num_points_);
+
+  // One halo exchange for the whole batch.
+  gx.exchange_many(fields,
+                   std::span<real_t>(ghosted_.data(),
+                                     static_cast<size_t>(m) * gsize));
   const Int3 gdims = gx.ghost_dims();
 
-  // Evaluate all received points (ours and other ranks').
-  std::vector<std::vector<real_t>> values(p);
+  // Evaluate all received points (ours and other ranks'), point-major so
+  // the per-peer chunks scale with the batch size and every field of the
+  // batch reuses the point's precomputed stencil.
   {
     ScopedTimer t(timings, TimeKind::kInterpExec);
-    for (int q = 0; q < p; ++q) {
-      const auto& coords = recv_coords_[q];
-      auto& vals = values[q];
-      vals.resize(coords.size() / 3);
-      if (method == Method::kTricubic) {
-        for (size_t j = 0; j < vals.size(); ++j)
-          vals[j] = tricubic_eval(ghosted_.data(), gdims, coords[3 * j],
-                                  coords[3 * j + 1], coords[3 * j + 2]);
-      } else {
-        for (size_t j = 0; j < vals.size(); ++j)
-          vals[j] = trilinear_eval(ghosted_.data(), gdims, coords[3 * j],
-                                   coords[3 * j + 1], coords[3 * j + 2]);
+    if (method == Method::kTricubic) {
+      for (index_t j = 0; j < recv_total_; ++j) {
+        const CubicStencil& st = stencils_[j];
+        for (int f = 0; f < m; ++f)
+          eval_vals_[j * m + f] =
+              cubic_stencil_apply(ghosted_.data() + f * gsize, gdims, st);
+      }
+    } else {
+      for (index_t j = 0; j < recv_total_; ++j) {
+        const real_t u1 = recv_coords_[3 * j];
+        const real_t u2 = recv_coords_[3 * j + 1];
+        const real_t u3 = recv_coords_[3 * j + 2];
+        for (int f = 0; f < m; ++f)
+          eval_vals_[j * m + f] =
+              trilinear_eval(ghosted_.data() + f * gsize, gdims, u1, u2, u3);
       }
     }
   }
 
-  auto returned = comm.alltoallv(std::move(values), kTagValues);
+  // One value alltoallv for the whole batch: the counts are the plan's
+  // per-peer point counts scaled by the batch size.
+  for (int r = 0; r < p; ++r) {
+    val_send_counts_[r] = recv_counts_[r] * m;
+    val_recv_counts_[r] = send_counts_[r] * m;
+  }
+  comm.alltoallv(
+      std::span<const real_t>(eval_vals_.data(),
+                              static_cast<size_t>(m) * recv_total_),
+      std::span<const index_t>(val_send_counts_),
+      std::span<real_t>(ret_vals_.data(),
+                        static_cast<size_t>(m) * num_points_),
+      std::span<const index_t>(val_recv_counts_), kTagValues);
 
   {  // Scatter the returned values into the caller's point order.
     ScopedTimer t(timings, TimeKind::kInterpExec);
-    for (int q = 0; q < p; ++q) {
-      const auto& idx = send_index_[q];
-      const auto& vals = returned[q];
-      assert(vals.size() == idx.size());
-      for (size_t j = 0; j < idx.size(); ++j) out[idx[j]] = vals[j];
+    for (index_t s = 0; s < num_points_; ++s) {
+      const index_t orig = send_index_[s];
+      for (int f = 0; f < m; ++f) outs[f][orig] = ret_vals_[s * m + f];
     }
   }
 }
 
-void InterpPlan::execute(GhostExchange& gx, const grid::VectorField& field,
-                         std::vector<Vec3>& out, Method method) {
-  out.resize(num_points_);
-  std::vector<real_t> component(num_points_);
-  for (int d = 0; d < 3; ++d) {
-    execute(gx, field[d], component, method);
-    for (index_t i = 0; i < num_points_; ++i) out[i][d] = component[i];
-  }
+void InterpPlan::interpolate_vec(GhostExchange& gx,
+                                 const grid::VectorField& field,
+                                 std::vector<Vec3>& out, Method method) {
+  if (out.size() != static_cast<size_t>(num_points_)) out.resize(num_points_);
+  if (comp_out_.size() < static_cast<size_t>(3 * num_points_))
+    comp_out_.resize(3 * num_points_);
+  const real_t* fields[3] = {field[0].data(), field[1].data(),
+                             field[2].data()};
+  real_t* outs[3] = {comp_out_.data(), comp_out_.data() + num_points_,
+                     comp_out_.data() + 2 * num_points_};
+  interpolate_many(gx, std::span<const real_t* const>(fields, 3),
+                   std::span<real_t* const>(outs, 3), method);
+  for (index_t i = 0; i < num_points_; ++i)
+    out[i] = Vec3{comp_out_[i], comp_out_[num_points_ + i],
+                  comp_out_[2 * num_points_ + i]};
 }
 
 }  // namespace diffreg::interp

@@ -176,6 +176,13 @@ class Communicator {
                  std::span<T> recv, std::span<const index_t> recv_counts,
                  int tag);
 
+  /// Fixed-count all-to-all: exactly one element to and from every rank,
+  /// over caller-owned buffers of p elements each (zero allocation). This is
+  /// the count-exchange primitive variable-size plans (e.g. the scattered
+  /// interpolation plan) use to learn their alltoallv recv counts.
+  template <typename T>
+  void alltoall(std::span<const T> send, std::span<T> recv, int tag);
+
   /// Splits into sub-communicators by color; new ranks are ordered by the
   /// parent rank. Collective over the parent communicator.
   Communicator split(int color);
@@ -205,6 +212,26 @@ class Communicator {
   // Tags above this bound are reserved for collectives.
   static constexpr int kCollectiveTag = 1 << 20;
 };
+
+template <typename T>
+void Communicator::alltoall(std::span<const T> send, std::span<T> recv,
+                            int tag) {
+  const int p = size();
+  if (static_cast<int>(send.size()) != p ||
+      static_cast<int>(recv.size()) != p)
+    throw std::runtime_error("mpisim: alltoall needs one element per rank");
+  check_collective_consistent(tag, "alltoall tag");
+  timings_->add_exchange(time_kind_);
+  recv[rank_] = send[rank_];
+  for (int offset = 1; offset < p; ++offset) {
+    const int dest = (rank_ + offset) % p;
+    this->send(send.subspan(static_cast<size_t>(dest), 1), dest, tag);
+  }
+  for (int offset = 1; offset < p; ++offset) {
+    const int src = (rank_ - offset + p) % p;
+    recv_into(recv.subspan(static_cast<size_t>(src), 1), src, tag);
+  }
+}
 
 /// Runs `body` on p ranks (threads) and returns the per-rank timings.
 /// Exceptions thrown by any rank are rethrown (first one wins).

@@ -36,7 +36,10 @@ TimeVaryingTransport::TimeVaryingTransport(
   div_v_at_bwd_.resize(nt);
   v_at_fwd_.resize(nt);
 
-  // Per-interval RK2 departure points (eq. 6 with v = v_j).
+  // Per-interval RK2 departure points (eq. 6 with v = v_j). The predictor
+  // plan and its scratch are shared across all intervals.
+  InterpPlan star(*decomp_);
+  std::vector<Vec3> v_star;
   auto departure_points = [&](const VectorField& v, int sign,
                               std::vector<Vec3>& pts) {
     const real_t s = static_cast<real_t>(sign) * step;
@@ -51,9 +54,8 @@ TimeVaryingTransport::TimeVaryingTransport(
                           c * h3 - s * v[2][idx]};
       }
     }
-    InterpPlan star(*decomp_, pts);
-    std::vector<Vec3> v_star;
-    star.execute(gx_, v, v_star, method_);
+    star.build(pts);
+    star.interpolate_vec(gx_, v, v_star, method_);
     idx = 0;
     for (index_t a = 0; a < ld[0]; ++a) {
       const real_t x1 = (lo1 + a) * h1;
@@ -73,12 +75,12 @@ TimeVaryingTransport::TimeVaryingTransport(
   for (int j = 0; j < nt; ++j) {
     departure_points(v_[j], +1, pts);
     plans_fwd_[j] = std::make_unique<InterpPlan>(*decomp_, pts);
-    plans_fwd_[j]->execute(gx_, v_[j], v_at_fwd_[j], method_);
+    plans_fwd_[j]->interpolate_vec(gx_, v_[j], v_at_fwd_[j], method_);
     departure_points(v_[j], -1, pts);
     plans_bwd_[j] = std::make_unique<InterpPlan>(*decomp_, pts);
     ops_->divergence(v_[j], div_v_[j]);
     div_v_at_bwd_[j].resize(n);
-    plans_bwd_[j]->execute(gx_, div_v_[j], div_v_at_bwd_[j], method_);
+    plans_bwd_[j]->interpolate(gx_, div_v_[j], div_v_at_bwd_[j], method_);
   }
 }
 
@@ -87,7 +89,8 @@ void TimeVaryingTransport::solve_state(const ScalarField& rho0) {
   rho_hist_[0] = rho0;
   for (int j = 0; j < nt(); ++j) {
     rho_hist_[j + 1].resize(rho0.size());
-    plans_fwd_[j]->execute(gx_, rho_hist_[j], rho_hist_[j + 1], method_);
+    plans_fwd_[j]->interpolate(gx_, rho_hist_[j], rho_hist_[j + 1],
+                              method_);
   }
 }
 
@@ -98,7 +101,7 @@ void TimeVaryingTransport::solve_adjoint(const ScalarField& lambda1) {
   lambda_hist_[nt()] = lambda1;
   for (int j = nt(); j >= 1; --j) {
     // Advect lam along -v_j with the linear-in-lam source lam div v_j.
-    plans_bwd_[j - 1]->execute(gx_, lambda_hist_[j], nu_at_x_, method_);
+    plans_bwd_[j - 1]->interpolate(gx_, lambda_hist_[j], nu_at_x_, method_);
     auto& next = lambda_hist_[j - 1];
     next.resize(n);
     const auto& divv = div_v_[j - 1];
@@ -122,7 +125,7 @@ void TimeVaryingTransport::solve_displacement(VectorField& u1) {
         for (index_t i = 0; i < n; ++i)
           next[i] = -half_dt * (v_at_fwd_[j][i][d] + v_[j][d][i]);
       } else {
-        plans_fwd_[j]->execute(gx_, u1[d], nu_at_x_, method_);
+        plans_fwd_[j]->interpolate(gx_, u1[d], nu_at_x_, method_);
         for (index_t i = 0; i < n; ++i)
           next[i] = nu_at_x_[i] - half_dt * (v_at_fwd_[j][i][d] + v_[j][d][i]);
       }

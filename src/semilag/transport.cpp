@@ -1,17 +1,33 @@
 #include "semilag/transport.hpp"
 
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
 namespace diffreg::semilag {
 
 using interp::InterpPlan;
 
+namespace {
+
+/// Bitwise equality of two fields (plan-invalidation check: identical bits
+/// guarantee identical departure points, so the cached plans stay valid).
+bool same_bits(const ScalarField& a, const ScalarField& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(real_t)) == 0);
+}
+
+}  // namespace
+
 Transport::Transport(spectral::SpectralOps& ops, const TransportConfig& config)
     : ops_(&ops),
       decomp_(&ops.decomp()),
       config_(config),
-      gx_(*decomp_, interp::kGhostWidth) {
+      gx_(*decomp_, interp::kGhostWidth),
+      plan_fwd_(*decomp_),
+      plan_bwd_(*decomp_),
+      star_plan_(*decomp_) {
   if (config_.nt < 1)
     throw std::invalid_argument("Transport: nt must be >= 1");
   const index_t n = decomp_->local_real_size();
@@ -19,12 +35,11 @@ Transport::Transport(spectral::SpectralOps& ops, const TransportConfig& config)
   f_at_x_.resize(n);
   f0_grid_.resize(n);
   f1_grid_.resize(n);
-  scratch_.resize(n);
   rho_hist_.assign(config_.nt + 1, ScalarField(n, 0));
   grad_rho_hist_.assign(config_.nt + 1, std::nullopt);
 }
 
-void Transport::compute_departure_points(int sign, std::vector<Vec3>& points) {
+void Transport::compute_departure_points(int sign) {
   const Int3 dims = decomp_->dims();
   const Int3 ld = decomp_->local_real_dims();
   const real_t h1 = kTwoPi / static_cast<real_t>(dims[0]);
@@ -34,7 +49,7 @@ void Transport::compute_departure_points(int sign, std::vector<Vec3>& points) {
   const index_t lo2 = decomp_->range2().begin;
   const real_t s = static_cast<real_t>(sign) * dt();
 
-  points.resize(decomp_->local_real_size());
+  points_.resize(decomp_->local_real_size());
   index_t idx = 0;
   for (index_t i1 = 0; i1 < ld[0]; ++i1) {
     const real_t x1 = static_cast<real_t>(lo1 + i1) * h1;
@@ -42,16 +57,16 @@ void Transport::compute_departure_points(int sign, std::vector<Vec3>& points) {
       const real_t x2 = static_cast<real_t>(lo2 + i2) * h2;
       for (index_t i3 = 0; i3 < ld[2]; ++i3, ++idx) {
         const real_t x3 = static_cast<real_t>(i3) * h3;
-        points[idx] = Vec3{x1 - s * v_[0][idx], x2 - s * v_[1][idx],
-                           x3 - s * v_[2][idx]};
+        points_[idx] = Vec3{x1 - s * v_[0][idx], x2 - s * v_[1][idx],
+                            x3 - s * v_[2][idx]};
       }
     }
   }
 
-  // RK2 correction (eq. 6): X = x - s/2 (v(x) + v(X*)).
-  InterpPlan star_plan(*decomp_, points);
-  std::vector<Vec3> v_star;
-  star_plan.execute(gx_, v_, v_star, config_.method);
+  // RK2 correction (eq. 6): X = x - s/2 (v(x) + v(X*)). The predictor plan
+  // is a persistent member so its buffers are reused across rebuilds.
+  star_plan_.build(points_);
+  star_plan_.interpolate_vec(gx_, v_, v_star_, config_.method);
   idx = 0;
   for (index_t i1 = 0; i1 < ld[0]; ++i1) {
     const real_t x1 = static_cast<real_t>(lo1 + i1) * h1;
@@ -60,10 +75,10 @@ void Transport::compute_departure_points(int sign, std::vector<Vec3>& points) {
       for (index_t i3 = 0; i3 < ld[2]; ++i3, ++idx) {
         const real_t x3 = static_cast<real_t>(i3) * h3;
         const real_t half = real_t(0.5) * s;
-        points[idx] =
-            Vec3{x1 - half * (v_[0][idx] + v_star[idx][0]),
-                 x2 - half * (v_[1][idx] + v_star[idx][1]),
-                 x3 - half * (v_[2][idx] + v_star[idx][2])};
+        points_[idx] =
+            Vec3{x1 - half * (v_[0][idx] + v_star_[idx][0]),
+                 x2 - half * (v_[1][idx] + v_star_[idx][1]),
+                 x3 - half * (v_[2][idx] + v_star_[idx][2])};
       }
     }
   }
@@ -71,34 +86,40 @@ void Transport::compute_departure_points(int sign, std::vector<Vec3>& points) {
 
 void Transport::set_velocity(const VectorField& v) {
   assert(v.local_size() == decomp_->local_real_size());
+  // Plan cache: identical velocity bits => identical departure points =>
+  // the cached plans (and v/div v at the departure points) stay valid.
+  if (plans_built_ && same_bits(v_[0], v[0]) && same_bits(v_[1], v[1]) &&
+      same_bits(v_[2], v[2]))
+    return;
   v_ = v;
   for (auto& g : grad_rho_hist_) g.reset();
   lambda_hist_.clear();
   rho_tilde_hist_.clear();
   grad_rho_tilde_hist_.clear();
 
-  std::vector<Vec3> points;
-  compute_departure_points(+1, points);
-  plan_fwd_ = std::make_unique<InterpPlan>(*decomp_, points);
-  plan_fwd_->execute(gx_, v_, v_at_fwd_, config_.method);
+  compute_departure_points(+1);
+  plan_fwd_.build(points_);
+  plan_fwd_.interpolate_vec(gx_, v_, v_at_fwd_, config_.method);
 
-  compute_departure_points(-1, points);
-  plan_bwd_ = std::make_unique<InterpPlan>(*decomp_, points);
+  compute_departure_points(-1);
+  plan_bwd_.build(points_);
 
   if (!config_.incompressible) {
     ops_->divergence(v_, div_v_);
     div_v_at_bwd_.resize(decomp_->local_real_size());
-    plan_bwd_->execute(gx_, div_v_, div_v_at_bwd_, config_.method);
+    plan_bwd_.interpolate(gx_, div_v_, div_v_at_bwd_, config_.method);
   } else {
     div_v_.clear();
     div_v_at_bwd_.clear();
   }
+  plans_built_ = true;
+  ++plan_builds_;
 }
 
 void Transport::advect_step(InterpPlan& plan, const ScalarField& nu,
                             const ScalarField* f0_at_points,
                             const ScalarField* f1_grid, ScalarField& out) {
-  plan.execute(gx_, nu, nu_at_x_, config_.method);
+  plan.interpolate(gx_, nu, nu_at_x_, config_.method);
   const index_t n = decomp_->local_real_size();
   const real_t half_dt = real_t(0.5) * dt();
   if (f0_at_points == nullptr && f1_grid == nullptr) {
@@ -112,12 +133,12 @@ void Transport::advect_step(InterpPlan& plan, const ScalarField& nu,
 }
 
 void Transport::solve_state(const ScalarField& rho0) {
-  if (!plan_fwd_)
+  if (!plans_built_)
     throw std::logic_error("Transport: set_velocity before solve_state");
   rho_hist_[0] = rho0;
   for (auto& g : grad_rho_hist_) g.reset();
   for (int j = 0; j < config_.nt; ++j)
-    advect_step(*plan_fwd_, rho_hist_[j], nullptr, nullptr, rho_hist_[j + 1]);
+    advect_step(plan_fwd_, rho_hist_[j], nullptr, nullptr, rho_hist_[j + 1]);
 }
 
 const VectorField& Transport::state_gradient(int j) {
@@ -132,7 +153,7 @@ const VectorField& Transport::state_gradient(int j) {
 
 void Transport::solve_adjoint(const ScalarField& lambda1, VectorField& b,
                               bool store_lambda) {
-  if (!plan_bwd_)
+  if (!plans_built_)
     throw std::logic_error("Transport: set_velocity before solve_adjoint");
   const index_t n = decomp_->local_real_size();
   const int nt = config_.nt;
@@ -153,12 +174,12 @@ void Transport::solve_adjoint(const ScalarField& lambda1, VectorField& b,
   accumulate(nt, cur);
   for (int j = nt; j >= 1; --j) {
     if (config_.incompressible) {
-      advect_step(*plan_bwd_, cur, nullptr, nullptr, next);
+      advect_step(plan_bwd_, cur, nullptr, nullptr, next);
     } else {
       // f = lam * div v is linear in lam: f0(X) = lam(X) div_v(X) comes from
       // the cached div v at the departure points, the corrector uses the
       // predictor value (eq. 7).
-      plan_bwd_->execute(gx_, cur, nu_at_x_, config_.method);
+      plan_bwd_.interpolate(gx_, cur, nu_at_x_, config_.method);
       const real_t step = dt();
       for (index_t i = 0; i < n; ++i) {
         const real_t f0 = nu_at_x_[i] * div_v_at_bwd_[i];
@@ -176,7 +197,7 @@ void Transport::solve_adjoint(const ScalarField& lambda1, VectorField& b,
 void Transport::solve_incremental_state(const VectorField& vtilde,
                                         ScalarField& rho_tilde1,
                                         bool store_hist) {
-  if (!plan_fwd_)
+  if (!plans_built_)
     throw std::logic_error(
         "Transport: set_velocity/solve_state before incremental state");
   const index_t n = decomp_->local_real_size();
@@ -197,15 +218,24 @@ void Transport::solve_incremental_state(const VectorField& vtilde,
   ScalarField next(n);
   source(0, f0_grid_);
   for (int j = 0; j < nt; ++j) {
-    plan_fwd_->execute(gx_, f0_grid_, f_at_x_, config_.method);
     source(j + 1, f1_grid_);
     if (j == 0) {
       // rho_tilde(0) = 0, so the advected term vanishes.
+      plan_fwd_.interpolate(gx_, f0_grid_, f_at_x_, config_.method);
       const real_t half_dt = real_t(0.5) * dt();
       for (index_t i = 0; i < n; ++i)
         next[i] = half_dt * (f_at_x_[i] + f1_grid_[i]);
     } else {
-      advect_step(*plan_fwd_, cur, &f_at_x_, &f1_grid_, next);
+      // Advected quantity and source share one batched exchange.
+      const real_t* fields[2] = {cur.data(), f0_grid_.data()};
+      real_t* outs[2] = {nu_at_x_.data(), f_at_x_.data()};
+      plan_fwd_.interpolate_many(gx_,
+                                 std::span<const real_t* const>(fields, 2),
+                                 std::span<real_t* const>(outs, 2),
+                                 config_.method);
+      const real_t half_dt = real_t(0.5) * dt();
+      for (index_t i = 0; i < n; ++i)
+        next[i] = nu_at_x_[i] + half_dt * (f_at_x_[i] + f1_grid_[i]);
     }
     std::swap(cur, next);
     std::swap(f0_grid_, f1_grid_);
@@ -268,9 +298,14 @@ void Transport::solve_incremental_adjoint_full(
   extra_source(nt, f0_grid_);
   for (int j = nt; j >= 1; --j) {
     // f = lam_tilde div v + div(lam vtilde); the first part is linear in
-    // lam_tilde, the second is an explicit per-level field.
-    plan_bwd_->execute(gx_, cur, nu_at_x_, config_.method);
-    plan_bwd_->execute(gx_, f0_grid_, f_at_x_, config_.method);
+    // lam_tilde, the second is an explicit per-level field. Both fields
+    // ride the same batched exchange.
+    const real_t* fields[2] = {cur.data(), f0_grid_.data()};
+    real_t* outs[2] = {nu_at_x_.data(), f_at_x_.data()};
+    plan_bwd_.interpolate_many(gx_,
+                               std::span<const real_t* const>(fields, 2),
+                               std::span<real_t* const>(outs, 2),
+                               config_.method);
     extra_source(j - 1, f1_grid_);
     const real_t step = dt();
     const bool compressible = !config_.incompressible;
@@ -289,34 +324,53 @@ void Transport::solve_incremental_adjoint_full(
 }
 
 void Transport::solve_displacement(VectorField& u1) {
-  if (!plan_fwd_)
+  if (!plans_built_)
     throw std::logic_error("Transport: set_velocity before displacement");
   const index_t n = decomp_->local_real_size();
   const int nt = config_.nt;
   const real_t half_dt = real_t(0.5) * dt();
 
   u1 = VectorField(n);  // u(0) = 0
-  ScalarField next(n);
+  grid::resize_zero(u_at_x_, n);
   for (int j = 0; j < nt; ++j) {
-    for (int d = 0; d < 3; ++d) {
-      if (j == 0) {
+    if (j == 0) {
+      for (int d = 0; d < 3; ++d)
         for (index_t i = 0; i < n; ++i)
-          next[i] = -half_dt * (v_at_fwd_[i][d] + v_[d][i]);
-      } else {
-        plan_fwd_->execute(gx_, u1[d], nu_at_x_, config_.method);
-        for (index_t i = 0; i < n; ++i)
-          next[i] =
-              nu_at_x_[i] - half_dt * (v_at_fwd_[i][d] + v_[d][i]);
-      }
-      std::swap(u1[d], next);
+          u1[d][i] = -half_dt * (v_at_fwd_[i][d] + v_[d][i]);
+      continue;
     }
+    // All three components share one batched exchange per time step.
+    const real_t* fields[3] = {u1[0].data(), u1[1].data(), u1[2].data()};
+    real_t* outs[3] = {u_at_x_[0].data(), u_at_x_[1].data(),
+                       u_at_x_[2].data()};
+    plan_fwd_.interpolate_many(gx_, std::span<const real_t* const>(fields, 3),
+                               std::span<real_t* const>(outs, 3),
+                               config_.method);
+    for (int d = 0; d < 3; ++d)
+      for (index_t i = 0; i < n; ++i)
+        u1[d][i] = u_at_x_[d][i] - half_dt * (v_at_fwd_[i][d] + v_[d][i]);
   }
 }
 
 void Transport::interp_at_forward_points(const ScalarField& f,
                                          ScalarField& out) {
+  if (!plans_built_)
+    throw std::logic_error("Transport: set_velocity before interpolation");
   if (out.size() != f.size()) out.resize(f.size());
-  plan_fwd_->execute(gx_, f, out, config_.method);
+  plan_fwd_.interpolate(gx_, f, out, config_.method);
+}
+
+void Transport::interp_vec_at_forward_points(const VectorField& f,
+                                             VectorField& out) {
+  if (!plans_built_)
+    throw std::logic_error("Transport: set_velocity before interpolation");
+  const index_t n = f.local_size();
+  if (out.local_size() != n) out = VectorField(n);
+  const real_t* fields[3] = {f[0].data(), f[1].data(), f[2].data()};
+  real_t* outs[3] = {out[0].data(), out[1].data(), out[2].data()};
+  plan_fwd_.interpolate_many(gx_, std::span<const real_t* const>(fields, 3),
+                             std::span<real_t* const>(outs, 3),
+                             config_.method);
 }
 
 }  // namespace diffreg::semilag

@@ -14,12 +14,20 @@
 // are cached (paper: "the scatter phase needs to be done once per field per
 // Newton iteration"), and each step costs one or two plan executions.
 //
+// Plan caching contract: set_velocity() rebuilds the forward/backward plans
+// ONLY when the velocity actually changed (bitwise comparison against the
+// cached iterate); a repeated set_velocity with the same field — e.g. the
+// Newton driver restoring the accepted iterate after a line search — is a
+// no-op. Every state/adjoint solve and every PCG Hessian matvec in between
+// reuses the cached plans; plan_build_count() exposes the rebuild count so
+// tests can assert the reuse. All interpolation scratch is owned by the
+// plans or this class, so the per-step hot path allocates nothing.
+//
 // The state history rho(t_j) (nt+1 slices) is stored, as are — lazily — the
 // spectral gradients grad rho(t_j), which the gradient/Hessian integrands
 // reuse across all PCG iterations of a Newton step.
 #pragma once
 
-#include <memory>
 #include <optional>
 #include <vector>
 
@@ -47,10 +55,16 @@ class Transport {
   int nt() const { return config_.nt; }
   real_t dt() const { return real_t(1) / static_cast<real_t>(config_.nt); }
 
-  /// Computes RK2 departure points for +v and -v, builds both interpolation
-  /// plans, and caches v and div v at the departure points. Collective.
+  /// Computes RK2 departure points for +v and -v, rebuilds both cached
+  /// interpolation plans, and caches v and div v at the departure points.
+  /// A velocity bitwise equal to the cached one is a no-op (the plans stay
+  /// valid). Collective.
   void set_velocity(const VectorField& v);
   const VectorField& velocity() const { return v_; }
+
+  /// Number of times the departure points + plans were (re)built. Grows by
+  /// one per *distinct* set_velocity; all solves in between reuse the plans.
+  int plan_build_count() const { return plan_builds_; }
 
   /// Forward solve of (2b); stores rho(t_j) for j = 0..nt.
   void solve_state(const ScalarField& rho0);
@@ -95,14 +109,17 @@ class Transport {
   /// (diagnostics / image warping by one step).
   void interp_at_forward_points(const ScalarField& f, ScalarField& out);
 
+  /// Batched variant: all three components of `f` share one exchange.
+  void interp_vec_at_forward_points(const VectorField& f, VectorField& out);
+
  private:
-  /// RK2 departure points (eq. 6) for velocity sign * v.
-  void compute_departure_points(int sign, std::vector<Vec3>& points);
+  /// RK2 departure points (eq. 6) for velocity sign * v, into points_.
+  void compute_departure_points(int sign);
 
   /// One semi-Lagrangian step of d nu/dt = f along the planned direction:
   /// out(x) = nu(X) + dt/2 (f0(X) + f1(x)); the f terms are optional.
   void advect_step(interp::InterpPlan& plan, const ScalarField& nu,
-                   const ScalarField* f0_grid, const ScalarField* f1_grid,
+                   const ScalarField* f0_at_points, const ScalarField* f1_grid,
                    ScalarField& out);
 
   spectral::SpectralOps* ops_;
@@ -112,10 +129,13 @@ class Transport {
 
   VectorField v_;
   ScalarField div_v_;  // empty when incompressible
-  std::unique_ptr<interp::InterpPlan> plan_fwd_;  // departure points of +v
-  std::unique_ptr<interp::InterpPlan> plan_bwd_;  // departure points of -v
-  std::vector<Vec3> v_at_fwd_;                    // v(X) at forward points
-  ScalarField div_v_at_fwd_, div_v_at_bwd_;
+  bool plans_built_ = false;
+  int plan_builds_ = 0;
+  interp::InterpPlan plan_fwd_;   // departure points of +v
+  interp::InterpPlan plan_bwd_;   // departure points of -v
+  interp::InterpPlan star_plan_;  // RK2 predictor points (build scratch)
+  std::vector<Vec3> v_at_fwd_;    // v(X) at forward points
+  ScalarField div_v_at_bwd_;
 
   std::vector<ScalarField> rho_hist_;
   std::vector<std::optional<VectorField>> grad_rho_hist_;
@@ -123,8 +143,11 @@ class Transport {
   std::vector<ScalarField> rho_tilde_hist_;
   std::vector<std::optional<VectorField>> grad_rho_tilde_hist_;
 
-  // Scratch buffers reused across steps.
-  ScalarField nu_at_x_, f_at_x_, f0_grid_, f1_grid_, scratch_;
+  // Scratch buffers reused across steps (no per-call heap churn).
+  std::vector<Vec3> points_;   // departure points of the current build
+  std::vector<Vec3> v_star_;   // RK2 predictor velocities
+  ScalarField nu_at_x_, f_at_x_, f0_grid_, f1_grid_;
+  VectorField u_at_x_;         // displacement components at X (batched)
 };
 
 }  // namespace diffreg::semilag

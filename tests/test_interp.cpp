@@ -1,16 +1,42 @@
 // Interpolation tests: kernel exactness (tricubic reproduces cubic
 // polynomials, trilinear reproduces linear ones), convergence order on
-// smooth fields, and the distributed scatter-phase plan against serial
-// evaluation — including points that left the owner's pencil (large CFL).
+// smooth fields, the distributed scatter-phase plan against serial
+// evaluation — including points that left the owner's pencil (large CFL) —
+// plus the caching contract: batched == sequential bitwise, fixed exchange
+// counts per plan operation, and allocation-free steady-state interpolation.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 #include <random>
+#include <span>
 
 #include "grid/field_io.hpp"
 #include "interp/interp_plan.hpp"
 #include "interp/kernels.hpp"
 #include "mpisim/communicator.hpp"
+
+// Global allocation counter backing the zero-allocation assertions below.
+// Replacing the global operator new/delete pair is the only portable way to
+// observe heap traffic; counting is gated so the rest of the suite pays one
+// relaxed atomic load per allocation.
+namespace {
+std::atomic<long long> g_alloc_count{0};
+std::atomic<bool> g_count_allocs{false};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 
 namespace diffreg::interp {
 namespace {
@@ -183,7 +209,7 @@ TEST_P(PlanSweep, MatchesAnalyticSmoothFunction) {
     grid::GhostExchange gx(decomp, kGhostWidth);
     InterpPlan plan(decomp, mine);
     std::vector<real_t> out(mine.size());
-    plan.execute(gx, field, out);
+    plan.interpolate(gx, field, out);
 
     const real_t h = std::max({h1, h2, h3});
     const real_t tol = 12 * h * h * h * h;  // O(h^4) with a safety factor
@@ -222,7 +248,7 @@ TEST_P(PlanSweep, GridPointsReproduceExactly) {
     grid::GhostExchange gx(decomp, kGhostWidth);
     InterpPlan plan(decomp, pts);
     std::vector<real_t> out(pts.size());
-    plan.execute(gx, field, out);
+    plan.interpolate(gx, field, out);
     for (size_t k = 0; k < pts.size(); ++k)
       EXPECT_NEAR(out[k], expected[k], 1e-12);
   });
@@ -260,7 +286,7 @@ TEST_P(PlanSweep, DecompositionInvariance) {
       std::vector<Vec3> mine = comm.is_root() ? points : std::vector<Vec3>{};
       InterpPlan plan(decomp, mine);
       std::vector<real_t> out(mine.size());
-      plan.execute(gx, field, out);
+      plan.interpolate(gx, field, out);
       if (comm.is_root()) result = out;
     });
     return result;
@@ -284,8 +310,8 @@ TEST_P(PlanSweep, PlanReuseIsDeterministic) {
     grid::GhostExchange gx(decomp, kGhostWidth);
     InterpPlan plan(decomp, pts);
     std::vector<real_t> out1(pts.size()), out2(pts.size());
-    plan.execute(gx, field, out1);
-    plan.execute(gx, field, out2);
+    plan.interpolate(gx, field, out1);
+    plan.interpolate(gx, field, out2);
     for (size_t k = 0; k < pts.size(); ++k)
       EXPECT_DOUBLE_EQ(out1[k], out2[k]);
   });
@@ -318,13 +344,151 @@ TEST(InterpPlan, VectorFieldInterpolation) {
     grid::GhostExchange gx(decomp, kGhostWidth);
     InterpPlan plan(decomp, pts);
     std::vector<Vec3> out;
-    plan.execute(gx, v, out);
+    plan.interpolate_vec(gx, v, out);
     ASSERT_EQ(out.size(), pts.size());
     for (size_t k = 0; k < pts.size(); ++k) {
       EXPECT_NEAR(out[k][0], std::sin(pts[k][0]), 2e-3);
       EXPECT_NEAR(out[k][1], std::cos(pts[k][0]), 2e-3);
       EXPECT_NEAR(out[k][2], 2 * std::sin(pts[k][0]), 4e-3);
     }
+  });
+}
+
+TEST(InterpPlan, BatchedMatchesSequentialBitwise) {
+  // interpolate_many must produce bit-identical values to one interpolate
+  // per field: same stencils, same evaluation order per point.
+  mpisim::run_spmd(4, [&](mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, {16, 12, 10}, 2, 2);
+    const index_t n = decomp.local_real_size();
+    constexpr int kFields = 3;
+    std::array<grid::ScalarField, kFields> fields;
+    for (int f = 0; f < kFields; ++f) {
+      fields[f].resize(n);
+      for (index_t i = 0; i < n; ++i)
+        fields[f][i] =
+            static_cast<real_t>(((i + 7 * f) * 2654435761u) % 1000) / 1000;
+    }
+    std::vector<Vec3> pts;
+    std::mt19937 rng(31 + comm.rank());
+    std::uniform_real_distribution<real_t> dist(0, kTwoPi);
+    for (int k = 0; k < 60; ++k)
+      pts.push_back({dist(rng), dist(rng), dist(rng)});
+
+    grid::GhostExchange gx(decomp, kGhostWidth);
+    InterpPlan plan(decomp, pts);
+
+    std::array<std::vector<real_t>, kFields> seq, bat;
+    for (int f = 0; f < kFields; ++f) {
+      seq[f].resize(pts.size());
+      bat[f].resize(pts.size());
+      plan.interpolate(gx, fields[f], seq[f]);
+    }
+    const real_t* in[kFields] = {fields[0].data(), fields[1].data(),
+                                 fields[2].data()};
+    real_t* out[kFields] = {bat[0].data(), bat[1].data(), bat[2].data()};
+    plan.interpolate_many(gx, std::span<const real_t* const>(in, kFields),
+                          std::span<real_t* const>(out, kFields));
+    for (int f = 0; f < kFields; ++f)
+      for (size_t k = 0; k < pts.size(); ++k)
+        ASSERT_EQ(seq[f][k], bat[f][k]) << "field " << f << " point " << k;
+  });
+}
+
+TEST(InterpPlan, RebuildWithSamePointsIsBitwiseDeterministic) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, {16, 16, 16});
+    grid::ScalarField field(decomp.local_real_size());
+    for (size_t i = 0; i < field.size(); ++i)
+      field[i] = static_cast<real_t>((i * 2654435761u) % 1000) / 1000;
+    std::vector<Vec3> pts = {{0.3, 1.2, 4.4}, {5.9, 0.1, 2.2},
+                             {2.5, 3.3, 0.7}};
+    grid::GhostExchange gx(decomp, kGhostWidth);
+    InterpPlan plan(decomp, pts);
+    std::vector<real_t> out1(pts.size()), out2(pts.size());
+    plan.interpolate(gx, field, out1);
+    plan.build(pts);  // rebuild with identical points
+    plan.interpolate(gx, field, out2);
+    EXPECT_EQ(plan.build_count(), 2);
+    for (size_t k = 0; k < pts.size(); ++k) ASSERT_EQ(out1[k], out2[k]);
+  });
+}
+
+TEST(InterpPlan, ExchangeCountsAreFixedPerOperation) {
+  // The comm schedule of the plan: 2 collective exchanges per build (counts
+  // alltoall + coordinate alltoallv), 1 per interpolate, and 1 per
+  // interpolate_many REGARDLESS of the batch size. p covers 1, 2, 4, 6.
+  for (int p : {1, 2, 4, 6}) {
+    mpisim::run_spmd(p, [&](mpisim::Communicator& comm) {
+      grid::PencilDecomp decomp(comm, {18, 12, 16});
+      const index_t n = decomp.local_real_size();
+      grid::ScalarField f0(n, 1.0), f1(n, 2.0), f2(n, 3.0);
+      std::vector<real_t> o0(5), o1(5), o2(5);
+      std::vector<Vec3> pts;
+      for (int k = 0; k < 5; ++k)
+        pts.push_back({0.5 + k + 0.1 * comm.rank(), 1.0 + k, 2.0 + k});
+      grid::GhostExchange gx(decomp, kGhostWidth);
+
+      comm.timings().clear();
+      InterpPlan plan(decomp, pts);
+      EXPECT_EQ(comm.timings().exchanges(TimeKind::kInterpComm), 2u)
+          << "p=" << p;
+      plan.interpolate(gx, f0, o0);
+      EXPECT_EQ(comm.timings().exchanges(TimeKind::kInterpComm), 3u)
+          << "p=" << p;
+      const real_t* in[3] = {f0.data(), f1.data(), f2.data()};
+      real_t* out[3] = {o0.data(), o1.data(), o2.data()};
+      plan.interpolate_many(gx, std::span<const real_t* const>(in, 3),
+                            std::span<real_t* const>(out, 3));
+      EXPECT_EQ(comm.timings().exchanges(TimeKind::kInterpComm), 4u)
+          << "p=" << p;
+    });
+  }
+}
+
+TEST(InterpPlan, SteadyStateInterpolationIsAllocationFree) {
+  // After the plan and the ghost scratch are warm, interpolate,
+  // interpolate_many, and a same-size rebuild must not touch the heap
+  // (single rank: the mailbox transport itself is out of the picture).
+  mpisim::run_spmd(1, [&](mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, {16, 16, 16});
+    const index_t n = decomp.local_real_size();
+    grid::ScalarField fa(n), fb(n), fc(n);
+    for (index_t i = 0; i < n; ++i) {
+      fa[i] = static_cast<real_t>((i * 2654435761u) % 1000) / 1000;
+      fb[i] = fa[i] * 0.5 + 0.1;
+      fc[i] = fa[i] * fa[i];
+    }
+    std::vector<Vec3> pts;
+    std::mt19937 rng(11);
+    std::uniform_real_distribution<real_t> dist(0, kTwoPi);
+    for (int k = 0; k < 200; ++k)
+      pts.push_back({dist(rng), dist(rng), dist(rng)});
+    std::vector<real_t> oa(pts.size()), ob(pts.size()), oc(pts.size());
+    const real_t* in[3] = {fa.data(), fb.data(), fc.data()};
+    real_t* out[3] = {oa.data(), ob.data(), oc.data()};
+
+    grid::GhostExchange gx(decomp, kGhostWidth);
+    InterpPlan plan(decomp, pts);
+    // Warm-up: grows the ghost/value scratch once.
+    plan.interpolate(gx, fa, oa);
+    plan.interpolate_many(gx, std::span<const real_t* const>(in, 3),
+                          std::span<real_t* const>(out, 3));
+
+    long long single = -1, many = -1, rebuild = -1;
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    plan.interpolate(gx, fa, oa);
+    single = g_alloc_count.exchange(0);
+    plan.interpolate_many(gx, std::span<const real_t* const>(in, 3),
+                          std::span<real_t* const>(out, 3));
+    many = g_alloc_count.exchange(0);
+    plan.build(pts);
+    rebuild = g_alloc_count.exchange(0);
+    g_count_allocs.store(false);
+
+    EXPECT_EQ(single, 0) << "interpolate allocated";
+    EXPECT_EQ(many, 0) << "interpolate_many allocated";
+    EXPECT_EQ(rebuild, 0) << "same-size plan rebuild allocated";
   });
 }
 

@@ -367,6 +367,33 @@ TEST(Collectives, AlltoallvDetectsCollectiveMismatch) {
                std::runtime_error);
 }
 
+TEST(Collectives, AlltoallFixedCountMatchesReference) {
+  // alltoall: element j of rank r's send buffer lands at recv[r] on rank j.
+  for (int p : {1, 2, 3, 4, 6}) {
+    auto timings = run_spmd(p, [&](Communicator& comm) {
+      comm.set_time_kind(TimeKind::kInterpComm);
+      std::vector<index_t> send(p), recv(p, -1);
+      for (int j = 0; j < p; ++j) send[j] = 100 * comm.rank() + j;
+      comm.alltoall(std::span<const index_t>(send), std::span<index_t>(recv),
+                    /*tag=*/31);
+      for (int r = 0; r < p; ++r)
+        EXPECT_EQ(recv[r], 100 * r + comm.rank()) << "p=" << p;
+    });
+    for (const auto& t : timings)
+      EXPECT_EQ(t.exchanges(TimeKind::kInterpComm), 1u) << "p=" << p;
+  }
+}
+
+TEST(Collectives, AlltoallRejectsWrongBufferSize) {
+  run_spmd(2, [&](Communicator& comm) {
+    std::vector<index_t> send(3), recv(2);
+    EXPECT_THROW(comm.alltoall(std::span<const index_t>(send),
+                               std::span<index_t>(recv), /*tag=*/32),
+                 std::runtime_error);
+    comm.barrier();
+  });
+}
+
 TEST(Spmd, ExceptionPropagatesToLauncher) {
   EXPECT_THROW(
       run_spmd(3,

@@ -307,6 +307,112 @@ TEST(Transport, AdjointOfConstantVelocityTranslatesBackward) {
   });
 }
 
+TEST(Transport, PlanCacheRebuildsOnlyOnVelocityChange) {
+  // The caching contract of the tentpole: set_velocity builds the plans
+  // once; every solve (state, adjoint, incremental = PCG matvec transport)
+  // reuses them; re-setting the SAME velocity is a no-op; a different
+  // velocity invalidates and rebuilds.
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {16, 16, 16});
+    spectral::SpectralOps ops(decomp);
+    auto rho0 = imaging::synthetic_template(decomp);
+    auto v = imaging::synthetic_velocity(decomp, 0.5);
+    auto w = imaging::synthetic_velocity_divfree(decomp, 0.3);
+    TransportConfig tc;
+    tc.nt = 4;
+    Transport transport(ops, tc);
+
+    EXPECT_EQ(transport.plan_build_count(), 0);
+    transport.set_velocity(v);
+    EXPECT_EQ(transport.plan_build_count(), 1);
+
+    transport.solve_state(rho0);
+    VectorField b;
+    transport.solve_adjoint(transport.final_state(), b);
+    ScalarField rho_tilde1;
+    for (int k = 0; k < 3; ++k) {  // PCG-style repeated matvec transports
+      transport.solve_incremental_state(w, rho_tilde1);
+      transport.solve_incremental_adjoint_gn(rho_tilde1, b);
+    }
+    VectorField u1;
+    transport.solve_displacement(u1);
+    EXPECT_EQ(transport.plan_build_count(), 1)
+        << "solves must reuse the cached plans";
+
+    transport.set_velocity(v);  // identical velocity: cache hit
+    EXPECT_EQ(transport.plan_build_count(), 1);
+    transport.solve_state(rho0);  // still valid after a cache hit
+    EXPECT_EQ(transport.plan_build_count(), 1);
+
+    transport.set_velocity(w);  // velocity changed: plans invalidated
+    EXPECT_EQ(transport.plan_build_count(), 2);
+  });
+}
+
+TEST(Transport, ExchangeCountsPerSolveAreFixed) {
+  // One alltoallv per semi-Lagrangian step, batch-invariant: solve_state is
+  // nt exchanges; the incremental state batches its two interpolations per
+  // step into one exchange; the GN incremental adjoint is nt exchanges.
+  for (int p : {1, 2, 4}) {
+    mpisim::run_spmd(p, [&](mpisim::Communicator& comm) {
+      PencilDecomp decomp(comm, {16, 16, 16});
+      spectral::SpectralOps ops(decomp);
+      auto rho0 = imaging::synthetic_template(decomp);
+      auto v = imaging::synthetic_velocity(decomp, 0.5);
+      auto w = imaging::synthetic_velocity_divfree(decomp, 0.3);
+      TransportConfig tc;
+      tc.nt = 4;
+      Transport transport(ops, tc);
+      transport.set_velocity(v);
+
+      auto interp_exchanges = [&] {
+        return comm.timings().exchanges(TimeKind::kInterpComm);
+      };
+      comm.timings().clear();
+      transport.solve_state(rho0);
+      EXPECT_EQ(interp_exchanges(), 4u) << "p=" << p;
+
+      comm.timings().clear();
+      ScalarField rho_tilde1;
+      transport.solve_incremental_state(w, rho_tilde1);
+      EXPECT_EQ(interp_exchanges(), 4u) << "p=" << p;
+
+      comm.timings().clear();
+      VectorField b;
+      transport.solve_incremental_adjoint_gn(rho_tilde1, b);
+      EXPECT_EQ(interp_exchanges(), 4u) << "p=" << p;
+
+      // Displacement: one batched exchange per step after the first.
+      comm.timings().clear();
+      VectorField u1;
+      transport.solve_displacement(u1);
+      EXPECT_EQ(interp_exchanges(), 3u) << "p=" << p;
+    });
+  }
+}
+
+TEST(Transport, RepeatedSolvesAreBitwiseDeterministic) {
+  // Same velocity, same input => bit-identical transport results across
+  // repeated solves on the same cached plan (buffer reuse must not leak).
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {16, 16, 16});
+    spectral::SpectralOps ops(decomp);
+    auto rho0 = imaging::synthetic_template(decomp);
+    auto v = imaging::synthetic_velocity(decomp, 0.6);
+    TransportConfig tc;
+    tc.nt = 4;
+    Transport transport(ops, tc);
+    transport.set_velocity(v);
+    transport.solve_state(rho0);
+    ScalarField first = transport.final_state();
+    transport.set_velocity(v);  // cache hit
+    transport.solve_state(rho0);
+    const ScalarField& second = transport.final_state();
+    for (size_t i = 0; i < first.size(); ++i)
+      ASSERT_EQ(first[i], second[i]) << i;
+  });
+}
+
 TEST(Transport, RejectsUseBeforeSetVelocity) {
   mpisim::run_spmd(1, [&](mpisim::Communicator& comm) {
     PencilDecomp decomp(comm, {8, 8, 8});
