@@ -1,20 +1,28 @@
 #!/usr/bin/env python3
 """Bench-regression gate for the CI Release job.
 
-Compares freshly produced bench JSONs (BENCH_fft.json, BENCH_semilag.json)
-against the committed baselines in bench/baselines/. Two classes of fields:
+Compares freshly produced bench JSONs (BENCH_fft.json, BENCH_semilag.json,
+BENCH_continuation.json) against the committed baselines in bench/baselines/.
+Field classes:
 
 * Wall-time fields (ending in ``_ms``): fail when the current value exceeds
   baseline * (1 + --time-tolerance). Machines differ, so CI passes a wider
   tolerance than the 25% default that is meant for like-for-like local runs.
-* Counter fields (comm messages / alltoallv exchanges): deterministic
-  properties of the communication schedule, so ANY increase over the
-  baseline fails, regardless of tolerance.
+* Iteration-count fields (ending in ``_iters``: Krylov iterations, Hessian
+  matvecs): deterministic on one machine but sensitive to floating-point
+  contraction across compilers, so they get their own tolerance
+  (--iters-tolerance, default 35%).
 * Byte counters (fields containing ``bytes``): near-deterministic, but the
   interpolation byte volume depends on which rank owns each departure point
   — a floating-point classification that can shift by a few points across
   compilers/FMA contraction — so they get a small tolerance
   (--bytes-tolerance, default 1%).
+* Convergence flags (ending in ``_converged``): must match the baseline
+  exactly in both directions — a solve that stops converging is a
+  regression even though the value decreased.
+* Every other counter field (comm messages / alltoallv exchanges):
+  deterministic properties of the communication schedule, so ANY increase
+  over the baseline fails, regardless of tolerance.
 
 Records are matched by their identity keys (``size``/``ranks``/``case``);
 a record or file missing from the baseline is reported (and fails, unless
@@ -35,6 +43,7 @@ import sys
 
 IDENTITY_KEYS = ("size", "ranks", "case", "bench")
 TIME_SUFFIX = "_ms"
+ITERS_SUFFIX = "_iters"
 
 
 def record_key(record):
@@ -50,8 +59,8 @@ def load_records(path):
     return doc.get("bench", os.path.basename(path)), records
 
 
-def compare_file(current_path, baseline_path, time_tol, bytes_tol, failures,
-                 notes):
+def compare_file(current_path, baseline_path, time_tol, bytes_tol, iters_tol,
+                 failures, notes):
     bench, current = load_records(current_path)
     _, baseline = load_records(baseline_path)
 
@@ -96,6 +105,21 @@ def compare_file(current_path, baseline_path, time_tol, bytes_tol, failures,
                         f"{bench} ({ident}): {field} improved "
                         f"{base_val:.3f} -> {cur_val:.3f} ms; consider "
                         "refreshing the baseline")
+            elif field.endswith(ITERS_SUFFIX):
+                # Iteration counts wobble across compilers (FMA contraction
+                # shifts PCG breakdown points); a real conditioning
+                # regression blows far past this tolerance.
+                limit = base_val * (1.0 + iters_tol)
+                if cur_val > limit:
+                    failures.append(
+                        f"{bench} ({ident}): iteration count {field} grew "
+                        f"{base_val} -> {cur_val} (limit {limit:.1f}, "
+                        f"tolerance {iters_tol:.0%})")
+                elif cur_val < base_val / (1.0 + iters_tol):
+                    notes.append(
+                        f"{bench} ({ident}): iteration count {field} "
+                        f"dropped {base_val} -> {cur_val}; refresh the "
+                        "baseline to lock in the win")
             elif "bytes" in field:
                 # Byte volume is data-dependent at the margin (departure
                 # point ownership is a floating-point classification).
@@ -105,6 +129,14 @@ def compare_file(current_path, baseline_path, time_tol, bytes_tol, failures,
                         f"{bench} ({ident}): byte counter {field} grew "
                         f"{base_val} -> {cur_val} (limit {limit:.0f}, "
                         f"tolerance {bytes_tol:.0%})")
+            elif field.endswith("_converged"):
+                # Convergence flags must match exactly in BOTH directions: a
+                # solve that stops converging is a regression even though
+                # the value *decreased*.
+                if cur_val != base_val:
+                    failures.append(
+                        f"{bench} ({ident}): convergence flag {field} "
+                        f"changed {base_val} -> {cur_val}")
             else:
                 # Deterministic communication counters: never allowed to grow.
                 if cur_val > base_val:
@@ -132,6 +164,9 @@ def main():
     parser.add_argument("--bytes-tolerance", type=float, default=0.01,
                         help="allowed fractional growth of byte counters "
                              "(default 0.01)")
+    parser.add_argument("--iters-tolerance", type=float, default=0.35,
+                        help="allowed fractional growth of iteration-count "
+                             "fields (default 0.35)")
     parser.add_argument("--allow-missing", action="store_true",
                         help="do not fail when a baseline file is absent")
     args = parser.parse_args()
@@ -148,7 +183,8 @@ def main():
             (notes if args.allow_missing else failures).append(msg)
             continue
         compare_file(current_path, baseline_path, args.time_tolerance,
-                     args.bytes_tolerance, failures, notes)
+                     args.bytes_tolerance, args.iters_tolerance, failures,
+                     notes)
 
     for note in notes:
         print(f"note: {note}")
@@ -159,7 +195,8 @@ def main():
     print(f"bench regression gate passed "
           f"({len(args.current)} file(s), time tolerance "
           f"{args.time_tolerance:.0%}, bytes tolerance "
-          f"{args.bytes_tolerance:.0%}, message/exchange counters exact)")
+          f"{args.bytes_tolerance:.0%}, iteration tolerance "
+          f"{args.iters_tolerance:.0%}, message/exchange counters exact)")
     return 0
 
 

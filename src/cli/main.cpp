@@ -33,6 +33,8 @@ struct CliOptions {
   bool continuation = false;
   core::RegistrationOptions reg;
   core::ContinuationOptions cont;
+  core::MultilevelOptions multi;
+  bool multilevel = false;  // set by --levels N with N > 1
 };
 
 void print_usage() {
@@ -54,6 +56,16 @@ void print_usage() {
       "  --full-newton        keep the full-Newton Hessian terms\n"
       "  --trilinear          trilinear instead of tricubic interpolation\n"
       "  --continuation       run beta continuation (start 1e-1 -> beta)\n"
+      "  --levels N           N-level coarse-to-fine grid pyramid "
+      "(default 1 = single level);\n"
+      "                       with --continuation the coarsest level runs "
+      "the beta schedule\n"
+      "  --coarsest D         pyramid floor: no axis below D points "
+      "(default 8)\n"
+      "  --two-level          coarse-grid Hessian preconditioner for the "
+      "PCG solves\n"
+      "  --precond-iters N    inner CG sweeps of the coarse Hessian solve "
+      "(default 5)\n"
       "  --out PREFIX         write deformed/residual/det volumes + slices\n"
       "  --verbose            per-iteration Newton log\n"
       "  --help               this message\n");
@@ -137,6 +149,27 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       opt.reg.interp_method = interp::Method::kTrilinear;
     } else if (flag == "--continuation") {
       opt.continuation = true;
+    } else if (flag == "--levels") {
+      const char* v = next();
+      if (!v || (opt.multi.levels = std::atoi(v)) < 1) {
+        std::fprintf(stderr, "error: bad --levels\n");
+        return std::nullopt;
+      }
+      opt.multilevel = opt.multi.levels > 1;
+    } else if (flag == "--coarsest") {
+      const char* v = next();
+      if (!v || (opt.multi.coarsest_dim = std::atoll(v)) < 4) {
+        std::fprintf(stderr, "error: bad --coarsest\n");
+        return std::nullopt;
+      }
+    } else if (flag == "--two-level") {
+      opt.reg.two_level_precond = true;
+    } else if (flag == "--precond-iters") {
+      const char* v = next();
+      if (!v || (opt.reg.precond_inner_iters = std::atoi(v)) < 1) {
+        std::fprintf(stderr, "error: bad --precond-iters\n");
+        return std::nullopt;
+      }
     } else if (flag == "--out") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -208,7 +241,33 @@ int main(int argc, char** argv) {
     // Solve.
     core::RegistrationSolver solver(decomp, opt.reg);
     core::RegistrationResult result;
-    if (opt.continuation) {
+    if (opt.multilevel) {
+      core::MultilevelOptions mopt = opt.multi;
+      if (opt.continuation) {
+        core::ContinuationOptions copt = opt.cont;
+        copt.beta_start = 1e-1;
+        copt.beta_target = opt.reg.beta;
+        mopt.coarse_beta_cont = copt;
+      }
+      auto ml = core::run_multilevel_continuation(decomp, opt.reg, rho_t,
+                                                  rho_r, mopt);
+      if (root && !ml.admissible)
+        std::printf("warning: no admissible coarse stage (min det too "
+                    "small); finer levels ran at beta %.1e\n",
+                    ml.final_beta);
+      if (root)
+        for (const auto& lev : ml.levels)
+          std::printf(
+              "level %lldx%lldx%lld: beta %.1e  newton %d  matvecs %d  "
+              "rel res %.3f  min det %.3f  %.2f s\n",
+              static_cast<long long>(lev.dims[0]),
+              static_cast<long long>(lev.dims[1]),
+              static_cast<long long>(lev.dims[2]), lev.beta,
+              lev.newton_iterations, lev.matvecs, lev.rel_residual,
+              lev.min_det, lev.time_seconds);
+      solver.mutable_options().beta = ml.final_beta;
+      result = std::move(ml.fine);
+    } else if (opt.continuation) {
       core::ContinuationOptions copt = opt.cont;
       copt.beta_start = 1e-1;
       copt.beta_target = opt.reg.beta;
@@ -218,6 +277,13 @@ int main(int argc, char** argv) {
           std::printf("stage %d: beta %.1e  rel res %.3f  min det %.3f\n", s,
                       cont.stage_betas[s], cont.stage_residuals[s],
                       cont.stage_min_dets[s]);
+      if (root && !cont.admissible)
+        std::printf("warning: no admissible stage (min det <= %.2f); "
+                    "reporting the beta %.1e solve\n",
+                    copt.min_det_bound, cont.final_beta);
+      // run_beta_continuation restores the solver's options; reflect the
+      // beta that produced `best` in the summary below.
+      solver.mutable_options().beta = cont.final_beta;
       result = std::move(cont.best);
     } else {
       result = solver.run(rho_t, rho_r);

@@ -74,6 +74,17 @@ constexpr index_t periodic_index(index_t i, index_t n) {
   return i < 0 ? i + n : i;
 }
 
+/// Wraps x into [0, 2*pi) and converts to grid units in [0, n) for cell
+/// size h (= 2*pi/n as a rounded double). The guard matters: h is rounded,
+/// so wrap/h can land on exactly n for points just below the period even
+/// though the wrap itself is strictly below 2*pi — callers indexing a
+/// 4-point stencil off floor(u) would then read one cell past their block
+/// (and ownership classification would pick the wrong rank).
+inline real_t periodic_grid_units(real_t x, real_t h, index_t n) {
+  const real_t u = periodic_wrap(x, kTwoPi) / h;
+  return u >= static_cast<real_t>(n) ? u - static_cast<real_t>(n) : u;
+}
+
 /// Determinant of the 3x3 matrix with rows a, b, c.
 constexpr real_t det3(const Vec3& a, const Vec3& b, const Vec3& c) {
   return a[0] * (b[1] * c[2] - b[2] * c[1]) -

@@ -1,16 +1,68 @@
 #include "core/continuation.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "spectral/resample.hpp"
 
 namespace diffreg::core {
+
+namespace {
+
+/// Restores the solver's options on every exit path: continuation drivers
+/// mutate beta and gradient_reference per stage, and leaking the last
+/// stage's values would permanently change the caller's solver.
+class ScopedOptionsRestore {
+ public:
+  explicit ScopedOptionsRestore(RegistrationSolver& solver)
+      : solver_(&solver), saved_(solver.options()) {}
+  ~ScopedOptionsRestore() { solver_->mutable_options() = saved_; }
+  ScopedOptionsRestore(const ScopedOptionsRestore&) = delete;
+  ScopedOptionsRestore& operator=(const ScopedOptionsRestore&) = delete;
+
+ private:
+  RegistrationSolver* solver_;
+  RegistrationOptions saved_;
+};
+
+/// Grid hierarchy, finest first: repeated halving (odd dims round up) until
+/// the level budget or the coarsest-dim floor is exhausted.
+std::vector<Int3> build_level_dims(const Int3& fine, int levels,
+                                   index_t coarsest_dim) {
+  std::vector<Int3> dims{fine};
+  while (static_cast<int>(dims.size()) < levels) {
+    const Int3 next = spectral::coarsen_dims(dims.back(), coarsest_dim);
+    if (next == dims.back()) break;
+    dims.push_back(next);
+  }
+  return dims;
+}
+
+MultilevelLevelReport make_level_report(const Int3& dims, real_t beta,
+                                        const RegistrationResult& result,
+                                        double seconds) {
+  MultilevelLevelReport rep;
+  rep.dims = dims;
+  rep.beta = beta;
+  rep.newton_iterations = result.newton.iterations;
+  rep.matvecs = result.newton.total_matvecs;
+  rep.converged = result.newton.converged;
+  rep.rel_residual = result.rel_residual;
+  rep.min_det = result.min_det;
+  rep.time_seconds = seconds;
+  return rep;
+}
+
+}  // namespace
 
 ContinuationResult run_beta_continuation(RegistrationSolver& solver,
                                          const ScalarField& rho_t,
                                          const ScalarField& rho_r,
                                          const ContinuationOptions& copt) {
   ContinuationResult out;
+  ScopedOptionsRestore restore(solver);
   real_t beta = copt.beta_start;
   const VectorField* warm_start = nullptr;
 
@@ -20,9 +72,10 @@ ContinuationResult run_beta_continuation(RegistrationSolver& solver,
     // ||g(0)|| is beta-independent (the quadratic regularizer's gradient
     // vanishes at v = 0): the cold first stage measures it, later
     // warm-started stages reuse it instead of re-solving state + adjoint.
-    if (warm_start == nullptr)
-      solver.mutable_options().gradient_reference =
-          result.newton.initial_gradient_norm;
+    if (warm_start == nullptr) {
+      out.gradient_reference = result.newton.initial_gradient_norm;
+      solver.mutable_options().gradient_reference = out.gradient_reference;
+    }
 
     out.stage_betas.push_back(beta);
     out.stage_residuals.push_back(result.rel_residual);
@@ -30,13 +83,125 @@ ContinuationResult run_beta_continuation(RegistrationSolver& solver,
     ++out.stages;
 
     const bool admissible = result.min_det > copt.min_det_bound;
-    if (admissible) {
+    // The first stage is kept even when inadmissible (flagged below), so
+    // callers never receive a default-constructed result with an empty
+    // velocity and final_beta = 0.
+    if (admissible || stage == 0) {
       out.best = std::move(result);
+      out.admissible = admissible;
       out.final_beta = beta;
-      warm_start = &out.best.velocity;
+      warm_start = admissible ? &out.best.velocity : nullptr;
     }
     if (!admissible || beta <= copt.beta_target) break;
     beta = std::max(copt.beta_target, beta / copt.reduction_factor);
+  }
+  return out;
+}
+
+MultilevelResult run_multilevel_continuation(grid::PencilDecomp& fine_decomp,
+                                             const RegistrationOptions& opt,
+                                             const ScalarField& rho_t,
+                                             const ScalarField& rho_r,
+                                             const MultilevelOptions& mopt) {
+  if (mopt.levels < 1)
+    throw std::invalid_argument(
+        "run_multilevel_continuation: levels must be >= 1");
+  const std::vector<Int3> level_dims =
+      build_level_dims(fine_decomp.dims(), mopt.levels, mopt.coarsest_dim);
+  const int nlevels = static_cast<int>(level_dims.size());
+
+  MultilevelResult out;
+
+  // Decompositions share the fine process grid so every transfer is a pure
+  // layout remap (level 0 borrows the caller's decomposition).
+  std::vector<std::unique_ptr<grid::PencilDecomp>> owned;
+  std::vector<grid::PencilDecomp*> decomps{&fine_decomp};
+  for (int k = 1; k < nlevels; ++k) {
+    owned.push_back(std::make_unique<grid::PencilDecomp>(
+        fine_decomp.comm(), level_dims[k], fine_decomp.p1(),
+        fine_decomp.p2()));
+    decomps.push_back(owned.back().get());
+  }
+
+  // Smooth once on the fine grid (exactly what RegistrationSolver would do)
+  // and restrict the smoothed images: spectral truncation keeps the coarser
+  // levels alias free on its own, and solving the SAME band-truncated
+  // problem on every level is what makes carrying ||g(0)|| across levels
+  // valid — re-smoothing per level at that level's cell size would shrink
+  // the coarse gradient and corrupt the carried reference.
+  RegistrationOptions base = opt;
+  std::vector<ScalarField> rho_ts(nlevels), rho_rs(nlevels);
+  if (opt.smooth_inputs && nlevels > 1) {
+    spectral::SpectralOps fine_ops(fine_decomp);
+    const Int3 fd = fine_decomp.dims();
+    const Vec3 sigma{opt.smoothing_cells * kTwoPi / fd[0],
+                     opt.smoothing_cells * kTwoPi / fd[1],
+                     opt.smoothing_cells * kTwoPi / fd[2]};
+    fine_ops.gaussian_smooth(rho_t, sigma, rho_ts[0]);
+    fine_ops.gaussian_smooth(rho_r, sigma, rho_rs[0]);
+    base.smooth_inputs = false;
+  } else {
+    rho_ts[0] = rho_t;
+    rho_rs[0] = rho_r;
+  }
+
+  // Cascade image restriction: both images of a transition share one
+  // batched 2-component transfer (5 exchanges per level).
+  for (int k = 1; k < nlevels; ++k) {
+    spectral::ResamplePlan plan(*decomps[k - 1], *decomps[k]);
+    const index_t n = decomps[k]->local_real_size();
+    rho_ts[k].resize(n);
+    rho_rs[k].resize(n);
+    const real_t* ins[2] = {rho_ts[k - 1].data(), rho_rs[k - 1].data()};
+    real_t* outs[2] = {rho_ts[k].data(), rho_rs[k].data()};
+    plan.apply_many(std::span<const real_t* const>(ins, 2),
+                    std::span<real_t* const>(outs, 2));
+  }
+
+  auto scheduled_beta = [&](int k) {  // k = 0 is the finest level
+    if (mopt.level_betas.empty()) return opt.beta;
+    const int i = std::min<int>(nlevels - 1 - k,
+                                static_cast<int>(mopt.level_betas.size()) - 1);
+    return mopt.level_betas[i];
+  };
+
+  real_t beta_override = -1;  // set by the coarse beta continuation
+  RegistrationResult prev;    // result of the level below the current one
+  for (int k = nlevels - 1; k >= 0; --k) {
+    RegistrationOptions lopt = base;
+    lopt.beta = beta_override > 0 ? beta_override : scheduled_beta(k);
+    lopt.gradient_reference = out.gradient_reference;
+    RegistrationSolver solver(*decomps[k], lopt);
+
+    WallTimer wall;
+    RegistrationResult result;
+    if (k == nlevels - 1) {
+      if (mopt.coarse_beta_cont.has_value()) {
+        ContinuationResult cont = run_beta_continuation(
+            solver, rho_ts[k], rho_rs[k], *mopt.coarse_beta_cont);
+        out.admissible = cont.admissible;
+        out.gradient_reference = cont.gradient_reference;
+        beta_override = cont.final_beta;
+        lopt.beta = cont.final_beta;  // for the report below
+        result = std::move(cont.best);
+      } else {
+        result = solver.run(rho_ts[k], rho_rs[k]);
+        out.gradient_reference = result.newton.initial_gradient_norm;
+      }
+      out.coarsest = result;
+    } else {
+      VectorField v0 = spectral::spectral_resample(*decomps[k + 1],
+                                                   prev.velocity, *decomps[k]);
+      result = solver.run(rho_ts[k], rho_rs[k], &v0);
+    }
+    out.levels.push_back(
+        make_level_report(level_dims[k], lopt.beta, result, wall.seconds()));
+    out.final_beta = lopt.beta;
+
+    if (k == 0)
+      out.fine = std::move(result);
+    else
+      prev = std::move(result);
   }
   return out;
 }
@@ -45,28 +210,16 @@ GridContinuationResult run_grid_continuation(grid::PencilDecomp& fine_decomp,
                                              const RegistrationOptions& opt,
                                              const ScalarField& rho_t,
                                              const ScalarField& rho_r) {
-  const Int3 fd = fine_decomp.dims();
-  if (fd[0] % 2 || fd[1] % 2 || fd[2] % 2)
-    throw std::invalid_argument(
-        "run_grid_continuation: fine grid dims must be even");
-  const Int3 cd{fd[0] / 2, fd[1] / 2, fd[2] / 2};
-
+  MultilevelOptions mopt;
+  mopt.levels = 2;
+  // Legacy behavior: exactly one halving, no floor beyond what keeps the
+  // grid a valid FFT size.
+  mopt.coarsest_dim = 2;
+  MultilevelResult ml =
+      run_multilevel_continuation(fine_decomp, opt, rho_t, rho_r, mopt);
   GridContinuationResult out;
-  {
-    grid::PencilDecomp coarse_decomp(fine_decomp.comm(), cd,
-                                     fine_decomp.p1(), fine_decomp.p2());
-    auto rho_t_c = spectral::spectral_resample(fine_decomp, rho_t,
-                                               coarse_decomp);
-    auto rho_r_c = spectral::spectral_resample(fine_decomp, rho_r,
-                                               coarse_decomp);
-    RegistrationSolver coarse_solver(coarse_decomp, opt);
-    out.coarse = coarse_solver.run(rho_t_c, rho_r_c);
-
-    VectorField v0 = spectral::spectral_resample(
-        coarse_decomp, out.coarse.velocity, fine_decomp);
-    RegistrationSolver fine_solver(fine_decomp, opt);
-    out.fine = fine_solver.run(rho_t, rho_r, &v0);
-  }
+  out.coarse = std::move(ml.coarsest);
+  out.fine = std::move(ml.fine);
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "core/deformation.hpp"
 
+#include <limits>
+
 namespace diffreg::core {
 
 void jacobian_determinant(spectral::SpectralOps& ops, const VectorField& u,
@@ -19,17 +21,16 @@ void jacobian_determinant(spectral::SpectralOps& ops, const VectorField& u,
   }
 }
 
-DeformationAnalysis analyze_deformation(spectral::SpectralOps& ops,
-                                        semilag::Transport& transport) {
-  DeformationAnalysis out;
-  transport.solve_displacement(out.displacement);
-  jacobian_determinant(ops, out.displacement, out.det_grad_y);
-
-  auto& decomp = ops.decomp();
-  real_t local_min = out.det_grad_y.empty() ? real_t(1) : out.det_grad_y[0];
-  real_t local_max = local_min;
+void reduce_determinant_stats(grid::PencilDecomp& decomp,
+                              const ScalarField& det,
+                              DeformationAnalysis& out) {
+  // +-inf identities: a rank owning zero points must not contribute to the
+  // extrema (seeding with a sentinel like 1.0 corrupts the global min/max
+  // whenever every true determinant lies on one side of it).
+  real_t local_min = std::numeric_limits<real_t>::infinity();
+  real_t local_max = -std::numeric_limits<real_t>::infinity();
   real_t local_sum = 0;
-  for (real_t d : out.det_grad_y) {
+  for (real_t d : det) {
     local_min = std::min(local_min, d);
     local_max = std::max(local_max, d);
     local_sum += d;
@@ -43,6 +44,14 @@ DeformationAnalysis analyze_deformation(spectral::SpectralOps& ops,
   out.max_det = -extrema[1];
   out.mean_det = comm.allreduce_sum(local_sum) /
                  static_cast<real_t>(decomp.dims().prod());
+}
+
+DeformationAnalysis analyze_deformation(spectral::SpectralOps& ops,
+                                        semilag::Transport& transport) {
+  DeformationAnalysis out;
+  transport.solve_displacement(out.displacement);
+  jacobian_determinant(ops, out.displacement, out.det_grad_y);
+  reduce_determinant_stats(ops.decomp(), out.det_grad_y, out);
   return out;
 }
 

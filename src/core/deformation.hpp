@@ -30,4 +30,13 @@ DeformationAnalysis analyze_deformation(spectral::SpectralOps& ops,
 void jacobian_determinant(spectral::SpectralOps& ops, const VectorField& u,
                           ScalarField& det);
 
+/// Global min/max/mean of a pointwise determinant field, written into
+/// `out.{min,max,mean}_det`. The local reductions are seeded with the +-inf
+/// identities, so ranks whose local block is empty (a decomposition with
+/// more parts than slabs along one axis) cannot bias the extrema.
+/// Collective.
+void reduce_determinant_stats(grid::PencilDecomp& decomp,
+                              const ScalarField& det,
+                              DeformationAnalysis& out);
+
 }  // namespace diffreg::core

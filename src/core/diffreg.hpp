@@ -15,6 +15,7 @@
 #include "core/optimality.hpp"
 #include "core/options.hpp"
 #include "core/pcg.hpp"
+#include "core/precond.hpp"
 #include "core/registration.hpp"
 #include "core/regularization.hpp"
 #include "core/rigid.hpp"

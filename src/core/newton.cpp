@@ -34,6 +34,7 @@ NewtonReport newton_solve(OptimalitySystem& system, VectorField& v,
   const int plan_builds_before = system.transport().plan_build_count();
 
   VectorField g(n), rhs(n), step(n), v_trial(n);
+  PcgWorkspace pcg_ws;  // shared across the Newton iterations
 
   // Convergence is measured relative to the gradient at zero velocity, so a
   // warm-started solve targets the same absolute gradient norm as a cold one
@@ -94,7 +95,7 @@ NewtonReport newton_solve(OptimalitySystem& system, VectorField& v,
         [&](const VectorField& x, VectorField& y) {
           system.apply_preconditioner(x, y);
         },
-        rhs, step, eta, options.max_krylov_iters);
+        rhs, step, eta, options.max_krylov_iters, pcg_ws);
     entry.krylov_iterations = pcg.iterations;
 
     // Descent safeguard: fall back to the preconditioned steepest-descent

@@ -1,5 +1,7 @@
 #include "core/optimality.hpp"
 
+#include "core/precond.hpp"
+
 namespace diffreg::core {
 
 real_t OptimalitySystem::evaluate(const VectorField& v) {
@@ -25,6 +27,10 @@ void OptimalitySystem::gradient(VectorField& g) {
   reg_->apply(transport_->velocity(), reg_term_);
   g = b_;
   grid::axpy(real_t(1), reg_term_, g);
+
+  // gradient() runs once per accepted Newton iterate — the natural place to
+  // re-linearize the coarse Hessian the preconditioner applies.
+  if (two_level_ != nullptr) two_level_->sync(transport_->velocity());
 }
 
 void OptimalitySystem::hessian_matvec(const VectorField& vtilde,
@@ -49,6 +55,7 @@ void OptimalitySystem::hessian_matvec(const VectorField& vtilde,
 void OptimalitySystem::apply_preconditioner(const VectorField& r,
                                             VectorField& out) {
   reg_->invert(r, out);
+  if (two_level_ != nullptr) two_level_->correct(r, out);
   if (incompressible_) ops_->leray_project(out);
 }
 

@@ -15,6 +15,8 @@
 
 namespace diffreg::core {
 
+class TwoLevelPreconditioner;
+
 class OptimalitySystem {
  public:
   /// `rho_t`/`rho_r` are the (already smoothed) template and reference
@@ -52,9 +54,19 @@ class OptimalitySystem {
   /// Full Newton requires gradient() to have stored the adjoint history.
   void hessian_matvec(const VectorField& vtilde, VectorField& out);
 
-  /// Spectral preconditioner out = (beta A)^{-1} r (+ Leray projection in
-  /// the incompressible case).
+  /// Preconditioner application: the spectral smoother out = (beta A)^{-1} r
+  /// plus, when a two-level preconditioner is attached, the coarse-grid
+  /// Hessian correction on the low band (+ Leray projection in the
+  /// incompressible case).
   void apply_preconditioner(const VectorField& r, VectorField& out);
+
+  /// Attaches the (caller-owned) two-level preconditioner; gradient() keeps
+  /// it linearized at the current iterate, apply_preconditioner() applies
+  /// its correction. Pass nullptr to detach.
+  void set_two_level(TwoLevelPreconditioner* precond) {
+    two_level_ = precond;
+  }
+  TwoLevelPreconditioner* two_level() { return two_level_; }
 
   /// rho(1) - rho_r of the current iterate.
   void final_residual(ScalarField& out) const;
@@ -69,6 +81,7 @@ class OptimalitySystem {
   ScalarField rho_t_, rho_r_;
   bool incompressible_;
   bool gauss_newton_;
+  TwoLevelPreconditioner* two_level_ = nullptr;
 
   real_t mismatch_ = 0;
   int matvecs_ = 0;

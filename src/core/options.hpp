@@ -37,6 +37,17 @@ struct RegistrationOptions {
   Forcing forcing = Forcing::kQuadratic;
   real_t forcing_max = 0.5;
 
+  // Two-level coarse-grid Hessian preconditioner (opt-in; see
+  // core/precond.hpp). Combines the spectral smoother (beta A)^{-1} with an
+  // approximate coarse-grid Gauss-Newton Hessian inverse on the low
+  // frequency band — the band where the spectral preconditioner degrades as
+  // beta shrinks.
+  bool two_level_precond = false;
+  /// Coarse-grid floor for the preconditioner level (no axis below this).
+  index_t precond_coarsest_dim = 8;
+  /// Inner CG sweeps of the coarse Hessian solve per application.
+  int precond_inner_iters = 5;
+
   // Armijo line search.
   int max_line_search = 12;
   real_t armijo_c1 = 1e-4;

@@ -6,15 +6,22 @@ namespace diffreg::core {
 
 PcgResult pcg_solve(grid::PencilDecomp& decomp, const ApplyFn& apply_a,
                     const ApplyFn& apply_m, const VectorField& b,
-                    VectorField& x, real_t rtol, int max_iters) {
+                    VectorField& x, real_t rtol, int max_iters,
+                    PcgWorkspace& ws) {
   PcgResult result;
   const index_t n = b.local_size();
-  x = VectorField(n);
+  grid::resize_zero(x, n);
 
-  VectorField r = b;  // r = b - A*0
-  VectorField z(n), p(n), ap(n);
+  ws.r = b;  // r = b - A*0 (assignment reuses the workspace's capacity)
+  grid::resize_zero(ws.z, n);
+  grid::resize_zero(ws.p, n);
+  grid::resize_zero(ws.ap, n);
+  VectorField& r = ws.r;
+  VectorField& z = ws.z;
+  VectorField& p = ws.p;
+  VectorField& ap = ws.ap;
   apply_m(r, z);
-  p = z;
+  grid::copy(z, p);
 
   real_t rz = grid::dot(decomp, r, z);
   const real_t r0 = std::sqrt(std::max(rz, real_t(0)));
@@ -31,7 +38,7 @@ PcgResult pcg_solve(grid::PencilDecomp& decomp, const ApplyFn& apply_a,
       // Non-positive curvature: stop with the current iterate (x = 0 on the
       // first iteration falls back to the preconditioned gradient).
       result.negative_curvature = true;
-      if (it == 0) x = z;
+      if (it == 0) grid::copy(z, x);
       break;
     }
     const real_t alpha = rz / pap;
@@ -52,6 +59,13 @@ PcgResult pcg_solve(grid::PencilDecomp& decomp, const ApplyFn& apply_a,
       for (index_t i = 0; i < n; ++i) p[d][i] = z[d][i] + beta * p[d][i];
   }
   return result;
+}
+
+PcgResult pcg_solve(grid::PencilDecomp& decomp, const ApplyFn& apply_a,
+                    const ApplyFn& apply_m, const VectorField& b,
+                    VectorField& x, real_t rtol, int max_iters) {
+  PcgWorkspace ws;
+  return pcg_solve(decomp, apply_a, apply_m, b, x, rtol, max_iters, ws);
 }
 
 }  // namespace diffreg::core

@@ -21,11 +21,27 @@ struct PcgResult {
   bool negative_curvature = false;
 };
 
+/// Caller-owned scratch of one PCG solve. Reusing a workspace across solves
+/// of the same size keeps the hot paths allocation free — the Newton driver
+/// holds one across its iterations, and the two-level preconditioner holds
+/// one for its inner coarse-grid sweeps.
+struct PcgWorkspace {
+  VectorField r, z, p, ap;
+};
+
 using ApplyFn = std::function<void(const VectorField&, VectorField&)>;
 
 /// Solves A x = b to a relative (preconditioned) residual `rtol`, starting
-/// from x = 0. `apply_a` must be SPD on the subspace explored; `apply_m` is
-/// the preconditioner (approximate inverse of A). Collective.
+/// from x = 0 (pass rtol = 0 to always run `max_iters` sweeps — the fixed
+/// iteration count inner solves of a nested preconditioner want). `apply_a`
+/// must be SPD on the subspace explored; `apply_m` is the preconditioner
+/// (approximate inverse of A). Collective.
+PcgResult pcg_solve(grid::PencilDecomp& decomp, const ApplyFn& apply_a,
+                    const ApplyFn& apply_m, const VectorField& b,
+                    VectorField& x, real_t rtol, int max_iters,
+                    PcgWorkspace& ws);
+
+/// Convenience overload owning a transient workspace (allocates).
 PcgResult pcg_solve(grid::PencilDecomp& decomp, const ApplyFn& apply_a,
                     const ApplyFn& apply_m, const VectorField& b,
                     VectorField& x, real_t rtol, int max_iters);

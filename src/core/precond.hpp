@@ -1,0 +1,83 @@
+// Two-level (coarse-grid) Hessian preconditioner (paper section I,
+// Limitations: "multilevel preconditioning"; the CLAIRE line of work —
+// Mang & Biros 2017, Brunn et al. 2020 — shows this is what keeps the PCG
+// iteration count flat when beta gets small).
+//
+// The spectral preconditioner (beta A)^{-1} is exact on the regularization
+// term but ignores the data term of the Hessian H = beta A + H_data, which
+// dominates the LOW-frequency end — at small beta the spectrally
+// preconditioned system becomes badly conditioned exactly there. The
+// remedy: treat the low band with an approximate inverse of the full coarse
+// Hessian and keep the spectral smoother for the high band.
+//
+// Because the grid transfers are spectral truncation / zero padding,
+// restrict/prolong are an exact orthogonal frequency-band splitting, and
+// (beta A)^{-1} acts identically on matching integer wavenumbers of both
+// grids. The application therefore needs no explicit band projector:
+//
+//   P^{-1} r = (beta A)^{-1} r                              (all modes)
+//            + prolong( Hc^{-1}~ r_c  -  (beta A_c)^{-1} r_c ),
+//
+// with r_c = restrict(r) and Hc^{-1}~ a few inner CG sweeps on the coarse
+// Gauss-Newton Hessian (themselves preconditioned by the coarse spectral
+// inverse). The subtraction removes the smoother's low band, so low modes
+// see exactly the coarse Hessian solve and high modes exactly the smoother.
+//
+// One application costs two grid transfers (5 alltoallv each, all three
+// components batched) plus `inner_iters` coarse-grid Hessian matvecs — the
+// coarse grid has ~1/8 the points, so the whole correction is a fraction of
+// one fine matvec. All state (coarse decomposition, transport, transfer
+// plans, CG workspace) is owned here and reused: warm applications perform
+// no heap allocation beyond the coarse transport's plan cache.
+#pragma once
+
+#include <memory>
+
+#include "core/optimality.hpp"
+#include "core/options.hpp"
+#include "core/pcg.hpp"
+#include "core/regularization.hpp"
+#include "semilag/transport.hpp"
+#include "spectral/resample.hpp"
+
+namespace diffreg::core {
+
+class TwoLevelPreconditioner {
+ public:
+  /// `rho_t_s`/`rho_r_s` are the (already smoothed) fine-grid images; they
+  /// are restricted once at construction. Collective.
+  TwoLevelPreconditioner(grid::PencilDecomp& fine_decomp,
+                         const RegistrationOptions& opt,
+                         const ScalarField& rho_t_s,
+                         const ScalarField& rho_r_s);
+
+  /// Re-linearizes the coarse Hessian at a new iterate: restricts the fine
+  /// velocity and runs the coarse state solve. Called by the optimality
+  /// system once per accepted Newton iterate (from gradient()). Collective.
+  void sync(const VectorField& v_fine);
+
+  /// Adds the coarse-grid correction to `out` (which already holds the fine
+  /// spectral smoother applied to `r`). No-op until the first sync().
+  void correct(const VectorField& r, VectorField& out);
+
+  grid::PencilDecomp& coarse_decomp() { return coarse_decomp_; }
+  /// Coarse Hessian matvecs performed so far (the inner CG work).
+  int coarse_matvecs() const { return system_->matvec_count(); }
+
+ private:
+  grid::PencilDecomp coarse_decomp_;
+  spectral::SpectralOps ops_;
+  semilag::Transport transport_;
+  Regularization reg_;
+  spectral::ResamplePlan restrict_plan_;  // fine -> coarse
+  spectral::ResamplePlan prolong_plan_;   // coarse -> fine
+  std::unique_ptr<OptimalitySystem> system_;
+  int inner_iters_;
+  bool synced_ = false;
+
+  // Persistent scratch (coarse blocks + one fine block).
+  VectorField v_c_, r_c_, z_c_, smooth_c_, corr_;
+  PcgWorkspace ws_;
+};
+
+}  // namespace diffreg::core

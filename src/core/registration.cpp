@@ -1,5 +1,7 @@
 #include "core/registration.hpp"
 
+#include "core/precond.hpp"
+
 namespace diffreg::core {
 
 RegistrationSolver::RegistrationSolver(grid::PencilDecomp& decomp,
@@ -42,6 +44,20 @@ RegistrationResult RegistrationSolver::run(const ScalarField& rho_t,
   OptimalitySystem system(*ops_, transport, reg, rho_t_s, rho_r_s,
                           options_.incompressible, options_.gauss_newton);
 
+  // Two-level preconditioner, unless this grid is already at (or below) the
+  // coarse floor — on such grids (e.g. the coarsest level of a pyramid) the
+  // plain spectral smoother is the right tool and the correction has no
+  // coarser band to work with.
+  std::unique_ptr<TwoLevelPreconditioner> two_level;
+  if (options_.two_level_precond &&
+      spectral::coarsen_dims(decomp_->dims(),
+                             options_.precond_coarsest_dim) !=
+          decomp_->dims()) {
+    two_level = std::make_unique<TwoLevelPreconditioner>(*decomp_, options_,
+                                                         rho_t_s, rho_r_s);
+    system.set_two_level(two_level.get());
+  }
+
   const index_t n = decomp_->local_real_size();
   VectorField v(n);
   if (v0 != nullptr) {
@@ -73,6 +89,7 @@ RegistrationResult RegistrationSolver::run(const ScalarField& rho_t,
   result.max_det = deformation.max_det;
   result.mean_det = deformation.mean_det;
 
+  if (two_level) result.coarse_matvecs = two_level->coarse_matvecs();
   result.velocity = std::move(v);
   result.time_to_solution = wall.seconds();
   result.timings = timings_delta(timings_before, comm.timings());

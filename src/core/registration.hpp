@@ -25,6 +25,9 @@ namespace diffreg::core {
 struct RegistrationResult {
   VectorField velocity;  // optimal stationary velocity field
   NewtonReport newton;
+  /// Coarse-grid Hessian matvecs spent inside the two-level preconditioner
+  /// (0 unless options.two_level_precond).
+  int coarse_matvecs = 0;
 
   // Image mismatch, as L2 norms of the residual (paper Figs. 1/6/7).
   real_t initial_residual_norm = 0;  // ||rho_T - rho_R||

@@ -1,5 +1,6 @@
 #include "core/rigid.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 
@@ -54,6 +55,9 @@ void RigidRegistration::apply(std::span<const real_t> rho_t_full,
   const real_t h1 = kTwoPi / dims_[0], h2 = kTwoPi / dims_[1],
                h3 = kTwoPi / dims_[2];
   constexpr real_t w = 2;
+  const real_t hi1 = std::nextafter(static_cast<real_t>(dims_[0]) + w, w);
+  const real_t hi2 = std::nextafter(static_cast<real_t>(dims_[1]) + w, w);
+  const real_t hi3 = std::nextafter(static_cast<real_t>(dims_[2]) + w, w);
 
   index_t idx = 0;
   for (index_t i1 = 0; i1 < dims_[0]; ++i1)
@@ -64,9 +68,15 @@ void RigidRegistration::apply(std::span<const real_t> rho_t_full,
         const Vec3 y{rot[0].dot(x) + center[0] + params.translation[0],
                      rot[1].dot(x) + center[1] + params.translation[1],
                      rot[2].dot(x) + center[2] + params.translation[2]};
-        const real_t u1 = periodic_wrap(y[0], kTwoPi) / h1 + w;
-        const real_t u2 = periodic_wrap(y[1], kTwoPi) / h2 + w;
-        const real_t u3 = periodic_wrap(y[2], kTwoPi) / h3 + w;
+        // min: adding w can round a just-below-n coordinate up to exactly
+        // n + w, whose stencil would read one cell past the padded block
+        // (same clamp as the interpolation plan's receiver side).
+        const real_t u1 =
+            std::min(periodic_grid_units(y[0], h1, dims_[0]) + w, hi1);
+        const real_t u2 =
+            std::min(periodic_grid_units(y[1], h2, dims_[1]) + w, hi2);
+        const real_t u3 =
+            std::min(periodic_grid_units(y[2], h3, dims_[2]) + w, hi3);
         out[idx] =
             interp::tricubic_eval(padded.data(), padded_dims_, u1, u2, u3);
       }
@@ -80,6 +90,9 @@ real_t RigidRegistration::objective(std::span<const real_t> padded_t,
   const real_t h1 = kTwoPi / dims_[0], h2 = kTwoPi / dims_[1],
                h3 = kTwoPi / dims_[2];
   constexpr real_t w = 2;
+  const real_t hi1 = std::nextafter(static_cast<real_t>(dims_[0]) + w, w);
+  const real_t hi2 = std::nextafter(static_cast<real_t>(dims_[1]) + w, w);
+  const real_t hi3 = std::nextafter(static_cast<real_t>(dims_[2]) + w, w);
 
   real_t sum = 0;
   index_t idx = 0;
@@ -91,9 +104,15 @@ real_t RigidRegistration::objective(std::span<const real_t> padded_t,
         const Vec3 y{rot[0].dot(x) + center[0] + params.translation[0],
                      rot[1].dot(x) + center[1] + params.translation[1],
                      rot[2].dot(x) + center[2] + params.translation[2]};
-        const real_t u1 = periodic_wrap(y[0], kTwoPi) / h1 + w;
-        const real_t u2 = periodic_wrap(y[1], kTwoPi) / h2 + w;
-        const real_t u3 = periodic_wrap(y[2], kTwoPi) / h3 + w;
+        // min: adding w can round a just-below-n coordinate up to exactly
+        // n + w, whose stencil would read one cell past the padded block
+        // (same clamp as the interpolation plan's receiver side).
+        const real_t u1 =
+            std::min(periodic_grid_units(y[0], h1, dims_[0]) + w, hi1);
+        const real_t u2 =
+            std::min(periodic_grid_units(y[1], h2, dims_[1]) + w, hi2);
+        const real_t u3 =
+            std::min(periodic_grid_units(y[2], h3, dims_[2]) + w, hi3);
         const real_t val =
             interp::tricubic_eval(padded_t.data(), padded_dims_, u1, u2, u3);
         const real_t diff = val - rho_r[idx];

@@ -1,5 +1,6 @@
 #include "interp/interp_plan.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -47,9 +48,9 @@ void InterpPlan::build(std::span<const Vec3> points) {
     }
     std::fill(send_counts_.begin(), send_counts_.end(), index_t(0));
     for (index_t i = 0; i < num_points_; ++i) {
-      const real_t u1 = periodic_wrap(points[i][0], kTwoPi) / h1;
-      const real_t u2 = periodic_wrap(points[i][1], kTwoPi) / h2;
-      const real_t u3 = periodic_wrap(points[i][2], kTwoPi) / h3;
+      const real_t u1 = periodic_grid_units(points[i][0], h1, dims[0]);
+      const real_t u2 = periodic_grid_units(points[i][1], h2, dims[1]);
+      const real_t u3 = periodic_grid_units(points[i][2], h3, dims[2]);
       const index_t f1 = periodic_index(static_cast<index_t>(u1), dims[0]);
       const index_t f2 = periodic_index(static_cast<index_t>(u2), dims[1]);
       const int owner = decomp_->owner_of(f1, f2);
@@ -105,14 +106,32 @@ void InterpPlan::build(std::span<const Vec3> points) {
     const Int3 ld = decomp_->local_real_dims();
     const Int3 gdims{ld[0] + 2 * kGhostWidth, ld[1] + 2 * kGhostWidth,
                      ld[2] + 2 * kGhostWidth};
+    // A coordinate owned here lies in [begin, begin + nloc) — but adding
+    // the integer ghost offset rounds, and a point just below the upper
+    // boundary can land on exactly nloc + kGhostWidth, whose stencil reads
+    // one cell past the ghosted block. The true value is strictly below
+    // the bound, so clamping to the previous representable double is
+    // faithful.
+    const real_t hi1 = std::nextafter(
+        static_cast<real_t>(ld[0] + kGhostWidth), real_t(0));
+    const real_t hi2 = std::nextafter(
+        static_cast<real_t>(ld[1] + kGhostWidth), real_t(0));
+    const real_t hi3 = std::nextafter(
+        static_cast<real_t>(ld[2] + kGhostWidth), real_t(0));
     if (stencils_.size() < static_cast<size_t>(recv_total_))
       stencils_.resize(recv_total_);
     for (index_t j = 0; j < recv_total_; ++j) {
-      recv_coords_[3 * j] += off1;
-      recv_coords_[3 * j + 1] += off2;
-      recv_coords_[3 * j + 2] += off3;
+      recv_coords_[3 * j] = std::min(recv_coords_[3 * j] + off1, hi1);
+      recv_coords_[3 * j + 1] = std::min(recv_coords_[3 * j + 1] + off2, hi2);
+      recv_coords_[3 * j + 2] = std::min(recv_coords_[3 * j + 2] + off3, hi3);
       make_cubic_stencil(gdims, recv_coords_[3 * j], recv_coords_[3 * j + 1],
                          recv_coords_[3 * j + 2], stencils_[j]);
+      // The whole 4^3 neighbourhood must lie inside the ghosted block: a
+      // point routed here with a coordinate outside [0, n) would both read
+      // out of bounds and mean the ownership classification disagreed.
+      assert(stencils_[j].base >= 0 &&
+             stencils_[j].base + 3 * (gdims[1] * gdims[2] + gdims[2] + 1) <
+                 gdims.prod());
     }
   }
 

@@ -480,6 +480,200 @@ TEST(Continuation, ReducesBetaAndImprovesFit) {
     // Betas decrease monotonically across stages.
     for (int s = 1; s < cont.stages; ++s)
       EXPECT_LT(cont.stage_betas[s], cont.stage_betas[s - 1]);
+    EXPECT_TRUE(cont.admissible);
+  });
+}
+
+TEST(Continuation, InadmissibleFirstStageStillReturnsTheStageResult) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {16, 16, 16});
+    spectral::SpectralOps ops(decomp);
+    auto rho_t = imaging::synthetic_template(decomp);
+    auto v_star = imaging::synthetic_velocity(decomp, 0.5);
+    auto rho_r = imaging::make_reference(ops, rho_t, v_star);
+
+    RegistrationOptions opt;
+    opt.max_newton_iters = 3;
+    RegistrationSolver solver(decomp, opt);
+    ContinuationOptions copt;
+    copt.beta_start = 1e-1;
+    copt.beta_target = 1e-3;
+    // An impossible det bound: even the first stage is inadmissible. The
+    // caller must still get that stage's solve — not a default-constructed
+    // result with an empty velocity and final_beta = 0.
+    copt.min_det_bound = 10.0;
+    auto cont = run_beta_continuation(solver, rho_t, rho_r, copt);
+
+    EXPECT_EQ(cont.stages, 1);
+    EXPECT_FALSE(cont.admissible);
+    EXPECT_EQ(cont.final_beta, copt.beta_start);
+    EXPECT_EQ(cont.best.velocity.local_size(), decomp.local_real_size());
+    EXPECT_GT(cont.best.newton.total_matvecs, 0);
+    EXPECT_GT(cont.gradient_reference, 0);
+  });
+}
+
+TEST(Continuation, RestoresTheSolverOptionsOnEveryExitPath) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {16, 16, 16});
+    spectral::SpectralOps ops(decomp);
+    auto rho_t = imaging::synthetic_template(decomp);
+    auto v_star = imaging::synthetic_velocity(decomp, 0.5);
+    auto rho_r = imaging::make_reference(ops, rho_t, v_star);
+
+    RegistrationOptions opt;
+    opt.max_newton_iters = 3;
+    opt.beta = 0.5;  // sentinel values the driver must not clobber
+    opt.gradient_reference = 0;
+    RegistrationSolver solver(decomp, opt);
+    ContinuationOptions copt;
+    copt.beta_start = 1e-1;
+    copt.beta_target = 1e-2;
+
+    (void)run_beta_continuation(solver, rho_t, rho_r, copt);
+    EXPECT_EQ(solver.options().beta, 0.5);
+    EXPECT_EQ(solver.options().gradient_reference, 0.0);
+
+    // Early-exit path (inadmissible first stage) restores too.
+    copt.min_det_bound = 10.0;
+    (void)run_beta_continuation(solver, rho_t, rho_r, copt);
+    EXPECT_EQ(solver.options().beta, 0.5);
+    EXPECT_EQ(solver.options().gradient_reference, 0.0);
+  });
+}
+
+// --------------------------------------------------------------------------
+// Deformation statistics.
+
+TEST(Deformation, EmptyRankDoesNotBiasTheDeterminantExtrema) {
+  // 3 parts along an axis with 2 slabs: rank 2 owns zero points. The
+  // min/max reduction must be seeded with the +-inf identities — a sentinel
+  // seed (the old code used 1.0) corrupts the global extrema whenever every
+  // true determinant lies on one side of it.
+  mpisim::run_spmd(3, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {2, 8, 8}, /*p1=*/3, /*p2=*/1);
+    ScalarField det(decomp.local_real_size());
+    // All true determinants > 1 (an everywhere-expanding map).
+    for (size_t i = 0; i < det.size(); ++i)
+      det[i] = real_t(1.5) + real_t(0.01) * static_cast<real_t>(comm.rank());
+    DeformationAnalysis stats;
+    reduce_determinant_stats(decomp, det, stats);
+    EXPECT_GE(stats.min_det, 1.5);
+    EXPECT_LE(stats.max_det, 1.51);
+    EXPECT_GT(stats.mean_det, 1.0);
+
+    // And the mirrored case: all determinants < 1.
+    for (auto& d : det) d = real_t(0.25);
+    reduce_determinant_stats(decomp, det, stats);
+    EXPECT_EQ(stats.min_det, 0.25);
+    EXPECT_EQ(stats.max_det, 0.25);
+  });
+}
+
+// --------------------------------------------------------------------------
+// PCG workspace and the two-level preconditioner.
+
+TEST(Pcg, WorkspaceOverloadIsBitwiseIdenticalToTheTransientOne) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {12, 12, 12});
+    spectral::SpectralOps ops(decomp);
+    Regularization reg(ops, RegType::kH2Seminorm, 2.0);
+    VectorField x_true(decomp.local_real_size());
+    x_true[0] = fill(decomp, [](real_t x1, real_t, real_t) {
+      return std::sin(x1);
+    });
+    x_true[1] = fill(decomp, [](real_t, real_t x2, real_t) {
+      return std::cos(2 * x2);
+    });
+    VectorField b(x_true.local_size());
+    reg.apply(x_true, b);
+
+    auto apply_a = [&](const VectorField& in, VectorField& out) {
+      reg.apply(in, out);
+    };
+    auto apply_id = [&](const VectorField& in, VectorField& out) {
+      out = in;
+    };
+    VectorField x1v, x2v;
+    PcgResult plain = pcg_solve(decomp, apply_a, apply_id, b, x1v, 1e-8, 50);
+    PcgWorkspace ws;
+    PcgResult with_ws =
+        pcg_solve(decomp, apply_a, apply_id, b, x2v, 1e-8, 50, ws);
+    // A second solve through the SAME workspace must also be identical
+    // (stale workspace contents must not leak into the iteration).
+    VectorField x3v;
+    PcgResult reused =
+        pcg_solve(decomp, apply_a, apply_id, b, x3v, 1e-8, 50, ws);
+
+    EXPECT_EQ(plain.iterations, with_ws.iterations);
+    EXPECT_EQ(plain.iterations, reused.iterations);
+    for (int d = 0; d < 3; ++d)
+      for (size_t i = 0; i < x1v[d].size(); ++i) {
+        ASSERT_EQ(x1v[d][i], x2v[d][i]);
+        ASSERT_EQ(x1v[d][i], x3v[d][i]);
+      }
+  });
+}
+
+TEST(TwoLevelPreconditioner, ReducesKrylovIterationsAtSmallBeta) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {24, 24, 24});
+    spectral::SpectralOps ops(decomp);
+    auto rho_t = imaging::synthetic_template(decomp);
+    auto v_star = imaging::synthetic_velocity(decomp, 0.5);
+    auto rho_r = imaging::make_reference(ops, rho_t, v_star);
+
+    // Small beta: the regime where the spectral smoother alone degrades
+    // (the data term dominates the low-frequency end of the Hessian).
+    RegistrationOptions opt;
+    opt.beta = 1e-3;
+    opt.gtol = 1e-2;
+    opt.max_newton_iters = 8;
+
+    auto krylov_total = [](const RegistrationResult& r) {
+      int total = 0;
+      for (const auto& e : r.newton.log) total += e.krylov_iterations;
+      return total;
+    };
+
+    RegistrationSolver smooth_solver(decomp, opt);
+    auto smooth = smooth_solver.run(rho_t, rho_r);
+
+    opt.two_level_precond = true;
+    opt.precond_coarsest_dim = 8;
+    RegistrationSolver two_level_solver(decomp, opt);
+    auto two_level = two_level_solver.run(rho_t, rho_r);
+
+    EXPECT_LT(krylov_total(two_level), krylov_total(smooth));
+    EXPECT_GT(two_level.coarse_matvecs, 0);
+    // Same solution quality: both converge to the same problem's optimum.
+    EXPECT_TRUE(two_level.newton.converged);
+    EXPECT_NEAR(two_level.rel_residual, smooth.rel_residual, 0.05);
+    EXPECT_GT(two_level.min_det, 0.0);
+  });
+}
+
+TEST(TwoLevelPreconditioner, IncompressibleSolveStaysDivergenceFree) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {16, 16, 16});
+    spectral::SpectralOps ops(decomp);
+    auto rho_t = imaging::synthetic_template(decomp);
+    auto v_star = imaging::synthetic_velocity_divfree(decomp, 0.4);
+    auto rho_r = imaging::make_reference(ops, rho_t, v_star);
+
+    RegistrationOptions opt;
+    opt.beta = 1e-2;
+    opt.gtol = 5e-2;
+    opt.max_newton_iters = 5;
+    opt.incompressible = true;
+    opt.two_level_precond = true;
+    RegistrationSolver solver(decomp, opt);
+    auto result = solver.run(rho_t, rho_r);
+
+    ScalarField div;
+    ops.divergence(result.velocity, div);
+    EXPECT_LT(grid::norm_inf(decomp, div), 1e-8);
+    EXPECT_LT(result.rel_residual, 1.0);
   });
 }
 

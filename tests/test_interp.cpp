@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <random>
 #include <span>
@@ -352,6 +353,54 @@ TEST(InterpPlan, VectorFieldInterpolation) {
       EXPECT_NEAR(out[k][2], 2 * std::sin(pts[k][0]), 4e-3);
     }
   });
+}
+
+TEST(InterpPlan, PointsJustBelowThePeriodStayInBoundsAndWrap) {
+  // Regression: h = 2*pi/n is a rounded double, so wrap(x)/h could land on
+  // exactly n for points just below the period. That misclassified the
+  // owning rank (periodic_index(n, n) = 0 sends the point to the rank
+  // owning column 0, whose ghosted block it lies far outside) and pushed
+  // the 4-point stencil one cell past the ghosted block — a silent
+  // out-of-bounds read. periodic_grid_units folds such coordinates back
+  // into [0, n).
+  for (int p : {1, 2, 3}) {
+    mpisim::run_spmd(p, [&](mpisim::Communicator& comm) {
+      for (index_t n : {index_t(8), index_t(12), index_t(24)}) {
+        grid::PencilDecomp decomp(comm, {n, n, n});
+        const Int3 ld = decomp.local_real_dims();
+        const real_t h = kTwoPi / n;
+        grid::ScalarField field(decomp.local_real_size());
+        index_t idx = 0;
+        for (index_t a = 0; a < ld[0]; ++a)
+          for (index_t b = 0; b < ld[1]; ++b)
+            for (index_t c = 0; c < ld[2]; ++c, ++idx)
+              field[idx] = std::cos((decomp.range1().begin + a) * h) +
+                           std::sin(c * h);
+        // Adversarial coordinates: every rounding neighbourhood of the
+        // period, including n*h itself (which exceeds or undershoots 2*pi
+        // by rounding) and exact multiples that may divide back to n.
+        std::vector<real_t> edges = {
+            real_t(0),
+            std::nextafter(kTwoPi, real_t(0)),
+            std::nextafter(std::nextafter(kTwoPi, real_t(0)), real_t(0)),
+            n * h,
+            std::nextafter(n * h, real_t(0)),
+            -std::numeric_limits<real_t>::denorm_min(),
+            kTwoPi - 1e-15,
+            kTwoPi - 1e-14};
+        std::vector<Vec3> pts;
+        for (real_t e1 : edges)
+          for (real_t e3 : edges) pts.push_back({e1, real_t(0.5), e3});
+        grid::GhostExchange gx(decomp, kGhostWidth);
+        InterpPlan plan(decomp, pts);
+        std::vector<real_t> out(pts.size());
+        plan.interpolate(gx, field, out);
+        for (size_t k = 0; k < pts.size(); ++k)
+          ASSERT_NEAR(out[k], 1.0, 5e-3)  // cos(0) + sin(0/2pi) = 1
+              << "p=" << p << " n=" << n << " k=" << k;
+      }
+    });
+  }
 }
 
 TEST(InterpPlan, BatchedMatchesSequentialBitwise) {
