@@ -8,15 +8,23 @@ Field classes:
 * Wall-time fields (ending in ``_ms``): fail when the current value exceeds
   baseline * (1 + --time-tolerance). Machines differ, so CI passes a wider
   tolerance than the 25% default that is meant for like-for-like local runs.
+  Wall times are only compared when both JSONs were built with the same
+  arch flag set (the top-level ``"flags"`` field): differently-tuned
+  builds are not comparable, so a mismatch skips the ``_ms`` fields with a
+  note and gates only the flag-independent counters.
 * Iteration-count fields (ending in ``_iters``: Krylov iterations, Hessian
   matvecs): deterministic on one machine but sensitive to floating-point
   contraction across compilers, so they get their own tolerance
   (--iters-tolerance, default 35%).
-* Byte counters (fields containing ``bytes``): near-deterministic, but the
-  interpolation byte volume depends on which rank owns each departure point
-  — a floating-point classification that can shift by a few points across
-  compilers/FMA contraction — so they get a small tolerance
-  (--bytes-tolerance, default 1%).
+* Wire-byte counters (fields ending in ``_bytes``): deterministic
+  properties of an exchange schedule (e.g. the FFT transpose wire/saved
+  volumes of the mixed-precision leg), gated EXACTLY — any increase fails,
+  a decrease is a note to refresh the baseline.
+* Other byte counters (fields merely containing ``bytes``):
+  near-deterministic, but the interpolation byte volume depends on which
+  rank owns each departure point — a floating-point classification that can
+  shift by a few points across compilers/FMA contraction — so they get a
+  small tolerance (--bytes-tolerance, default 1%).
 * Convergence flags (ending in ``_converged``): must match the baseline
   exactly in both directions — a solve that stops converging is a
   regression even though the value decreased.
@@ -44,6 +52,7 @@ import sys
 IDENTITY_KEYS = ("size", "ranks", "case", "bench")
 TIME_SUFFIX = "_ms"
 ITERS_SUFFIX = "_iters"
+WIRE_BYTES_SUFFIX = "_bytes"
 
 
 def record_key(record):
@@ -56,13 +65,20 @@ def load_records(path):
     records = {}
     for rec in doc.get("records", []):
         records[record_key(rec)] = rec
-    return doc.get("bench", os.path.basename(path)), records
+    return (doc.get("bench", os.path.basename(path)),
+            doc.get("flags", "default"), records)
 
 
 def compare_file(current_path, baseline_path, time_tol, bytes_tol, iters_tol,
                  failures, notes):
-    bench, current = load_records(current_path)
-    _, baseline = load_records(baseline_path)
+    bench, cur_flags, current = load_records(current_path)
+    _, base_flags, baseline = load_records(baseline_path)
+    compare_times = cur_flags == base_flags
+    if not compare_times:
+        notes.append(
+            f"{bench}: arch flags differ (current '{cur_flags}' vs baseline "
+            f"'{base_flags}'); wall-time fields skipped, counters still "
+            "gated")
 
     # Coverage loss is itself a regression: every baseline record and field
     # must still be produced by the current run.
@@ -94,6 +110,8 @@ def compare_file(current_path, baseline_path, time_tol, bytes_tol, iters_tol,
                              "baseline")
                 continue
             if field.endswith(TIME_SUFFIX):
+                if not compare_times:
+                    continue
                 limit = base_val * (1.0 + time_tol)
                 if cur_val > limit:
                     failures.append(
@@ -118,6 +136,18 @@ def compare_file(current_path, baseline_path, time_tol, bytes_tol, iters_tol,
                 elif cur_val < base_val / (1.0 + iters_tol):
                     notes.append(
                         f"{bench} ({ident}): iteration count {field} "
+                        f"dropped {base_val} -> {cur_val}; refresh the "
+                        "baseline to lock in the win")
+            elif field.endswith(WIRE_BYTES_SUFFIX):
+                # Deterministic wire/saved byte counters (the fp32 wire
+                # format halves these; any growth is a format regression).
+                if cur_val > base_val:
+                    failures.append(
+                        f"{bench} ({ident}): wire byte counter {field} grew "
+                        f"{base_val} -> {cur_val} (gated exactly)")
+                elif cur_val < base_val:
+                    notes.append(
+                        f"{bench} ({ident}): wire byte counter {field} "
                         f"dropped {base_val} -> {cur_val}; refresh the "
                         "baseline to lock in the win")
             elif "bytes" in field:

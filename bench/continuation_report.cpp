@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/timer.hpp"
 #include "core/continuation.hpp"
 #include "imaging/synthetic.hpp"
@@ -158,7 +159,10 @@ int main(int argc, char** argv) {
                  out_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"bench\": \"continuation\",\n  \"records\": [\n");
+  std::fprintf(f,
+               "{\n  \"bench\": \"continuation\",\n  \"flags\": \"%s\",\n"
+               "  \"records\": [\n",
+               bench::arch_flags());
   std::fprintf(
       f,
       "    {\"case\": \"pyramid3_beta1e-3\", \"size\": %lld, \"ranks\": %d, "

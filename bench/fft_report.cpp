@@ -4,13 +4,16 @@
 // runs of successive PRs can track both the kernel speed and the message
 // count of the hottest path in the solver.
 //
-// Usage: fft_report [output.json]
+// Usage: fft_report [--wire fp64|fp32] [output.json]
+// --wire fp32 runs the same cases with the fp32 wire format enabled on the
+// transpose exchanges (the mixed-precision leg; bench name "fft_fp32wire").
 #include <algorithm>
 #include <cstdio>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/timer.hpp"
 #include "fft/fft3d_distributed.hpp"
 #include "grid/decomposition.hpp"
@@ -30,70 +33,51 @@ struct Record {
   std::uint64_t exchanges = 0;
 };
 
-Record run_case(index_t n, int p, int reps) {
+Record run_case(index_t n, int p, int reps, WirePrecision wire) {
   Record rec;
   rec.n = n;
   rec.p = p;
-  const Int3 dims{n, n, n};
-
-  // Slowest-rank wall times and counters, like the paper's tables.
-  double fwd_max = 0, inv_max = 0;
-  Timings agg;
-  auto timings = mpisim::run_spmd(p, [&](mpisim::Communicator& comm) {
-    grid::PencilDecomp decomp(comm, dims);
-    fft::DistributedFft3d fft(decomp);
-    std::vector<real_t> x(fft.local_real_size(), 1.0);
-    for (index_t i = 0; i < fft.local_real_size(); ++i)
-      x[i] = static_cast<real_t>((i * 2654435761u) % 1000) / 1000.0;
-    std::vector<complex_t> spec(fft.local_spectral_size());
-
-    fft.forward(x, spec);  // warm-up
-    fft.inverse(spec, x);
-    comm.timings().clear();
-
-    WallTimer t;
-    for (int r = 0; r < reps; ++r) fft.forward(x, spec);
-    const double fwd = t.seconds() / reps;
-    t.reset();
-    for (int r = 0; r < reps; ++r) fft.inverse(spec, x);
-    const double inv = t.seconds() / reps;
-
-    static std::mutex mu;
-    std::scoped_lock lock(mu);
-    fwd_max = std::max(fwd_max, fwd);
-    inv_max = std::max(inv_max, inv);
-  });
-  for (const auto& t : timings) agg += t;
-
-  rec.forward_ms = fwd_max * 1e3;
-  rec.inverse_ms = inv_max * 1e3;
+  const bench::FftCaseResult res =
+      bench::run_fft_trajectory_case(n, p, reps, wire);
+  rec.forward_ms = res.forward_ms;
+  rec.inverse_ms = res.inverse_ms;
   // Per-rank, per-transform averages, so records are comparable across rank
   // counts (and against the 2-exchanges-per-transform invariant the tests
   // assert).
   const std::uint64_t norm = 2ull * reps * static_cast<std::uint64_t>(p);
-  rec.comm_bytes = agg.bytes(TimeKind::kFftComm) / norm;
-  rec.comm_messages = agg.messages(TimeKind::kFftComm) / norm;
-  rec.exchanges = agg.exchanges(TimeKind::kFftComm) / norm;
+  rec.comm_bytes = res.agg.bytes(TimeKind::kFftComm) / norm;
+  rec.comm_messages = res.agg.messages(TimeKind::kFftComm) / norm;
+  rec.exchanges = res.agg.exchanges(TimeKind::kFftComm) / norm;
   return rec;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_fft.json";
+  WirePrecision wire = WirePrecision::kF64;
+  std::string out_arg;
+  if (!bench::parse_wire_args(argc, argv, "fft_report", wire, out_arg))
+    return 1;
+  const bool fp32 = wire == WirePrecision::kF32;
+  const std::string out_path =
+      !out_arg.empty()
+          ? out_arg
+          : (fp32 ? "BENCH_fft_fp32wire.json" : "BENCH_fft.json");
 
   std::vector<Record> records;
-  records.push_back(run_case(32, 1, 20));
-  records.push_back(run_case(64, 1, 5));
-  records.push_back(run_case(32, 4, 10));
-  records.push_back(run_case(64, 4, 3));
+  records.push_back(run_case(32, 1, 20, wire));
+  records.push_back(run_case(64, 1, 5, wire));
+  records.push_back(run_case(32, 4, 10, wire));
+  records.push_back(run_case(64, 4, 3, wire));
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "fft_report: cannot open %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"bench\": \"fft\",\n  \"records\": [\n");
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"flags\": \"%s\",\n"
+               "  \"records\": [\n",
+               fp32 ? "fft_fp32wire" : "fft", bench::arch_flags());
   for (size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
     std::fprintf(f,

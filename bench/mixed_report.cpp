@@ -1,0 +1,132 @@
+// Mixed-precision bench leg: runs the fp32-wire variants of the FFT and
+// semi-Lagrangian trajectory cases — the SAME shared run cases
+// (bench_common.hpp) fft_report and semilag_report drive at fp64, with
+// WirePrecision::kF32 on every exchange — and dumps BENCH_mixed.json for
+// the CI bench-regression gate.
+//
+// Field classes (bench/check_regression.py): wall times (*_ms) get a
+// tolerance; the FFT wire/saved byte counters end in "_bytes" and are gated
+// EXACTLY (they are deterministic properties of the transform schedule);
+// the interpolation byte counters keep the small-tolerance "bytes" class
+// because departure-point ownership is a floating-point classification.
+//
+// Usage: mixed_report [output.json]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+
+using namespace diffreg;
+
+namespace {
+
+struct FftRecord {
+  index_t n = 0;
+  int p = 0;
+  double forward_ms = 0;
+  double inverse_ms = 0;
+  std::uint64_t wire_bytes = 0;   // per rank per transform, post-conversion
+  std::uint64_t saved_bytes = 0;  // per rank per transform, kept off the wire
+};
+
+FftRecord run_fft_case(index_t n, int p, int reps) {
+  FftRecord rec;
+  rec.n = n;
+  rec.p = p;
+  const bench::FftCaseResult res =
+      bench::run_fft_trajectory_case(n, p, reps, WirePrecision::kF32);
+  rec.forward_ms = res.forward_ms;
+  rec.inverse_ms = res.inverse_ms;
+  const std::uint64_t norm = 2ull * reps * static_cast<std::uint64_t>(p);
+  rec.wire_bytes = res.agg.bytes(TimeKind::kFftComm) / norm;
+  rec.saved_bytes = res.agg.saved_bytes(TimeKind::kFftComm) / norm;
+  return rec;
+}
+
+struct SemilagRecord {
+  index_t n = 0;
+  int p = 0;
+  double state_ms = 0;
+  double matvec_ms = 0;
+  std::uint64_t comm_bytes = 0;   // interp wire bytes per rank per matvec
+  std::uint64_t saved_bytes = 0;  // per rank per matvec
+};
+
+SemilagRecord run_semilag_case(index_t n, int p, int reps) {
+  SemilagRecord rec;
+  rec.n = n;
+  rec.p = p;
+  const bench::SemilagCaseResult res =
+      bench::run_semilag_trajectory_case(n, p, reps, WirePrecision::kF32);
+  rec.state_ms = res.state_ms;
+  rec.matvec_ms = res.matvec_ms;
+  const std::uint64_t norm =
+      static_cast<std::uint64_t>(reps) * static_cast<std::uint64_t>(p);
+  rec.comm_bytes = res.matvec_agg.bytes(TimeKind::kInterpComm) / norm;
+  rec.saved_bytes = res.matvec_agg.saved_bytes(TimeKind::kInterpComm) / norm;
+  return rec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_mixed.json";
+
+  std::vector<FftRecord> ffts;
+  ffts.push_back(run_fft_case(64, 1, 5));
+  ffts.push_back(run_fft_case(64, 4, 3));
+  std::vector<SemilagRecord> semis;
+  semis.push_back(run_semilag_case(32, 4, 5));
+  semis.push_back(run_semilag_case(64, 4, 2));
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "mixed_report: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"mixed\",\n  \"flags\": \"%s\",\n"
+               "  \"records\": [\n",
+               bench::arch_flags());
+  for (const FftRecord& r : ffts)
+    std::fprintf(
+        f,
+        "    {\"case\": \"fft_fp32wire\", \"size\": %lld, \"ranks\": %d, "
+        "\"forward_ms\": %.4f, \"inverse_ms\": %.4f, "
+        "\"fft_wire_bytes\": %llu, \"fft_saved_bytes\": %llu},\n",
+        static_cast<long long>(r.n), r.p, r.forward_ms, r.inverse_ms,
+        static_cast<unsigned long long>(r.wire_bytes),
+        static_cast<unsigned long long>(r.saved_bytes));
+  for (size_t i = 0; i < semis.size(); ++i) {
+    const SemilagRecord& r = semis[i];
+    std::fprintf(
+        f,
+        "    {\"case\": \"semilag_fp32wire\", \"size\": %lld, \"ranks\": %d, "
+        "\"state_ms\": %.4f, \"matvec_ms\": %.4f, "
+        "\"interp_comm_bytes_per_rank_matvec\": %llu, "
+        "\"interp_saved_bytes_per_rank_matvec\": %llu}%s\n",
+        static_cast<long long>(r.n), r.p, r.state_ms, r.matvec_ms,
+        static_cast<unsigned long long>(r.comm_bytes),
+        static_cast<unsigned long long>(r.saved_bytes),
+        i + 1 < semis.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  for (const FftRecord& r : ffts)
+    std::printf("mixed fft %lld^3 p=%d: fwd %.3f ms, inv %.3f ms, "
+                "%llu wire B / %llu saved B per rank per transform\n",
+                static_cast<long long>(r.n), r.p, r.forward_ms, r.inverse_ms,
+                static_cast<unsigned long long>(r.wire_bytes),
+                static_cast<unsigned long long>(r.saved_bytes));
+  for (const SemilagRecord& r : semis)
+    std::printf("mixed semilag %lld^3 p=%d: state %.3f ms, matvec %.3f ms, "
+                "%llu wire B / %llu saved B per rank per matvec\n",
+                static_cast<long long>(r.n), r.p, r.state_ms, r.matvec_ms,
+                static_cast<unsigned long long>(r.comm_bytes),
+                static_cast<unsigned long long>(r.saved_bytes));
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -7,13 +7,17 @@
 // bench-regression gate (bench/check_regression.py): wall times are gated
 // with a tolerance, the comm counters exactly.
 //
-// Usage: semilag_report [output.json]
+// Usage: semilag_report [--wire fp64|fp32] [output.json]
+// --wire fp32 runs the same cases with the fp32 wire format on the ghost
+// halos and the interpolation value scatter (the mixed-precision leg; bench
+// name "semilag_fp32wire").
 #include <algorithm>
 #include <cstdio>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/timer.hpp"
 #include "imaging/synthetic.hpp"
 #include "mpisim/communicator.hpp"
@@ -35,100 +39,53 @@ struct Record {
   std::uint64_t exchanges = 0;      // alltoallv+alltoall per rank per matvec
 };
 
-Record run_case(index_t n, int p, int reps) {
+Record run_case(index_t n, int p, int reps, WirePrecision wire) {
   Record rec;
   rec.n = n;
   rec.p = p;
-  const Int3 dims{n, n, n};
-
-  double build_max = 0, state_max = 0, matvec_max = 0, vec3_max = 0;
-  Timings agg;
-  std::mutex mu;
-  mpisim::run_spmd(p, [&](mpisim::Communicator& comm) {
-    grid::PencilDecomp decomp(comm, dims);
-    spectral::SpectralOps ops(decomp);
-    semilag::TransportConfig tc;
-    tc.nt = 4;
-    semilag::Transport transport(ops, tc);
-
-    auto rho0 = imaging::synthetic_template(decomp);
-    auto va = imaging::synthetic_velocity(decomp, 0.5);
-    auto vb = imaging::synthetic_velocity(decomp, 0.52);
-    auto w = imaging::synthetic_velocity_divfree(decomp, 0.3);
-
-    // Warm-up: builds the plans and grows every scratch buffer once.
-    grid::ScalarField rho_tilde1;
-    grid::VectorField b, vec_out;
-    transport.set_velocity(va);
-    transport.solve_state(rho0);
-    transport.solve_incremental_state(w, rho_tilde1);
-    transport.solve_incremental_adjoint_gn(rho_tilde1, b);
-    transport.interp_vec_at_forward_points(w, vec_out);
-
-    // Plan build: alternate two velocities so every call rebuilds (a
-    // repeated velocity would hit the plan cache).
-    WallTimer t;
-    for (int r = 0; r < reps; ++r)
-      transport.set_velocity(r % 2 == 0 ? vb : va);
-    const double build = t.seconds() / reps;
-
-    t.reset();
-    for (int r = 0; r < reps; ++r) transport.solve_state(rho0);
-    const double state = t.seconds() / reps;
-
-    const Timings before = comm.timings();
-    t.reset();
-    for (int r = 0; r < reps; ++r) {
-      transport.solve_incremental_state(w, rho_tilde1);
-      transport.solve_incremental_adjoint_gn(rho_tilde1, b);
-    }
-    const double matvec = t.seconds() / reps;
-    const Timings matvec_delta = timings_delta(before, comm.timings());
-
-    t.reset();
-    for (int r = 0; r < reps; ++r)
-      transport.interp_vec_at_forward_points(w, vec_out);
-    const double vec3 = t.seconds() / reps;
-
-    std::scoped_lock lock(mu);
-    build_max = std::max(build_max, build);
-    state_max = std::max(state_max, state);
-    matvec_max = std::max(matvec_max, matvec);
-    vec3_max = std::max(vec3_max, vec3);
-    agg += matvec_delta;
-  });
-
-  rec.plan_build_ms = build_max * 1e3;
-  rec.state_ms = state_max * 1e3;
-  rec.matvec_ms = matvec_max * 1e3;
-  rec.interp_vec3_ms = vec3_max * 1e3;
+  const bench::SemilagCaseResult res =
+      bench::run_semilag_trajectory_case(n, p, reps, wire);
+  rec.plan_build_ms = res.plan_build_ms;
+  rec.state_ms = res.state_ms;
+  rec.matvec_ms = res.matvec_ms;
+  rec.interp_vec3_ms = res.interp_vec3_ms;
   // Per-rank, per-matvec averages (deterministic: the plan's comm schedule
   // is fixed by the velocity, not by timing).
   const std::uint64_t norm =
       static_cast<std::uint64_t>(reps) * static_cast<std::uint64_t>(p);
-  rec.comm_bytes = agg.bytes(TimeKind::kInterpComm) / norm;
-  rec.comm_messages = agg.messages(TimeKind::kInterpComm) / norm;
-  rec.exchanges = agg.exchanges(TimeKind::kInterpComm) / norm;
+  rec.comm_bytes = res.matvec_agg.bytes(TimeKind::kInterpComm) / norm;
+  rec.comm_messages = res.matvec_agg.messages(TimeKind::kInterpComm) / norm;
+  rec.exchanges = res.matvec_agg.exchanges(TimeKind::kInterpComm) / norm;
   return rec;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_semilag.json";
+  WirePrecision wire = WirePrecision::kF64;
+  std::string out_arg;
+  if (!bench::parse_wire_args(argc, argv, "semilag_report", wire, out_arg))
+    return 1;
+  const bool fp32 = wire == WirePrecision::kF32;
+  const std::string out_path =
+      !out_arg.empty()
+          ? out_arg
+          : (fp32 ? "BENCH_semilag_fp32wire.json" : "BENCH_semilag.json");
 
   std::vector<Record> records;
-  records.push_back(run_case(32, 1, 10));
-  records.push_back(run_case(64, 1, 3));
-  records.push_back(run_case(32, 4, 5));
-  records.push_back(run_case(64, 4, 2));
+  records.push_back(run_case(32, 1, 10, wire));
+  records.push_back(run_case(64, 1, 3, wire));
+  records.push_back(run_case(32, 4, 5, wire));
+  records.push_back(run_case(64, 4, 2, wire));
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "semilag_report: cannot open %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"bench\": \"semilag\",\n  \"records\": [\n");
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"flags\": \"%s\",\n"
+               "  \"records\": [\n",
+               fp32 ? "semilag_fp32wire" : "semilag", bench::arch_flags());
   for (size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
     std::fprintf(

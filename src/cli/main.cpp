@@ -53,6 +53,10 @@ void print_usage() {
       "  --gtol T             relative gradient tolerance (default 1e-2)\n"
       "  --max-newton N       Newton iteration cap (default 50)\n"
       "  --incompressible     enforce div v = 0 (volume preserving map)\n"
+      "  --precision P        double | mixed (default double); mixed ships\n"
+      "                       every hot exchange as fp32 and runs the inner\n"
+      "                       Krylov solve in single precision (outer Newton\n"
+      "                       stays double — see README precision policy)\n"
       "  --full-newton        keep the full-Newton Hessian terms\n"
       "  --trilinear          trilinear instead of tricubic interpolation\n"
       "  --continuation       run beta continuation (start 1e-1 -> beta)\n"
@@ -143,6 +147,17 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       opt.reg.max_newton_iters = std::atoi(v);
     } else if (flag == "--incompressible") {
       opt.reg.incompressible = true;
+    } else if (flag == "--precision") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      if (std::strcmp(v, "double") == 0)
+        opt.reg.precision = core::Precision::kDouble;
+      else if (std::strcmp(v, "mixed") == 0)
+        opt.reg.precision = core::Precision::kMixed;
+      else {
+        std::fprintf(stderr, "error: --precision must be double or mixed\n");
+        return std::nullopt;
+      }
     } else if (flag == "--full-newton") {
       opt.reg.gauss_newton = false;
     } else if (flag == "--trilinear") {
@@ -290,13 +305,16 @@ int main(int argc, char** argv) {
     }
 
     if (root) {
-      std::printf("grid %lldx%lldx%lld  ranks %d  beta %.1e  %s  %s\n",
+      std::printf("grid %lldx%lldx%lld  ranks %d  beta %.1e  %s  %s  %s\n",
                   static_cast<long long>(opt.dims[0]),
                   static_cast<long long>(opt.dims[1]),
                   static_cast<long long>(opt.dims[2]), opt.ranks,
                   solver.options().beta,
                   opt.reg.incompressible ? "incompressible" : "compressible",
-                  opt.reg.gauss_newton ? "gauss-newton" : "full-newton");
+                  opt.reg.gauss_newton ? "gauss-newton" : "full-newton",
+                  opt.reg.precision == core::Precision::kMixed
+                      ? "mixed-precision"
+                      : "double-precision");
       std::printf("newton its %d  matvecs %d  converged %s\n",
                   result.newton.iterations, result.newton.total_matvecs,
                   result.newton.converged ? "yes" : "no");

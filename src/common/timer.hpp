@@ -4,7 +4,11 @@
 // Alongside the wall-clock split, each category also accumulates
 // communication *volume* (bytes and messages sent, and collective alltoallv
 // exchanges entered), so a message-count regression is visible even when the
-// wall-clock split looks unchanged.
+// wall-clock split looks unchanged. The byte counters record POST-CONVERSION
+// wire bytes: when an exchange ships an fp32 payload (WirePrecision::kF32)
+// the narrowed size is what lands in `bytes`, and the volume the narrowing
+// avoided is accumulated separately in `saved_bytes` — so fp64-vs-fp32 runs
+// are directly comparable and the saving itself is a gated counter.
 #pragma once
 
 #include <array>
@@ -56,12 +60,18 @@ class Timings {
   }
   /// Accounts one alltoallv exchange entered by this rank.
   void add_exchange(TimeKind kind) { add_comm(kind, 0, 0, 1); }
+  /// Accounts bytes that a wire down-conversion kept OFF the wire (sender
+  /// side, like add_message): payload bytes at fp64 minus bytes shipped.
+  void add_saved(TimeKind kind, std::uint64_t bytes) {
+    add_comm(kind, 0, 0, 0, bytes);
+  }
   /// Raw counter accumulation (used by add_message/add_exchange and deltas).
   void add_comm(TimeKind kind, std::uint64_t bytes, std::uint64_t messages,
-                std::uint64_t exchanges) {
+                std::uint64_t exchanges, std::uint64_t saved = 0) {
     bytes_[static_cast<int>(kind)] += bytes;
     messages_[static_cast<int>(kind)] += messages;
     exchanges_[static_cast<int>(kind)] += exchanges;
+    saved_bytes_[static_cast<int>(kind)] += saved;
   }
 
   std::uint64_t bytes(TimeKind kind) const {
@@ -73,6 +83,9 @@ class Timings {
   std::uint64_t exchanges(TimeKind kind) const {
     return exchanges_[static_cast<int>(kind)];
   }
+  std::uint64_t saved_bytes(TimeKind kind) const {
+    return saved_bytes_[static_cast<int>(kind)];
+  }
   std::uint64_t total_bytes() const {
     std::uint64_t sum = 0;
     for (auto b : bytes_) sum += b;
@@ -83,12 +96,18 @@ class Timings {
     for (auto m : messages_) sum += m;
     return sum;
   }
+  std::uint64_t total_saved_bytes() const {
+    std::uint64_t sum = 0;
+    for (auto b : saved_bytes_) sum += b;
+    return sum;
+  }
 
   void clear() {
     seconds_.fill(0.0);
     bytes_.fill(0);
     messages_.fill(0);
     exchanges_.fill(0);
+    saved_bytes_.fill(0);
   }
 
   Timings& operator+=(const Timings& other) {
@@ -97,6 +116,7 @@ class Timings {
       bytes_[k] += other.bytes_[k];
       messages_[k] += other.messages_[k];
       exchanges_[k] += other.exchanges_[k];
+      saved_bytes_[k] += other.saved_bytes_[k];
     }
     return *this;
   }
@@ -108,6 +128,8 @@ class Timings {
       if (other.messages_[k] > messages_[k]) messages_[k] = other.messages_[k];
       if (other.exchanges_[k] > exchanges_[k])
         exchanges_[k] = other.exchanges_[k];
+      if (other.saved_bytes_[k] > saved_bytes_[k])
+        saved_bytes_[k] = other.saved_bytes_[k];
     }
   }
 
@@ -116,6 +138,7 @@ class Timings {
   std::array<std::uint64_t, kNumTimeKinds> bytes_{};
   std::array<std::uint64_t, kNumTimeKinds> messages_{};
   std::array<std::uint64_t, kNumTimeKinds> exchanges_{};
+  std::array<std::uint64_t, kNumTimeKinds> saved_bytes_{};
 };
 
 /// Per-category `after - before`, for timing a phase of a longer run.
@@ -126,7 +149,8 @@ inline Timings timings_delta(const Timings& before, const Timings& after) {
     d.add(kind, after.get(kind) - before.get(kind));
     d.add_comm(kind, after.bytes(kind) - before.bytes(kind),
                after.messages(kind) - before.messages(kind),
-               after.exchanges(kind) - before.exchanges(kind));
+               after.exchanges(kind) - before.exchanges(kind),
+               after.saved_bytes(kind) - before.saved_bytes(kind));
   }
   return d;
 }

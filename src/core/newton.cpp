@@ -34,7 +34,11 @@ NewtonReport newton_solve(OptimalitySystem& system, VectorField& v,
   const int plan_builds_before = system.transport().plan_build_count();
 
   VectorField g(n), rhs(n), step(n), v_trial(n);
-  PcgWorkspace pcg_ws;  // shared across the Newton iterations
+  // Workspaces shared across the Newton iterations; only the one matching
+  // options.precision ever allocates its fields.
+  PcgWorkspace pcg_ws;
+  PcgWorkspace32 pcg_ws32;
+  const bool mixed = options.precision == Precision::kMixed;
 
   // Convergence is measured relative to the gradient at zero velocity, so a
   // warm-started solve targets the same absolute gradient norm as a cold one
@@ -83,19 +87,26 @@ NewtonReport newton_solve(OptimalitySystem& system, VectorField& v,
     }
 
     // Newton step: H s = -g, solved inexactly (Eisenstat-Walker forcing).
+    // Under Precision::kMixed the Krylov recurrence runs on fp32 storage
+    // (pcg_solve_mixed) — safe because this loop is an iterative
+    // refinement: the gradient above is re-computed in full fp64 at every
+    // iterate, so inner rounding only perturbs the search direction, never
+    // the measured optimality.
     const real_t eta = forcing_term(options, rel_g);
     entry.forcing = eta;
     rhs = g;
     grid::scale(real_t(-1), rhs);
-    const PcgResult pcg = pcg_solve(
-        decomp,
-        [&](const VectorField& x, VectorField& y) {
-          system.hessian_matvec(x, y);
-        },
-        [&](const VectorField& x, VectorField& y) {
-          system.apply_preconditioner(x, y);
-        },
-        rhs, step, eta, options.max_krylov_iters, pcg_ws);
+    const auto apply_a = [&](const VectorField& x, VectorField& y) {
+      system.hessian_matvec(x, y);
+    };
+    const auto apply_m = [&](const VectorField& x, VectorField& y) {
+      system.apply_preconditioner(x, y);
+    };
+    const PcgResult pcg =
+        mixed ? pcg_solve_mixed(decomp, apply_a, apply_m, rhs, step, eta,
+                                options.max_krylov_iters, pcg_ws32)
+              : pcg_solve(decomp, apply_a, apply_m, rhs, step, eta,
+                          options.max_krylov_iters, pcg_ws);
     entry.krylov_iterations = pcg.iterations;
 
     // Descent safeguard: fall back to the preconditioned steepest-descent

@@ -3,6 +3,7 @@
 // Gauss-Newton with quadratic forcing).
 #pragma once
 
+#include "common/precision.hpp"
 #include "core/regularization.hpp"
 #include "interp/kernels.hpp"
 
@@ -14,6 +15,19 @@ enum class Forcing {
   kConstant,     // eta_k = eta_max
 };
 
+/// Solver precision policy (CLAIRE-style mixed precision).
+///   kDouble — everything fp64, bitwise identical to the historical solver.
+///   kMixed  — fp32 wire format on every hot exchange (FFT transposes,
+///             ghost halos, interpolation value scatter, resample remap)
+///             AND fp32 storage for the inner Krylov recurrence, while the
+///             outer Newton iteration (gradient, objective, line search,
+///             step update) stays fp64 and re-computes the true fp64
+///             residual every iterate (iterative-refinement structure).
+enum class Precision {
+  kDouble,
+  kMixed,
+};
+
 struct RegistrationOptions {
   // Discretization.
   int nt = 4;
@@ -23,6 +37,17 @@ struct RegistrationOptions {
   real_t beta = 1e-2;
   RegType reg_type = RegType::kH2Seminorm;
   bool incompressible = false;
+
+  // Precision policy. kDouble is the default: kMixed is opt-in (CLI
+  // --precision mixed) and is only safe because the outer Newton loop stays
+  // fp64 — see the README "Precision policy" section.
+  Precision precision = Precision::kDouble;
+  /// Wire format implied by the precision policy, consumed by every plan
+  /// the solver builds (FFT, ghost exchange, interpolation, resample).
+  WirePrecision wire() const {
+    return precision == Precision::kMixed ? WirePrecision::kF32
+                                          : WirePrecision::kF64;
+  }
 
   // Newton-Krylov solver.
   bool gauss_newton = true;

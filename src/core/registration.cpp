@@ -8,7 +8,7 @@ RegistrationSolver::RegistrationSolver(grid::PencilDecomp& decomp,
                                        const RegistrationOptions& options)
     : decomp_(&decomp),
       options_(options),
-      ops_(std::make_unique<spectral::SpectralOps>(decomp)) {}
+      ops_(std::make_unique<spectral::SpectralOps>(decomp, options.wire())) {}
 
 void RegistrationSolver::preprocess(const ScalarField& in, ScalarField& out) {
   if (!options_.smooth_inputs) {
@@ -38,6 +38,7 @@ RegistrationResult RegistrationSolver::run(const ScalarField& rho_t,
   tc.nt = options_.nt;
   tc.method = options_.interp_method;
   tc.incompressible = options_.incompressible;
+  tc.wire = options_.wire();
   semilag::Transport transport(*ops_, tc);
 
   Regularization reg(*ops_, options_.reg_type, options_.beta);
@@ -103,6 +104,7 @@ void RegistrationSolver::deform_template(const ScalarField& rho_t,
   tc.nt = options_.nt;
   tc.method = options_.interp_method;
   tc.incompressible = options_.incompressible;
+  tc.wire = options_.wire();
   semilag::Transport transport(*ops_, tc);
   transport.set_velocity(velocity);
   transport.solve_state(rho_t);
@@ -115,6 +117,7 @@ void RegistrationSolver::jacobian_field(const VectorField& velocity,
   tc.nt = options_.nt;
   tc.method = options_.interp_method;
   tc.incompressible = options_.incompressible;
+  tc.wire = options_.wire();
   semilag::Transport transport(*ops_, tc);
   transport.set_velocity(velocity);
   VectorField u;

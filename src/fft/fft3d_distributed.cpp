@@ -31,8 +31,9 @@ void transpose_block(const complex_t* src, index_t src_stride, complex_t* dst,
 
 }  // namespace
 
-DistributedFft3d::DistributedFft3d(PencilDecomp& decomp)
+DistributedFft3d::DistributedFft3d(PencilDecomp& decomp, WirePrecision wire)
     : decomp_(&decomp),
+      wire_(wire),
       fft1_(decomp.dims()[0]),
       fft2_(decomp.dims()[1]),
       fft3_(decomp.dims()[2]) {
@@ -76,6 +77,10 @@ DistributedFft3d::DistributedFft3d(PencilDecomp& decomp)
       std::max({a_stride_, b_stride_, s_stride_});
   send_buf_.resize(kMaxBatch * max_total);
   recv_buf_.resize(kMaxBatch * max_total);
+  if (wire_ == WirePrecision::kF32) {
+    send_buf32_.resize(kMaxBatch * max_total);
+    recv_buf32_.resize(kMaxBatch * max_total);
+  }
   const int max_p = std::max(p1, p2);
   scaled_send_counts_.resize(max_p);
   scaled_recv_counts_.resize(max_p);
@@ -92,16 +97,22 @@ void DistributedFft3d::exchange(mpisim::Communicator& comm, int npeers,
     scaled_recv_counts_[q] = ncomp * recv_counts[q];
   }
   comm.set_time_kind(TimeKind::kFftComm);
-  comm.alltoallv(
-      std::span<const complex_t>(send_buf_.data(),
-                                 static_cast<size_t>(ncomp * send_total)),
-      std::span<const index_t>(scaled_send_counts_.data(),
-                               static_cast<size_t>(npeers)),
-      std::span<complex_t>(recv_buf_.data(),
-                           static_cast<size_t>(ncomp * recv_total)),
-      std::span<const index_t>(scaled_recv_counts_.data(),
-                               static_cast<size_t>(npeers)),
-      tag);
+  const std::span<const complex_t> send(
+      send_buf_.data(), static_cast<size_t>(ncomp * send_total));
+  const std::span<const index_t> scounts(
+      scaled_send_counts_.data(), static_cast<size_t>(npeers));
+  const std::span<complex_t> recv(recv_buf_.data(),
+                                  static_cast<size_t>(ncomp * recv_total));
+  const std::span<const index_t> rcounts(
+      scaled_recv_counts_.data(), static_cast<size_t>(npeers));
+  if (wire_ == WirePrecision::kF32) {
+    comm.alltoallv_converted(
+        send, scounts, recv, rcounts,
+        std::span<complex32_t>(send_buf32_.data(), send.size()),
+        std::span<complex32_t>(recv_buf32_.data(), recv.size()), tag);
+  } else {
+    comm.alltoallv(send, scounts, recv, rcounts, tag);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -28,6 +28,12 @@
 // alltoall rounds per transform. Time spent inside the exchanges is charged
 // to TimeKind::kFftComm, local 1D FFTs and pack/unpack to kFftExec; the
 // exchange/message/byte counters of Timings track comm volume.
+//
+// Wire precision: with WirePrecision::kF32 both transpose exchanges ship
+// complex<float> payloads through plan-owned staging buffers (half the
+// bytes of the solver's bandwidth-hottest path, ~1e-7 relative rounding per
+// mode); the local stages stay fp64 throughout. The byte counters record
+// the narrowed wire volume plus the bytes saved.
 #pragma once
 
 #include <span>
@@ -43,9 +49,11 @@ class DistributedFft3d {
   /// Components that can share one batched transform (a 3-vector field).
   static constexpr int kMaxBatch = 3;
 
-  explicit DistributedFft3d(grid::PencilDecomp& decomp);
+  explicit DistributedFft3d(grid::PencilDecomp& decomp,
+                            WirePrecision wire = WirePrecision::kF64);
 
   const grid::PencilDecomp& decomp() const { return *decomp_; }
+  WirePrecision wire() const { return wire_; }
   index_t local_real_size() const { return decomp_->local_real_size(); }
   index_t local_spectral_size() const {
     return decomp_->local_spectral_size();
@@ -94,6 +102,7 @@ class DistributedFft3d {
                 index_t recv_total, int tag);
 
   grid::PencilDecomp* decomp_;
+  WirePrecision wire_;
   Fft1d fft1_, fft2_, fft3_;
 
   // Per-component strides of the stage buffers (see layouts above).
@@ -118,8 +127,11 @@ class DistributedFft3d {
 
   // Persistent flat transpose buffers plus per-peer element counts for one
   // component; `exchange` scales them by the batch size into the scratch
-  // arrays, so no call allocates.
+  // arrays, so no call allocates. The fp32 staging pair is sized eagerly
+  // (like send_buf_/recv_buf_) when the plan ships an fp32 wire format, so
+  // the zero-allocation guarantee holds on the mixed path too.
   std::vector<complex_t> send_buf_, recv_buf_;
+  std::vector<complex32_t> send_buf32_, recv_buf32_;
   std::vector<index_t> row_send_counts_, row_recv_counts_;
   std::vector<index_t> col_send_counts_, col_recv_counts_;
   std::vector<index_t> scaled_send_counts_, scaled_recv_counts_;

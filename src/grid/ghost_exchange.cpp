@@ -7,11 +7,12 @@
 namespace diffreg::grid {
 
 GhostExchange::GhostExchange(PencilDecomp& decomp, index_t width,
-                             TimeKind comm_kind)
+                             TimeKind comm_kind, WirePrecision wire)
     : decomp_(&decomp),
       width_(width),
       ldims_(decomp.local_real_dims()),
-      comm_kind_(comm_kind) {
+      comm_kind_(comm_kind),
+      wire_(wire) {
   // Single-neighbour halos: every rank's block must be at least as wide as
   // the halo, on every rank (uneven blocks differ by one).
   const index_t min1 = decomp.dims()[0] / decomp.p1();
@@ -30,6 +31,24 @@ void GhostExchange::ensure_slab_capacity(int nfields) {
       static_cast<size_t>(std::max(slab1, slab2)) * nfields;
   if (pack_buf_.size() < need) pack_buf_.resize(need);
   if (recv_buf_.size() < need) recv_buf_.resize(need);
+  if (wire_ == WirePrecision::kF32) {
+    if (pack32_.size() < need) pack32_.resize(need);
+    if (recv32_.size() < need) recv32_.resize(need);
+  }
+}
+
+void GhostExchange::slab_sendrecv(std::span<const real_t> buf, int dest,
+                                  std::span<real_t> halo, int src, int tag) {
+  auto& comm = decomp_->comm();
+  if (wire_ == WirePrecision::kF32) {
+    comm.send_narrowed(buf, std::span<real32_t>(pack32_.data(), buf.size()),
+                       dest, tag);
+    comm.recv_widened(halo, std::span<real32_t>(recv32_.data(), halo.size()),
+                      src, tag);
+  } else {
+    comm.send(buf, dest, tag);
+    comm.recv_into(halo, src, tag);
+  }
 }
 
 void GhostExchange::exchange(std::span<const real_t> local,
@@ -121,12 +140,10 @@ void GhostExchange::exchange_dim1(std::span<real_t> ghosted, int nfields) {
   // My high interior goes to hi_nbr's low halo (travels "high", kTagHigh);
   // I receive my low halo from lo_nbr.
   pack(send_buf, w + n1l - w);
-  comm.send(std::span<const real_t>(send_buf), hi_nbr, kTagHigh);
-  comm.recv_into(halo_buf, lo_nbr, kTagHigh);
+  slab_sendrecv(send_buf, hi_nbr, halo_buf, lo_nbr, kTagHigh);
   unpack(halo_buf, 0);
   pack(send_buf, w);
-  comm.send(std::span<const real_t>(send_buf), lo_nbr, kTagLow);
-  comm.recv_into(halo_buf, hi_nbr, kTagLow);
+  slab_sendrecv(send_buf, lo_nbr, halo_buf, hi_nbr, kTagLow);
   unpack(halo_buf, w + n1l);
 }
 
@@ -177,12 +194,10 @@ void GhostExchange::exchange_dim2(std::span<real_t> ghosted, int nfields) {
   const int hi_nbr = decomp_->rank_of(decomp_->r1(),
                                       (decomp_->r2() + 1) % p2);
   pack(send_buf, w + n2l - w);
-  comm.send(std::span<const real_t>(send_buf), hi_nbr, kTagHigh);
-  comm.recv_into(halo_buf, lo_nbr, kTagHigh);
+  slab_sendrecv(send_buf, hi_nbr, halo_buf, lo_nbr, kTagHigh);
   unpack(halo_buf, 0);
   pack(send_buf, w);
-  comm.send(std::span<const real_t>(send_buf), lo_nbr, kTagLow);
-  comm.recv_into(halo_buf, hi_nbr, kTagLow);
+  slab_sendrecv(send_buf, lo_nbr, halo_buf, hi_nbr, kTagLow);
   unpack(halo_buf, w + n2l);
 }
 

@@ -13,6 +13,11 @@
 // fields through the SAME four neighbour messages (one packed slab per
 // direction instead of one per field) — the halo analogue of the batched
 // interpolation exchange.
+//
+// With WirePrecision::kF32 every neighbour slab is down-converted into
+// persistent fp32 staging before it ships and up-converted on receive (half
+// the halo bytes, ~1e-7 relative rounding); the degenerate single-rank
+// directions stay local fp64 copies.
 #pragma once
 
 #include <span>
@@ -27,9 +32,11 @@ class GhostExchange {
   /// `width` ghost points on every side. Requires width <= the smallest
   /// local block extent in dims 1 and 2 (single-neighbour halos).
   GhostExchange(PencilDecomp& decomp, index_t width,
-                TimeKind comm_kind = TimeKind::kInterpComm);
+                TimeKind comm_kind = TimeKind::kInterpComm,
+                WirePrecision wire = WirePrecision::kF64);
 
   index_t width() const { return width_; }
+  WirePrecision wire() const { return wire_; }
   /// Dimensions of the ghosted block: (n1l + 2w, n2l + 2w, N3 + 2w).
   const Int3& ghost_dims() const { return gdims_; }
   index_t ghost_size() const { return gdims_.prod(); }
@@ -50,15 +57,23 @@ class GhostExchange {
   /// Grows the two slab buffers to fit `nfields` packed slabs.
   void ensure_slab_capacity(int nfields);
 
+  /// Sends `buf` to `dest` and receives the opposite slab from `src` into
+  /// `halo`, narrowing to fp32 on the wire when the exchanger is kF32.
+  void slab_sendrecv(std::span<const real_t> buf, int dest,
+                     std::span<real_t> halo, int src, int tag);
+
   PencilDecomp* decomp_;
   index_t width_;
   Int3 ldims_;   // local owned block
   Int3 gdims_;   // ghosted block
   TimeKind comm_kind_;
+  WirePrecision wire_;
 
   // Persistent slab buffers (grow-only): sized for the larger of the dim-1
-  // and dim-2 slabs times the widest batch seen so far.
+  // and dim-2 slabs times the widest batch seen so far. The fp32 pair is
+  // the wire staging of the kF32 format (same element capacity).
   std::vector<real_t> pack_buf_, recv_buf_;
+  std::vector<real32_t> pack32_, recv32_;
 
   static constexpr int kTagLow = 201;   // data travelling toward lower index
   static constexpr int kTagHigh = 202;  // data travelling toward higher index

@@ -9,7 +9,8 @@ namespace diffreg::interp {
 using grid::GhostExchange;
 using grid::PencilDecomp;
 
-InterpPlan::InterpPlan(PencilDecomp& decomp) : decomp_(&decomp) {
+InterpPlan::InterpPlan(PencilDecomp& decomp, WirePrecision wire)
+    : decomp_(&decomp), wire_(wire) {
   const int p = decomp.comm().size();
   send_counts_.assign(p, 0);
   recv_counts_.assign(p, 0);
@@ -18,8 +19,9 @@ InterpPlan::InterpPlan(PencilDecomp& decomp) : decomp_(&decomp) {
   val_recv_counts_.assign(p, 0);
 }
 
-InterpPlan::InterpPlan(PencilDecomp& decomp, std::span<const Vec3> points)
-    : InterpPlan(decomp) {
+InterpPlan::InterpPlan(PencilDecomp& decomp, std::span<const Vec3> points,
+                       WirePrecision wire)
+    : InterpPlan(decomp, wire) {
   build(points);
 }
 
@@ -142,6 +144,12 @@ void InterpPlan::build(std::span<const Vec3> points) {
     eval_vals_.resize(kPresizeBatch * recv_total_);
   if (ret_vals_.size() < static_cast<size_t>(kPresizeBatch * num_points_))
     ret_vals_.resize(kPresizeBatch * num_points_);
+  if (wire_ == WirePrecision::kF32) {
+    if (eval_vals32_.size() < eval_vals_.size())
+      eval_vals32_.resize(eval_vals_.size());
+    if (ret_vals32_.size() < ret_vals_.size())
+      ret_vals32_.resize(ret_vals_.size());
+  }
 
   built_ = true;
   ++builds_;
@@ -178,6 +186,12 @@ void InterpPlan::interpolate_many(GhostExchange& gx,
     eval_vals_.resize(static_cast<size_t>(m) * recv_total_);
   if (ret_vals_.size() < static_cast<size_t>(m) * num_points_)
     ret_vals_.resize(static_cast<size_t>(m) * num_points_);
+  if (wire_ == WirePrecision::kF32) {
+    if (eval_vals32_.size() < eval_vals_.size())
+      eval_vals32_.resize(eval_vals_.size());
+    if (ret_vals32_.size() < ret_vals_.size())
+      ret_vals32_.resize(ret_vals_.size());
+  }
 
   // One halo exchange for the whole batch.
   gx.exchange_many(fields,
@@ -185,49 +199,91 @@ void InterpPlan::interpolate_many(GhostExchange& gx,
                                      static_cast<size_t>(m) * gsize));
   const Int3 gdims = gx.ghost_dims();
 
+  // Self chunk bounds: departure points rarely leave their own pencil
+  // (semi-Lagrangian steps move points by a fraction of a cell), so the
+  // bulk of the planned points are evaluated ON the rank that asked for
+  // them. Those values are written straight into the caller's output —
+  // they skip the eval staging, the alltoallv self copy, and the scatter
+  // pass entirely — and the value exchange ships only the true cross-rank
+  // points. Comm counters are unchanged: self traffic was never wire
+  // traffic.
+  const int rank = comm.rank();
+  index_t self_recv_off = 0, self_send_off = 0;
+  for (int r = 0; r < rank; ++r) {
+    self_recv_off += recv_counts_[r];
+    self_send_off += send_counts_[r];
+  }
+  const index_t self_cnt = recv_counts_[rank];
+
   // Evaluate all received points (ours and other ranks'), point-major so
   // the per-peer chunks scale with the batch size and every field of the
   // batch reuses the point's precomputed stencil.
   {
     ScopedTimer t(timings, TimeKind::kInterpExec);
-    if (method == Method::kTricubic) {
-      for (index_t j = 0; j < recv_total_; ++j) {
+    for (index_t j = 0; j < recv_total_; ++j) {
+      const bool self = j >= self_recv_off && j < self_recv_off + self_cnt;
+      const index_t pos = j < self_recv_off ? j : j - self_cnt;
+      const index_t orig =
+          self ? send_index_[self_send_off + (j - self_recv_off)] : 0;
+      if (method == Method::kTricubic) {
         const CubicStencil& st = stencils_[j];
-        for (int f = 0; f < m; ++f)
-          eval_vals_[j * m + f] =
+        for (int f = 0; f < m; ++f) {
+          const real_t val =
               cubic_stencil_apply(ghosted_.data() + f * gsize, gdims, st);
-      }
-    } else {
-      for (index_t j = 0; j < recv_total_; ++j) {
+          if (self)
+            outs[f][orig] = val;
+          else
+            eval_vals_[pos * m + f] = val;
+        }
+      } else {
         const real_t u1 = recv_coords_[3 * j];
         const real_t u2 = recv_coords_[3 * j + 1];
         const real_t u3 = recv_coords_[3 * j + 2];
-        for (int f = 0; f < m; ++f)
-          eval_vals_[j * m + f] =
+        for (int f = 0; f < m; ++f) {
+          const real_t val =
               trilinear_eval(ghosted_.data() + f * gsize, gdims, u1, u2, u3);
+          if (self)
+            outs[f][orig] = val;
+          else
+            eval_vals_[pos * m + f] = val;
+        }
       }
     }
   }
 
   // One value alltoallv for the whole batch: the counts are the plan's
-  // per-peer point counts scaled by the batch size.
+  // per-peer point counts scaled by the batch size, with the self chunk
+  // already delivered above (count 0). kF32 plans ship the values at fp32
+  // through the persistent staging pair.
   for (int r = 0; r < p; ++r) {
-    val_send_counts_[r] = recv_counts_[r] * m;
-    val_recv_counts_[r] = send_counts_[r] * m;
+    val_send_counts_[r] = r == rank ? 0 : recv_counts_[r] * m;
+    val_recv_counts_[r] = r == rank ? 0 : send_counts_[r] * m;
   }
-  comm.alltoallv(
-      std::span<const real_t>(eval_vals_.data(),
-                              static_cast<size_t>(m) * recv_total_),
-      std::span<const index_t>(val_send_counts_),
-      std::span<real_t>(ret_vals_.data(),
-                        static_cast<size_t>(m) * num_points_),
-      std::span<const index_t>(val_recv_counts_), kTagValues);
+  const std::span<const real_t> val_send(
+      eval_vals_.data(), static_cast<size_t>(m) * (recv_total_ - self_cnt));
+  const std::span<real_t> val_recv(
+      ret_vals_.data(), static_cast<size_t>(m) * (num_points_ - self_cnt));
+  if (wire_ == WirePrecision::kF32) {
+    comm.alltoallv_converted(
+        val_send, std::span<const index_t>(val_send_counts_), val_recv,
+        std::span<const index_t>(val_recv_counts_),
+        std::span<real32_t>(eval_vals32_.data(), val_send.size()),
+        std::span<real32_t>(ret_vals32_.data(), val_recv.size()), kTagValues);
+  } else {
+    comm.alltoallv(val_send, std::span<const index_t>(val_send_counts_),
+                   val_recv, std::span<const index_t>(val_recv_counts_),
+                   kTagValues);
+  }
 
-  {  // Scatter the returned values into the caller's point order.
+  {  // Scatter the returned cross-rank values into the caller's point
+     // order, skipping the self block (already written by the eval sweep).
     ScopedTimer t(timings, TimeKind::kInterpExec);
+    index_t pos = 0;
     for (index_t s = 0; s < num_points_; ++s) {
+      if (s >= self_send_off && s < self_send_off + self_cnt) continue;
       const index_t orig = send_index_[s];
-      for (int f = 0; f < m; ++f) outs[f][orig] = ret_vals_[s * m + f];
+      for (int f = 0; f < m; ++f) outs[f][orig] = ret_vals_[pos * m + f];
+      ++pos;
     }
   }
 }

@@ -18,7 +18,20 @@
 // allocation once the buffers are warm; `build` reuses them across velocity
 // updates. `interpolate_many` evaluates a batch of fields through ONE ghost
 // exchange and ONE value alltoallv, so e.g. the three components of a vector
-// field cost one exchange instead of three.
+// field cost one exchange instead of three. Points the owner rank itself
+// asked for — the vast majority: a semi-Lagrangian step moves departure
+// points by a fraction of a cell, so most stay inside their own pencil —
+// are evaluated straight into the caller's output, skipping the value
+// staging, the alltoallv self copy, and the scatter pass; the value
+// exchange ships only the true cross-rank points.
+//
+// Wire precision: with WirePrecision::kF32 the per-matvec VALUE scatter
+// ships fp32 through plan-owned staging (half the bytes on the Hessian
+// matvec hot path). The departure-point COORDINATES of build() stay fp64 on
+// the wire: they run once per Newton iterate (off the matvec path), and the
+// stencil placement they feed carries the ownership/bounds invariants that
+// the fp64 classification guarantees — narrowing them would trade those
+// guarantees for a negligible saving.
 #pragma once
 
 #include <span>
@@ -37,10 +50,14 @@ inline constexpr index_t kGhostWidth = 2;
 class InterpPlan {
  public:
   /// Creates an empty plan bound to `decomp`; call build() before use.
-  explicit InterpPlan(grid::PencilDecomp& decomp);
+  explicit InterpPlan(grid::PencilDecomp& decomp,
+                      WirePrecision wire = WirePrecision::kF64);
 
   /// Convenience: creates and immediately builds. Collective.
-  InterpPlan(grid::PencilDecomp& decomp, std::span<const Vec3> points);
+  InterpPlan(grid::PencilDecomp& decomp, std::span<const Vec3> points,
+             WirePrecision wire = WirePrecision::kF64);
+
+  WirePrecision wire() const { return wire_; }
 
   /// (Re)builds the plan for a new set of departure points. `points` are
   /// physical coordinates in [0, 2*pi)^3 (wrapped internally), one value
@@ -78,6 +95,7 @@ class InterpPlan {
 
  private:
   grid::PencilDecomp* decomp_;
+  WirePrecision wire_ = WirePrecision::kF64;
   index_t num_points_ = 0;
   index_t recv_total_ = 0;
   bool built_ = false;
@@ -105,6 +123,9 @@ class InterpPlan {
   std::vector<index_t> val_send_counts_, val_recv_counts_;  // [p]
   std::vector<real_t> eval_vals_;      // recv_total_ * batch
   std::vector<real_t> ret_vals_;       // num_points_ * batch
+  // fp32 wire staging of the value exchange (kF32 plans only; presized
+  // alongside eval_vals_/ret_vals_ so the mixed path never allocates warm).
+  std::vector<real32_t> eval_vals32_, ret_vals32_;
   std::vector<real_t> ghosted_;        // batch ghost blocks back to back
   std::vector<real_t> comp_out_;       // interpolate_vec staging (3 comps)
 

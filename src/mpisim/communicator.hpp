@@ -25,7 +25,11 @@
 //                     design) with a collective-consistency self-check; a
 //                     span-based overload works over caller-owned flat
 //                     buffers so hot paths (the FFT transposes) allocate
-//                     nothing per call
+//                     nothing per call, and a converting overload
+//                     (alltoallv_converted) down-converts the payload into
+//                     caller-owned fp32 staging buffers before it hits the
+//                     wire and up-converts on receive — half the bytes for
+//                     ~1e-7 relative rounding (WirePrecision::kF32)
 // Scalar allreduce combines operands in subgroup order, so every rank
 // computes bitwise-identical results; the vector form broadcasts rank 0's
 // combination, which is likewise identical everywhere.
@@ -50,6 +54,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/precision.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
 
@@ -176,6 +181,37 @@ class Communicator {
                  std::span<T> recv, std::span<const index_t> recv_counts,
                  int tag);
 
+  /// Mixed-precision variant of the span alltoallv: every PEER chunk is
+  /// down-converted into `send_stage`, shipped at Narrow width, received
+  /// into `recv_stage`, and up-converted into `recv`; the SELF chunk is a
+  /// direct Wide copy (it never crosses the wire, so narrowing it would
+  /// cost two conversion sweeps and fp32 rounding for nothing). Counts are
+  /// in ELEMENTS and identical to the fp64 call — only the per-element
+  /// wire width changes, so the exchange schedule is bitwise the same.
+  /// Timings record the narrow bytes that actually crossed the wire plus
+  /// the volume the narrowing saved (bytes_saved). Staging buffers are
+  /// caller-owned so warm plans allocate nothing; they must be at least as
+  /// large as the corresponding payload span.
+  template <typename Wide, typename Narrow>
+  void alltoallv_converted(std::span<const Wide> send,
+                           std::span<const index_t> send_counts,
+                           std::span<Wide> recv,
+                           std::span<const index_t> recv_counts,
+                           std::span<Narrow> send_stage,
+                           std::span<Narrow> recv_stage, int tag);
+
+  /// Narrowing point-to-point send: down-converts `data` into the
+  /// caller-owned `stage` and ships the narrow payload (ghost-slab halos).
+  template <typename Wide, typename Narrow>
+  void send_narrowed(std::span<const Wide> data, std::span<Narrow> stage,
+                     int dest, int tag);
+
+  /// Widening receive, the mirror of send_narrowed: receives a narrow
+  /// payload into `stage` and up-converts into `out`.
+  template <typename Wide, typename Narrow>
+  void recv_widened(std::span<Wide> out, std::span<Narrow> stage, int src,
+                    int tag);
+
   /// Fixed-count all-to-all: exactly one element to and from every rank,
   /// over caller-owned buffers of p elements each (zero allocation). This is
   /// the count-exchange primitive variable-size plans (e.g. the scattered
@@ -192,6 +228,16 @@ class Communicator {
   static std::vector<std::byte> serialize(std::span<const T> data);
   template <typename T>
   static std::vector<T> deserialize(std::vector<std::byte> bytes);
+
+  /// Shared schedule validation of the span alltoallv variants: checks the
+  /// per-rank count tables against the payload element totals (and the
+  /// self-chunk symmetry), returning the self chunk's (send offset, recv
+  /// offset). Keeping this in one place guarantees the fp64 and converted
+  /// exchanges enforce identical invariants.
+  std::pair<index_t, index_t> check_alltoallv_counts(
+      std::span<const index_t> send_counts,
+      std::span<const index_t> recv_counts, size_t send_size,
+      size_t recv_size) const;
 
   /// Recursive-doubling scalar allreduce with any associative commutative op.
   template <typename T, typename Op>
@@ -496,11 +542,10 @@ std::vector<std::vector<T>> Communicator::alltoallv(
   return recv_bufs;
 }
 
-template <typename T>
-void Communicator::alltoallv(std::span<const T> send,
-                             std::span<const index_t> send_counts,
-                             std::span<T> recv,
-                             std::span<const index_t> recv_counts, int tag) {
+inline std::pair<index_t, index_t> Communicator::check_alltoallv_counts(
+    std::span<const index_t> send_counts,
+    std::span<const index_t> recv_counts, size_t send_size,
+    size_t recv_size) const {
   const int p = size();
   if (static_cast<int>(send_counts.size()) != p ||
       static_cast<int>(recv_counts.size()) != p)
@@ -510,12 +555,11 @@ void Communicator::alltoallv(std::span<const T> send,
     send_total += send_counts[r];
     recv_total += recv_counts[r];
   }
-  if (send_total != static_cast<index_t>(send.size()) ||
-      recv_total != static_cast<index_t>(recv.size()))
+  if (send_total != static_cast<index_t>(send_size) ||
+      recv_total != static_cast<index_t>(recv_size))
     throw std::runtime_error("mpisim: alltoallv counts do not sum to buffers");
-  check_collective_consistent(tag, "alltoallv tag");
-  timings_->add_exchange(time_kind_);
-
+  if (send_counts[rank_] != recv_counts[rank_])
+    throw std::runtime_error("mpisim: alltoallv self chunk size mismatch");
   // Offsets are prefix sums of the counts; computed on the fly so the call
   // itself allocates nothing.
   index_t self_send_off = 0, self_recv_off = 0;
@@ -523,8 +567,20 @@ void Communicator::alltoallv(std::span<const T> send,
     self_send_off += send_counts[r];
     self_recv_off += recv_counts[r];
   }
-  if (send_counts[rank_] != recv_counts[rank_])
-    throw std::runtime_error("mpisim: alltoallv self chunk size mismatch");
+  return {self_send_off, self_recv_off};
+}
+
+template <typename T>
+void Communicator::alltoallv(std::span<const T> send,
+                             std::span<const index_t> send_counts,
+                             std::span<T> recv,
+                             std::span<const index_t> recv_counts, int tag) {
+  const int p = size();
+  const auto [self_send_off, self_recv_off] = check_alltoallv_counts(
+      send_counts, recv_counts, send.size(), recv.size());
+  check_collective_consistent(tag, "alltoallv tag");
+  timings_->add_exchange(time_kind_);
+
   if (send_counts[rank_] > 0)
     std::memcpy(recv.data() + self_recv_off, send.data() + self_send_off,
                 static_cast<size_t>(send_counts[rank_]) * sizeof(T));
@@ -545,6 +601,92 @@ void Communicator::alltoallv(std::span<const T> send,
                            static_cast<size_t>(recv_counts[src])),
               src, tag);
   }
+}
+
+template <typename Wide, typename Narrow>
+void Communicator::alltoallv_converted(std::span<const Wide> send,
+                                       std::span<const index_t> send_counts,
+                                       std::span<Wide> recv,
+                                       std::span<const index_t> recv_counts,
+                                       std::span<Narrow> send_stage,
+                                       std::span<Narrow> recv_stage, int tag) {
+  static_assert(sizeof(Narrow) < sizeof(Wide));
+  const int p = size();
+  const auto [self_send_off, self_recv_off] = check_alltoallv_counts(
+      send_counts, recv_counts, send.size(), recv.size());
+  if (send_stage.size() < send.size() || recv_stage.size() < recv.size())
+    throw std::runtime_error(
+        "mpisim: alltoallv_converted staging buffers too small");
+  check_collective_consistent(tag, "alltoallv tag");
+  timings_->add_exchange(time_kind_);
+
+  // Self chunk: direct Wide copy (bit-exact, no staging round trip).
+  if (send_counts[rank_] > 0)
+    std::memcpy(recv.data() + self_recv_off, send.data() + self_send_off,
+                static_cast<size_t>(send_counts[rank_]) * sizeof(Wide));
+
+  // Peer chunks: narrow, ship, widen. Conversion sweeps are charged to the
+  // current comm category — they are wire-format work a native fp32
+  // transport would not need — and the volume they keep off the wire is
+  // accounted to the bytes_saved counter (sender side, like add_message).
+  for (int offset = 1; offset < p; ++offset) {
+    const int dest = (rank_ + offset) % p;
+    index_t off = 0;
+    for (int r = 0; r < dest; ++r) off += send_counts[r];
+    {
+      ScopedTimer timer(*timings_, time_kind_);
+      narrow_into(send.subspan(static_cast<size_t>(off),
+                               static_cast<size_t>(send_counts[dest])),
+                  send_stage.subspan(static_cast<size_t>(off),
+                                     static_cast<size_t>(send_counts[dest])));
+    }
+    timings_->add_saved(time_kind_,
+                        static_cast<std::uint64_t>(send_counts[dest]) *
+                            (sizeof(Wide) - sizeof(Narrow)));
+    this->send(std::span<const Narrow>(
+                   send_stage.data() + off,
+                   static_cast<size_t>(send_counts[dest])),
+               dest, tag);
+  }
+  for (int offset = 1; offset < p; ++offset) {
+    const int src = (rank_ - offset + p) % p;
+    index_t off = 0;
+    for (int r = 0; r < src; ++r) off += recv_counts[r];
+    recv_into(std::span<Narrow>(recv_stage.data() + off,
+                                static_cast<size_t>(recv_counts[src])),
+              src, tag);
+    ScopedTimer timer(*timings_, time_kind_);
+    widen_into(std::span<const Narrow>(recv_stage.data() + off,
+                                       static_cast<size_t>(recv_counts[src])),
+               recv.subspan(static_cast<size_t>(off),
+                            static_cast<size_t>(recv_counts[src])));
+  }
+}
+
+template <typename Wide, typename Narrow>
+void Communicator::send_narrowed(std::span<const Wide> data,
+                                 std::span<Narrow> stage, int dest, int tag) {
+  static_assert(sizeof(Narrow) < sizeof(Wide));
+  if (stage.size() < data.size())
+    throw std::runtime_error("mpisim: send_narrowed staging buffer too small");
+  {
+    ScopedTimer timer(*timings_, time_kind_);
+    narrow_into(data, stage.subspan(0, data.size()));
+  }
+  timings_->add_saved(time_kind_,
+                      data.size_bytes() - data.size() * sizeof(Narrow));
+  send(std::span<const Narrow>(stage.data(), data.size()), dest, tag);
+}
+
+template <typename Wide, typename Narrow>
+void Communicator::recv_widened(std::span<Wide> out, std::span<Narrow> stage,
+                                int src, int tag) {
+  static_assert(sizeof(Narrow) < sizeof(Wide));
+  if (stage.size() < out.size())
+    throw std::runtime_error("mpisim: recv_widened staging buffer too small");
+  recv_into(stage.subspan(0, out.size()), src, tag);
+  ScopedTimer timer(*timings_, time_kind_);
+  widen_into(std::span<const Narrow>(stage.data(), out.size()), out);
 }
 
 }  // namespace diffreg::mpisim

@@ -9,8 +9,8 @@ namespace diffreg::spectral {
 
 using fft::fft_frequency;
 
-SpectralOps::SpectralOps(grid::PencilDecomp& decomp)
-    : decomp_(&decomp), fft_(decomp) {
+SpectralOps::SpectralOps(grid::PencilDecomp& decomp, WirePrecision wire)
+    : decomp_(&decomp), fft_(decomp, wire) {
   const Int3 dims = decomp.dims();
   const Int3 sd = decomp.local_spectral_dims();
 

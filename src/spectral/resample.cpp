@@ -39,11 +39,13 @@ std::vector<std::pair<index_t, index_t>> axis3_pairs(index_t nd, index_t ns) {
 
 }  // namespace
 
-ResamplePlan::ResamplePlan(PencilDecomp& src, PencilDecomp& dst)
+ResamplePlan::ResamplePlan(PencilDecomp& src, PencilDecomp& dst,
+                           WirePrecision wire)
     : src_(&src),
       dst_(&dst),
-      fft_src_(src),
-      fft_dst_(dst),
+      wire_(wire),
+      fft_src_(src, wire),
+      fft_dst_(dst, wire),
       scale_(static_cast<real_t>(dst.dims().prod()) /
              static_cast<real_t>(src.dims().prod())) {
   if (src.comm().size() != dst.comm().size() ||
@@ -132,6 +134,10 @@ void ResamplePlan::ensure_batch_capacity(int m) {
   const size_t rt = static_cast<size_t>(m) * recv_total_;
   if (send_buf_.size() < st) send_buf_.resize(st);
   if (recv_buf_.size() < rt) recv_buf_.resize(rt);
+  if (wire_ == WirePrecision::kF32) {
+    if (send_buf32_.size() < st) send_buf32_.resize(st);
+    if (recv_buf32_.size() < rt) recv_buf32_.resize(rt);
+  }
 }
 
 void ResamplePlan::apply_many(std::span<const real_t* const> ins,
@@ -174,16 +180,24 @@ void ResamplePlan::apply_many(std::span<const real_t* const> ins,
     scaled_recv_counts_[q] = m * recv_counts_[q];
   }
   comm.set_time_kind(TimeKind::kFftComm);
-  comm.alltoallv(
-      std::span<const complex_t>(send_buf_.data(),
-                                 static_cast<size_t>(m * send_total_)),
-      std::span<const index_t>(scaled_send_counts_.data(),
-                               static_cast<size_t>(p)),
-      std::span<complex_t>(recv_buf_.data(),
-                           static_cast<size_t>(m * recv_total_)),
-      std::span<const index_t>(scaled_recv_counts_.data(),
-                               static_cast<size_t>(p)),
-      kTagRemap);
+  const std::span<const complex_t> remap_send(
+      send_buf_.data(), static_cast<size_t>(m * send_total_));
+  const std::span<const index_t> remap_scounts(
+      scaled_send_counts_.data(), static_cast<size_t>(p));
+  const std::span<complex_t> remap_recv(
+      recv_buf_.data(), static_cast<size_t>(m * recv_total_));
+  const std::span<const index_t> remap_rcounts(
+      scaled_recv_counts_.data(), static_cast<size_t>(p));
+  if (wire_ == WirePrecision::kF32) {
+    comm.alltoallv_converted(
+        remap_send, remap_scounts, remap_recv, remap_rcounts,
+        std::span<complex32_t>(send_buf32_.data(), remap_send.size()),
+        std::span<complex32_t>(recv_buf32_.data(), remap_recv.size()),
+        kTagRemap);
+  } else {
+    comm.alltoallv(remap_send, remap_scounts, remap_recv, remap_rcounts,
+                   kTagRemap);
+  }
 
   {  // Unpack: zero the destination spectrum (only surviving modes are
      // written — truncation/zero-padding happens right here) and scatter

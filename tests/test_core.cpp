@@ -132,6 +132,150 @@ TEST(Pcg, SolvesSpdSystemAndExactPreconditionerConvergesInOneIteration) {
   });
 }
 
+TEST(Pcg, MixedPrecisionSolvesTheSameSpdSystem) {
+  // pcg_solve_mixed must reach the fp64 solution to fp32 storage accuracy
+  // on the SPD system of the plain-PCG test (A = beta (-lap)^2 with exact
+  // spectral inverse as preconditioner -> a couple of iterations).
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {12, 12, 12});
+    spectral::SpectralOps ops(decomp);
+    Regularization reg(ops, RegType::kH2Seminorm, 2.0);
+    VectorField x_true(decomp.local_real_size());
+    x_true[0] = fill(decomp, [](real_t x1, real_t, real_t) {
+      return std::sin(x1);
+    });
+    x_true[1] = fill(decomp, [](real_t, real_t x2, real_t) {
+      return std::sin(2 * x2);
+    });
+    x_true[2] = fill(decomp, [](real_t, real_t, real_t x3) {
+      return std::cos(x3);
+    });
+    VectorField b(x_true.local_size());
+    reg.apply(x_true, b);
+
+    auto apply_a = [&](const VectorField& in, VectorField& out) {
+      reg.apply(in, out);
+    };
+    auto apply_m = [&](const VectorField& in, VectorField& out) {
+      reg.invert(in, out);
+    };
+    VectorField x;
+    PcgWorkspace32 ws;
+    PcgResult res =
+        pcg_solve_mixed(decomp, apply_a, apply_m, b, x, 1e-6, 50, ws);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LE(res.iterations, 3);
+    for (int d = 0; d < 3; ++d)
+      for (size_t i = 0; i < x[d].size(); ++i)
+        ASSERT_NEAR(x[d][i], x_true[d][i], 1e-5) << "d=" << d << " i=" << i;
+  });
+}
+
+TEST(MixedPrecision, Fp32WireDropsGnMatvecCommBytesAtLeast1_8x) {
+  // Acceptance criterion of the mixed-precision pipeline: with the fp32
+  // wire enabled on every exchange path, the comm bytes of one Gauss-Newton
+  // Hessian matvec (FFT transposes + ghost halos + interpolation value
+  // scatter) drop by >= 1.8x against the fp64 wire, on the identical
+  // message/exchange schedule. Asserted per rank via the Timings counters.
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {32, 32, 32});
+    auto run_matvec = [&](WirePrecision wire, Timings& delta) {
+      spectral::SpectralOps ops(decomp, wire);
+      auto rho_t = imaging::synthetic_template(decomp);
+      auto v_star = imaging::synthetic_velocity(decomp, 0.5);
+      auto rho_r = imaging::make_reference(ops, rho_t, v_star);
+
+      semilag::TransportConfig tc;
+      tc.wire = wire;
+      semilag::Transport transport(ops, tc);
+      Regularization reg(ops, RegType::kH2Seminorm, 1e-2);
+      OptimalitySystem system(ops, transport, reg, rho_t, rho_r,
+                              /*incompressible=*/false,
+                              /*gauss_newton=*/true);
+      VectorField v = imaging::synthetic_velocity(decomp, 0.25);
+      system.evaluate(v);
+      VectorField g;
+      system.gradient(g);
+      VectorField vt = imaging::synthetic_velocity_divfree(decomp, 0.3);
+      VectorField out;
+      system.hessian_matvec(vt, out);  // warm the plans/buffers
+      const Timings before = comm.timings();
+      system.hessian_matvec(vt, out);
+      delta = timings_delta(before, comm.timings());
+    };
+
+    Timings d64, d32;
+    run_matvec(WirePrecision::kF64, d64);
+    run_matvec(WirePrecision::kF32, d32);
+
+    const auto comm_bytes = [](const Timings& t) {
+      return t.bytes(TimeKind::kFftComm) + t.bytes(TimeKind::kInterpComm);
+    };
+    ASSERT_GT(comm_bytes(d32), 0u);
+    EXPECT_GE(static_cast<double>(comm_bytes(d64)),
+              1.8 * static_cast<double>(comm_bytes(d32)))
+        << "fp64 " << comm_bytes(d64) << " B vs fp32 " << comm_bytes(d32)
+        << " B per matvec";
+    // Identical schedule: the format changes, the plan does not.
+    EXPECT_EQ(d64.messages(TimeKind::kFftComm),
+              d32.messages(TimeKind::kFftComm));
+    EXPECT_EQ(d64.messages(TimeKind::kInterpComm),
+              d32.messages(TimeKind::kInterpComm));
+    EXPECT_EQ(d64.exchanges(TimeKind::kFftComm),
+              d32.exchanges(TimeKind::kFftComm));
+    EXPECT_EQ(d64.exchanges(TimeKind::kInterpComm),
+              d32.exchanges(TimeKind::kInterpComm));
+    EXPECT_GT(d32.saved_bytes(TimeKind::kFftComm) +
+                  d32.saved_bytes(TimeKind::kInterpComm),
+              0u);
+    EXPECT_EQ(d64.saved_bytes(TimeKind::kFftComm) +
+                  d64.saved_bytes(TimeKind::kInterpComm),
+              0u);
+  });
+}
+
+TEST(MixedPrecision, MixedSolveReachesTheSameGtolWithinOneNewtonIteration) {
+  // The 32^3 synthetic accuracy contract: --precision mixed must converge
+  // to the same outer gtol as the all-fp64 solver, spending at most one
+  // extra Newton iteration (iterative refinement: the outer gradient is
+  // fp64 in both cases, only the wire format and the inner Krylov storage
+  // differ).
+  NewtonReport double_report, mixed_report;
+  real_t double_res = 1, mixed_res = 1;
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {32, 32, 32});
+    spectral::SpectralOps ops(decomp);
+    auto rho_t = imaging::synthetic_template(decomp);
+    auto v_star = imaging::synthetic_velocity(decomp, 0.5);
+    auto rho_r = imaging::make_reference(ops, rho_t, v_star);
+
+    RegistrationOptions opt;
+    opt.beta = 1e-2;
+    opt.gtol = 1e-2;
+    opt.max_newton_iters = 10;
+
+    RegistrationSolver solver_double(decomp, opt);
+    auto res_double = solver_double.run(rho_t, rho_r);
+
+    opt.precision = Precision::kMixed;
+    RegistrationSolver solver_mixed(decomp, opt);
+    auto res_mixed = solver_mixed.run(rho_t, rho_r);
+
+    if (comm.is_root()) {
+      double_report = res_double.newton;
+      mixed_report = res_mixed.newton;
+      double_res = res_double.rel_residual;
+      mixed_res = res_mixed.rel_residual;
+    }
+  });
+  EXPECT_TRUE(double_report.converged);
+  EXPECT_TRUE(mixed_report.converged);
+  EXPECT_LE(mixed_report.iterations, double_report.iterations + 1)
+      << "mixed precision cost more than one extra Newton iteration";
+  // Same registration quality (the fit, not just the stopping test).
+  EXPECT_NEAR(mixed_res, double_res, 0.05);
+}
+
 TEST(Pcg, ZeroRhsReturnsZero) {
   mpisim::run_spmd(1, [&](mpisim::Communicator& comm) {
     PencilDecomp decomp(comm, {8, 8, 8});

@@ -373,6 +373,113 @@ TEST(DistributedFft3d, CommCountersTrackExchangesAndBytes) {
   }
 }
 
+TEST(DistributedFft3d, Fp32WireMatchesFp64WithinRounding) {
+  // fp32-wire vs fp64-wire comparison (mixed-precision contract): the
+  // forward spectrum and the full round trip must agree to a relative L2
+  // error <= 1e-6 per field, the exchange/message schedule must be
+  // identical, and the byte counters must show the halving (bytes64 -
+  // bytes32 == saved32).
+  const Int3 dims{20, 16, 12};
+  for (int p : {1, 2, 4, 6}) {
+    auto timings = mpisim::run_spmd(p, [&](mpisim::Communicator& comm) {
+      grid::PencilDecomp decomp(comm, dims);
+      DistributedFft3d fft64(decomp);
+      DistributedFft3d fft32(decomp, WirePrecision::kF32);
+
+      // Deterministic field keyed on the global index, so every process
+      // grid transforms the same data.
+      const Int3 ld = decomp.local_real_dims();
+      std::vector<real_t> x(fft64.local_real_size());
+      index_t idx = 0;
+      for (index_t a = 0; a < ld[0]; ++a)
+        for (index_t b = 0; b < ld[1]; ++b)
+          for (index_t c = 0; c < ld[2]; ++c, ++idx) {
+            const index_t g =
+                linear_index(decomp.range1().begin + a,
+                             decomp.range2().begin + b, c, dims);
+            x[idx] = static_cast<real_t>((g * 2654435761u) % 997) / 997.0;
+          }
+
+      std::vector<complex_t> spec64(fft64.local_spectral_size());
+      std::vector<complex_t> spec32(fft64.local_spectral_size());
+      std::vector<real_t> back64(x.size()), back32(x.size());
+
+      comm.set_time_kind(TimeKind::kFftComm);
+      const Timings before = comm.timings();
+      fft64.forward(x, spec64);
+      fft64.inverse(spec64, back64);
+      const Timings mid = comm.timings();
+      fft32.forward(x, spec32);
+      fft32.inverse(spec32, back32);
+      const Timings d64 = timings_delta(before, mid);
+      const Timings d32 = timings_delta(mid, comm.timings());
+
+      // Relative L2 error of the spectrum and of the round trip.
+      real_t snum = 0, sden = 0, rnum = 0, rden = 0;
+      for (size_t i = 0; i < spec64.size(); ++i) {
+        snum += std::norm(spec64[i] - spec32[i]);
+        sden += std::norm(spec64[i]);
+      }
+      for (size_t i = 0; i < back64.size(); ++i) {
+        rnum += (back64[i] - back32[i]) * (back64[i] - back32[i]);
+        rden += back64[i] * back64[i];
+      }
+      comm.set_time_kind(TimeKind::kOther);
+      snum = comm.allreduce_sum(snum);
+      sden = comm.allreduce_sum(sden);
+      rnum = comm.allreduce_sum(rnum);
+      rden = comm.allreduce_sum(rden);
+      EXPECT_LE(std::sqrt(snum / sden), 1e-6) << "p=" << p;
+      EXPECT_LE(std::sqrt(rnum / rden), 1e-6) << "p=" << p;
+
+      // Identical schedule, halved wire volume.
+      EXPECT_EQ(d64.exchanges(TimeKind::kFftComm),
+                d32.exchanges(TimeKind::kFftComm));
+      EXPECT_EQ(d64.messages(TimeKind::kFftComm),
+                d32.messages(TimeKind::kFftComm));
+      EXPECT_EQ(d64.bytes(TimeKind::kFftComm) - d32.bytes(TimeKind::kFftComm),
+                d32.saved_bytes(TimeKind::kFftComm));
+      if (p > 1) {
+        EXPECT_GT(d32.saved_bytes(TimeKind::kFftComm), 0u) << "p=" << p;
+      }
+    });
+  }
+}
+
+TEST(DistributedFft3d, Fp32WireBatchedManyMatchesScalarTransforms) {
+  // The batched path must ride the converted exchanges too: forward_many at
+  // fp32 wire equals per-component fp32-wire forwards bitwise (same
+  // conversions, same order).
+  const Int3 dims{12, 12, 12};
+  mpisim::run_spmd(4, [&](mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, dims, 2, 2);
+    DistributedFft3d fft32(decomp, WirePrecision::kF32);
+    const index_t n = fft32.local_real_size();
+    std::vector<real_t> xs[3];
+    for (int c = 0; c < 3; ++c) {
+      xs[c].resize(n);
+      for (index_t i = 0; i < n; ++i)
+        xs[c][i] = std::sin(0.01 * static_cast<real_t>(i + c * 7));
+    }
+    std::vector<complex_t> batched[3], single[3];
+    for (int c = 0; c < 3; ++c) {
+      batched[c].resize(fft32.local_spectral_size());
+      single[c].resize(fft32.local_spectral_size());
+      fft32.forward(xs[c], single[c]);
+    }
+    const real_t* reals[3] = {xs[0].data(), xs[1].data(), xs[2].data()};
+    complex_t* specs[3] = {batched[0].data(), batched[1].data(),
+                           batched[2].data()};
+    fft32.forward_many(std::span<const real_t* const>(reals, 3),
+                       std::span<complex_t* const>(specs, 3));
+    for (int c = 0; c < 3; ++c)
+      for (size_t i = 0; i < batched[c].size(); ++i) {
+        ASSERT_EQ(batched[c][i].real(), single[c][i].real());
+        ASSERT_EQ(batched[c][i].imag(), single[c][i].imag());
+      }
+  });
+}
+
 TEST(DistributedFft3d, TimingsAreAttributed) {
   const Int3 dims{16, 16, 16};
   auto timings = mpisim::run_spmd(4, [&](mpisim::Communicator& comm) {

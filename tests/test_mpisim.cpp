@@ -418,6 +418,93 @@ TEST(Spmd, TimingsReturnedPerRank) {
   }
 }
 
+TEST(MixedWire, AlltoallvConvertedMatchesWideAndAccountsWireBytes) {
+  // The converting alltoallv must deliver exactly the fp32 rounding of the
+  // fp64 payload for every PEER chunk (recv[i] == double(float(sent[i])))
+  // and the bit-exact fp64 value for the SELF chunk (it never crosses the
+  // wire, so it is copied wide), keep the schedule (same counts, same
+  // tags), and account post-conversion wire bytes plus the volume saved —
+  // the difference between the fp64 and fp32 byte deltas must be exactly
+  // the saved counter.
+  for (int p : {1, 2, 3, 4}) {
+    run_spmd(p, [&](Communicator& comm) {
+      const int rank = comm.rank();
+      std::vector<index_t> send_counts(p), recv_counts(p);
+      index_t send_total = 0, recv_total = 0, wire_elems = 0;
+      for (int r = 0; r < p; ++r) {
+        send_counts[r] = rank + r + 1;  // uneven, asymmetric
+        recv_counts[r] = r + rank + 1;
+        send_total += send_counts[r];
+        recv_total += recv_counts[r];
+        if (r != rank) wire_elems += send_counts[r];
+      }
+      std::vector<double> send(send_total), wide(recv_total),
+          conv(recv_total);
+      for (index_t i = 0; i < send_total; ++i)
+        send[i] = 0.1 + rank + i * 0.7853981633974483;  // needs rounding
+      std::vector<float> send_stage(send_total), recv_stage(recv_total);
+
+      comm.set_time_kind(TimeKind::kFftComm);
+      const Timings before64 = comm.timings();
+      comm.alltoallv(std::span<const double>(send),
+                     std::span<const index_t>(send_counts),
+                     std::span<double>(wide),
+                     std::span<const index_t>(recv_counts), 61);
+      const Timings after64 = comm.timings();
+      comm.alltoallv_converted(std::span<const double>(send),
+                               std::span<const index_t>(send_counts),
+                               std::span<double>(conv),
+                               std::span<const index_t>(recv_counts),
+                               std::span<float>(send_stage),
+                               std::span<float>(recv_stage), 62);
+      const Timings after32 = comm.timings();
+
+      index_t self_off = 0;
+      for (int r = 0; r < rank; ++r) self_off += recv_counts[r];
+      for (index_t i = 0; i < recv_total; ++i) {
+        const bool self =
+            i >= self_off && i < self_off + recv_counts[rank];
+        const double expected =
+            self ? wide[i] : static_cast<double>(static_cast<float>(wide[i]));
+        ASSERT_EQ(conv[i], expected)
+            << "p=" << p << " rank=" << rank << " i=" << i;
+      }
+
+      const Timings d64 = timings_delta(before64, after64);
+      const Timings d32 = timings_delta(after64, after32);
+      EXPECT_EQ(d64.messages(TimeKind::kFftComm),
+                d32.messages(TimeKind::kFftComm));
+      EXPECT_EQ(d32.exchanges(TimeKind::kFftComm), 1u);
+      EXPECT_EQ(d64.saved_bytes(TimeKind::kFftComm), 0u);
+      EXPECT_EQ(d32.saved_bytes(TimeKind::kFftComm),
+                static_cast<std::uint64_t>(wire_elems) * sizeof(float));
+      // Identical schedules, so the byte difference is exactly the saving.
+      EXPECT_EQ(d64.bytes(TimeKind::kFftComm) - d32.bytes(TimeKind::kFftComm),
+                d32.saved_bytes(TimeKind::kFftComm));
+    });
+  }
+}
+
+TEST(MixedWire, ConvertedCallsRejectUndersizedStaging) {
+  run_spmd(1, [&](Communicator& comm) {
+    std::vector<double> payload(4, 1.0);
+    std::vector<float> small(2);
+    const std::vector<index_t> counts{4};
+    std::vector<double> out(4);
+    std::vector<float> stage(4);
+    EXPECT_THROW(comm.alltoallv_converted(
+                     std::span<const double>(payload),
+                     std::span<const index_t>(counts), std::span<double>(out),
+                     std::span<const index_t>(counts), std::span<float>(small),
+                     std::span<float>(stage), 63),
+                 std::runtime_error);
+    EXPECT_THROW(
+        comm.send_narrowed(std::span<const double>(payload),
+                           std::span<float>(small), 0, 64),
+        std::runtime_error);
+  });
+}
+
 TEST(Spmd, LargeMessageRoundTrip) {
   const size_t n = 1 << 18;  // 2 MB of doubles
   run_spmd(2, [&](Communicator& comm) {
