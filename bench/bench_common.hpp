@@ -84,13 +84,14 @@ struct FftCaseResult {
 };
 
 inline FftCaseResult run_fft_trajectory_case(index_t n, int p, int reps,
-                                             WirePrecision wire) {
+                                             WirePrecision wire,
+                                             bool overlap = false) {
   FftCaseResult out;
   const Int3 dims{n, n, n};
   double fwd_max = 0, inv_max = 0;
   auto timings = mpisim::run_spmd(p, [&](mpisim::Communicator& comm) {
     grid::PencilDecomp decomp(comm, dims);
-    fft::DistributedFft3d fft(decomp, wire);
+    fft::DistributedFft3d fft(decomp, wire, overlap);
     std::vector<real_t> x(fft.local_real_size());
     for (index_t i = 0; i < fft.local_real_size(); ++i)
       x[i] = static_cast<real_t>((i * 2654435761u) % 1000) / 1000.0;
@@ -132,7 +133,8 @@ struct SemilagCaseResult {
 
 inline SemilagCaseResult run_semilag_trajectory_case(index_t n, int p,
                                                      int reps,
-                                                     WirePrecision wire) {
+                                                     WirePrecision wire,
+                                                     bool overlap = false) {
   SemilagCaseResult out;
   const Int3 dims{n, n, n};
   double build_max = 0, state_max = 0, matvec_max = 0, vec3_max = 0;
@@ -140,10 +142,11 @@ inline SemilagCaseResult run_semilag_trajectory_case(index_t n, int p,
   std::mutex mu;
   mpisim::run_spmd(p, [&](mpisim::Communicator& comm) {
     grid::PencilDecomp decomp(comm, dims);
-    spectral::SpectralOps ops(decomp, wire);
+    spectral::SpectralOps ops(decomp, wire, overlap);
     semilag::TransportConfig tc;
     tc.nt = 4;
     tc.wire = wire;
+    tc.overlap = overlap;
     semilag::Transport transport(ops, tc);
 
     auto rho0 = imaging::synthetic_template(decomp);

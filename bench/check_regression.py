@@ -25,6 +25,12 @@ Field classes:
   rank owns each departure point — a floating-point classification that can
   shift by a few points across compilers/FMA contraction — so they get a
   small tolerance (--bytes-tolerance, default 1%).
+* Ratio fields (ending in ``_ratio``, e.g. the hidden-comm fraction of the
+  overlap bench legs): a fraction in [0, 1] that should not *drop* — losing
+  comm/compute overlap is the regression — gated with an absolute
+  tolerance (--ratio-tolerance, default 0.25: thread scheduling on an
+  oversubscribed CI box makes the hidden fraction noisy). Growth is never
+  a failure.
 * Convergence flags (ending in ``_converged``): must match the baseline
   exactly in both directions — a solve that stops converging is a
   regression even though the value decreased.
@@ -53,6 +59,7 @@ IDENTITY_KEYS = ("size", "ranks", "case", "bench")
 TIME_SUFFIX = "_ms"
 ITERS_SUFFIX = "_iters"
 WIRE_BYTES_SUFFIX = "_bytes"
+RATIO_SUFFIX = "_ratio"
 
 
 def record_key(record):
@@ -70,7 +77,7 @@ def load_records(path):
 
 
 def compare_file(current_path, baseline_path, time_tol, bytes_tol, iters_tol,
-                 failures, notes):
+                 ratio_tol, failures, notes):
     bench, cur_flags, current = load_records(current_path)
     _, base_flags, baseline = load_records(baseline_path)
     compare_times = cur_flags == base_flags
@@ -159,6 +166,21 @@ def compare_file(current_path, baseline_path, time_tol, bytes_tol, iters_tol,
                         f"{bench} ({ident}): byte counter {field} grew "
                         f"{base_val} -> {cur_val} (limit {limit:.0f}, "
                         f"tolerance {bytes_tol:.0%})")
+            elif field.endswith(RATIO_SUFFIX):
+                # Overlap-efficiency style fractions: regressing means the
+                # nonblocking legs stopped hiding wire time. Absolute
+                # tolerance (the fraction is noisy under oversubscription);
+                # growth is always fine.
+                if cur_val < base_val - ratio_tol:
+                    failures.append(
+                        f"{bench} ({ident}): ratio {field} dropped "
+                        f"{base_val:.3f} -> {cur_val:.3f} "
+                        f"(limit -{ratio_tol:.2f} absolute)")
+                elif cur_val > base_val + ratio_tol:
+                    notes.append(
+                        f"{bench} ({ident}): ratio {field} improved "
+                        f"{base_val:.3f} -> {cur_val:.3f}; consider "
+                        "refreshing the baseline")
             elif field.endswith("_converged"):
                 # Convergence flags must match exactly in BOTH directions: a
                 # solve that stops converging is a regression even though
@@ -197,6 +219,11 @@ def main():
     parser.add_argument("--iters-tolerance", type=float, default=0.35,
                         help="allowed fractional growth of iteration-count "
                              "fields (default 0.35)")
+    parser.add_argument("--ratio-tolerance", type=float,
+                        default=float(os.environ.get("BENCH_RATIO_TOLERANCE",
+                                                     0.25)),
+                        help="allowed absolute drop of _ratio fields "
+                             "(default 0.25; env BENCH_RATIO_TOLERANCE)")
     parser.add_argument("--allow-missing", action="store_true",
                         help="do not fail when a baseline file is absent")
     args = parser.parse_args()
@@ -213,8 +240,8 @@ def main():
             (notes if args.allow_missing else failures).append(msg)
             continue
         compare_file(current_path, baseline_path, args.time_tolerance,
-                     args.bytes_tolerance, args.iters_tolerance, failures,
-                     notes)
+                     args.bytes_tolerance, args.iters_tolerance,
+                     args.ratio_tolerance, failures, notes)
 
     for note in notes:
         print(f"note: {note}")
@@ -226,7 +253,9 @@ def main():
           f"({len(args.current)} file(s), time tolerance "
           f"{args.time_tolerance:.0%}, bytes tolerance "
           f"{args.bytes_tolerance:.0%}, iteration tolerance "
-          f"{args.iters_tolerance:.0%}, message/exchange counters exact)")
+          f"{args.iters_tolerance:.0%}, ratio tolerance "
+          f"{args.ratio_tolerance:.2f} absolute, message/exchange "
+          f"counters exact)")
     return 0
 
 

@@ -26,19 +26,23 @@ namespace {
 struct Record {
   index_t n = 0;
   int p = 0;
+  bool overlap = false;
   double forward_ms = 0;
   double inverse_ms = 0;
+  double hidden_ratio = 0;  // hidden / (hidden + timed) FFT comm time
   std::uint64_t comm_bytes = 0;
   std::uint64_t comm_messages = 0;
   std::uint64_t exchanges = 0;
 };
 
-Record run_case(index_t n, int p, int reps, WirePrecision wire) {
+Record run_case(index_t n, int p, int reps, WirePrecision wire,
+                bool overlap = false) {
   Record rec;
   rec.n = n;
   rec.p = p;
+  rec.overlap = overlap;
   const bench::FftCaseResult res =
-      bench::run_fft_trajectory_case(n, p, reps, wire);
+      bench::run_fft_trajectory_case(n, p, reps, wire, overlap);
   rec.forward_ms = res.forward_ms;
   rec.inverse_ms = res.inverse_ms;
   // Per-rank, per-transform averages, so records are comparable across rank
@@ -48,6 +52,7 @@ Record run_case(index_t n, int p, int reps, WirePrecision wire) {
   rec.comm_bytes = res.agg.bytes(TimeKind::kFftComm) / norm;
   rec.comm_messages = res.agg.messages(TimeKind::kFftComm) / norm;
   rec.exchanges = res.agg.exchanges(TimeKind::kFftComm) / norm;
+  rec.hidden_ratio = res.agg.overlap_efficiency(TimeKind::kFftComm);
   return rec;
 }
 
@@ -69,6 +74,11 @@ int main(int argc, char** argv) {
   records.push_back(run_case(64, 1, 5, wire));
   records.push_back(run_case(32, 4, 10, wire));
   records.push_back(run_case(64, 4, 3, wire));
+  // Overlap legs of the multi-rank cases: same schedule, nonblocking
+  // transposes with the self unpack under flight ("case": "overlap" keeps
+  // their identity distinct from the blocking records).
+  records.push_back(run_case(32, 4, 10, wire, /*overlap=*/true));
+  records.push_back(run_case(64, 4, 3, wire, /*overlap=*/true));
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
@@ -80,13 +90,18 @@ int main(int argc, char** argv) {
                fp32 ? "fft_fp32wire" : "fft", bench::arch_flags());
   for (size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
+    char extra[96] = "";
+    if (r.overlap)
+      std::snprintf(extra, sizeof extra,
+                    "\"case\": \"overlap\", \"hidden_comm_ratio\": %.4f, ",
+                    r.hidden_ratio);
     std::fprintf(f,
-                 "    {\"size\": %lld, \"ranks\": %d, \"forward_ms\": %.4f, "
+                 "    {%s\"size\": %lld, \"ranks\": %d, \"forward_ms\": %.4f, "
                  "\"inverse_ms\": %.4f, \"comm_bytes_per_rank_transform\": "
                  "%llu, \"comm_messages_per_rank_transform\": %llu, "
                  "\"alltoallv_exchanges_per_rank_transform\": %llu}%s\n",
-                 static_cast<long long>(r.n), r.p, r.forward_ms, r.inverse_ms,
-                 static_cast<unsigned long long>(r.comm_bytes),
+                 extra, static_cast<long long>(r.n), r.p, r.forward_ms,
+                 r.inverse_ms, static_cast<unsigned long long>(r.comm_bytes),
                  static_cast<unsigned long long>(r.comm_messages),
                  static_cast<unsigned long long>(r.exchanges),
                  i + 1 < records.size() ? "," : "");
@@ -96,9 +111,10 @@ int main(int argc, char** argv) {
 
   for (const Record& r : records)
     std::printf(
-        "fft %lld^3 p=%d: forward %.3f ms, inverse %.3f ms, "
+        "fft %lld^3 p=%d%s: forward %.3f ms, inverse %.3f ms, "
         "%llu B / %llu msgs / %llu exchanges per rank per transform\n",
-        static_cast<long long>(r.n), r.p, r.forward_ms, r.inverse_ms,
+        static_cast<long long>(r.n), r.p, r.overlap ? " overlap" : "",
+        r.forward_ms, r.inverse_ms,
         static_cast<unsigned long long>(r.comm_bytes),
         static_cast<unsigned long long>(r.comm_messages),
         static_cast<unsigned long long>(r.exchanges));

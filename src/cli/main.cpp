@@ -57,6 +57,10 @@ void print_usage() {
       "                       every hot exchange as fp32 and runs the inner\n"
       "                       Krylov solve in single precision (outer Newton\n"
       "                       stays double — see README precision policy)\n"
+      "  --overlap M          on | off (default off); on posts the hot\n"
+      "                       exchanges nonblocking and runs independent\n"
+      "                       local work under their flight (bitwise\n"
+      "                       identical results and message schedule)\n"
       "  --full-newton        keep the full-Newton Hessian terms\n"
       "  --trilinear          trilinear instead of tricubic interpolation\n"
       "  --continuation       run beta continuation (start 1e-1 -> beta)\n"
@@ -156,6 +160,17 @@ std::optional<CliOptions> parse(int argc, char** argv) {
         opt.reg.precision = core::Precision::kMixed;
       else {
         std::fprintf(stderr, "error: --precision must be double or mixed\n");
+        return std::nullopt;
+      }
+    } else if (flag == "--overlap") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      if (std::strcmp(v, "on") == 0)
+        opt.reg.overlap = true;
+      else if (std::strcmp(v, "off") == 0)
+        opt.reg.overlap = false;
+      else {
+        std::fprintf(stderr, "error: --overlap must be on or off\n");
         return std::nullopt;
       }
     } else if (flag == "--full-newton") {

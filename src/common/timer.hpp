@@ -9,6 +9,14 @@
 // the narrowed size is what lands in `bytes`, and the volume the narrowing
 // avoided is accumulated separately in `saved_bytes` — so fp64-vs-fp32 runs
 // are directly comparable and the saving itself is a gated counter.
+//
+// Nonblocking exchanges (mpisim::Communicator::ialltoallv and friends)
+// additionally report *hidden* communication time: the span between posting
+// an exchange and the arrival of its last message, capped at the moment the
+// caller blocked in CommRequest::wait(). That is the portion of the wire
+// time that overlapped with useful compute. The overlap efficiency of a
+// category is hidden / (hidden + timed comm); blocking exchanges contribute
+// zero hidden time, so the ratio is exactly 0 for the legacy schedule.
 #pragma once
 
 #include <array>
@@ -74,6 +82,22 @@ class Timings {
     saved_bytes_[static_cast<int>(kind)] += saved;
   }
 
+  /// Accounts wire time a nonblocking exchange hid under compute (the span
+  /// from post to last arrival, capped at the wait() entry).
+  void add_hidden(TimeKind kind, double seconds) {
+    hidden_seconds_[static_cast<int>(kind)] += seconds;
+  }
+  double hidden(TimeKind kind) const {
+    return hidden_seconds_[static_cast<int>(kind)];
+  }
+  /// Fraction of a category's wire time that overlapped with compute:
+  /// hidden / (hidden + timed comm). Returns 0 when no comm happened.
+  double overlap_efficiency(TimeKind kind) const {
+    const double h = hidden(kind);
+    const double total = h + get(kind);
+    return total > 0.0 ? h / total : 0.0;
+  }
+
   std::uint64_t bytes(TimeKind kind) const {
     return bytes_[static_cast<int>(kind)];
   }
@@ -104,6 +128,7 @@ class Timings {
 
   void clear() {
     seconds_.fill(0.0);
+    hidden_seconds_.fill(0.0);
     bytes_.fill(0);
     messages_.fill(0);
     exchanges_.fill(0);
@@ -113,6 +138,7 @@ class Timings {
   Timings& operator+=(const Timings& other) {
     for (int k = 0; k < kNumTimeKinds; ++k) {
       seconds_[k] += other.seconds_[k];
+      hidden_seconds_[k] += other.hidden_seconds_[k];
       bytes_[k] += other.bytes_[k];
       messages_[k] += other.messages_[k];
       exchanges_[k] += other.exchanges_[k];
@@ -124,6 +150,8 @@ class Timings {
   void max_with(const Timings& other) {
     for (int k = 0; k < kNumTimeKinds; ++k) {
       if (other.seconds_[k] > seconds_[k]) seconds_[k] = other.seconds_[k];
+      if (other.hidden_seconds_[k] > hidden_seconds_[k])
+        hidden_seconds_[k] = other.hidden_seconds_[k];
       if (other.bytes_[k] > bytes_[k]) bytes_[k] = other.bytes_[k];
       if (other.messages_[k] > messages_[k]) messages_[k] = other.messages_[k];
       if (other.exchanges_[k] > exchanges_[k])
@@ -135,6 +163,7 @@ class Timings {
 
  private:
   std::array<double, kNumTimeKinds> seconds_{};
+  std::array<double, kNumTimeKinds> hidden_seconds_{};
   std::array<std::uint64_t, kNumTimeKinds> bytes_{};
   std::array<std::uint64_t, kNumTimeKinds> messages_{};
   std::array<std::uint64_t, kNumTimeKinds> exchanges_{};
@@ -147,6 +176,7 @@ inline Timings timings_delta(const Timings& before, const Timings& after) {
   for (int k = 0; k < kNumTimeKinds; ++k) {
     const auto kind = static_cast<TimeKind>(k);
     d.add(kind, after.get(kind) - before.get(kind));
+    d.add_hidden(kind, after.hidden(kind) - before.hidden(kind));
     d.add_comm(kind, after.bytes(kind) - before.bytes(kind),
                after.messages(kind) - before.messages(kind),
                after.exchanges(kind) - before.exchanges(kind),

@@ -49,6 +49,14 @@ struct RegistrationOptions {
                                           : WirePrecision::kF64;
   }
 
+  /// Comm/compute overlap (CLI --overlap on). When set, every plan the
+  /// solver builds (FFT transposes, ghost halos, interpolation value
+  /// scatter) posts its exchanges nonblocking and runs the independent
+  /// local work under their flight. The message schedule and the results
+  /// are bitwise identical to the default blocking schedule — only the
+  /// wire's idle time moves (into the Timings hidden-comm counters).
+  bool overlap = false;
+
   // Newton-Krylov solver.
   bool gauss_newton = true;
   real_t gtol = 1e-2;           // relative gradient reduction

@@ -8,7 +8,8 @@ RegistrationSolver::RegistrationSolver(grid::PencilDecomp& decomp,
                                        const RegistrationOptions& options)
     : decomp_(&decomp),
       options_(options),
-      ops_(std::make_unique<spectral::SpectralOps>(decomp, options.wire())) {}
+      ops_(std::make_unique<spectral::SpectralOps>(decomp, options.wire(),
+                                                   options.overlap)) {}
 
 void RegistrationSolver::preprocess(const ScalarField& in, ScalarField& out) {
   if (!options_.smooth_inputs) {
@@ -39,6 +40,7 @@ RegistrationResult RegistrationSolver::run(const ScalarField& rho_t,
   tc.method = options_.interp_method;
   tc.incompressible = options_.incompressible;
   tc.wire = options_.wire();
+  tc.overlap = options_.overlap;
   semilag::Transport transport(*ops_, tc);
 
   Regularization reg(*ops_, options_.reg_type, options_.beta);
@@ -105,6 +107,7 @@ void RegistrationSolver::deform_template(const ScalarField& rho_t,
   tc.method = options_.interp_method;
   tc.incompressible = options_.incompressible;
   tc.wire = options_.wire();
+  tc.overlap = options_.overlap;
   semilag::Transport transport(*ops_, tc);
   transport.set_velocity(velocity);
   transport.solve_state(rho_t);
@@ -118,6 +121,7 @@ void RegistrationSolver::jacobian_field(const VectorField& velocity,
   tc.method = options_.interp_method;
   tc.incompressible = options_.incompressible;
   tc.wire = options_.wire();
+  tc.overlap = options_.overlap;
   semilag::Transport transport(*ops_, tc);
   transport.set_velocity(velocity);
   VectorField u;

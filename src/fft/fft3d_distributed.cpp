@@ -31,9 +31,11 @@ void transpose_block(const complex_t* src, index_t src_stride, complex_t* dst,
 
 }  // namespace
 
-DistributedFft3d::DistributedFft3d(PencilDecomp& decomp, WirePrecision wire)
+DistributedFft3d::DistributedFft3d(PencilDecomp& decomp, WirePrecision wire,
+                                   bool overlap)
     : decomp_(&decomp),
       wire_(wire),
+      overlap_(overlap),
       fft1_(decomp.dims()[0]),
       fft2_(decomp.dims()[1]),
       fft3_(decomp.dims()[2]) {
@@ -113,6 +115,32 @@ void DistributedFft3d::exchange(mpisim::Communicator& comm, int npeers,
   } else {
     comm.alltoallv(send, scounts, recv, rcounts, tag);
   }
+}
+
+mpisim::CommRequest DistributedFft3d::iexchange(
+    mpisim::Communicator& comm, int npeers, int ncomp,
+    const std::vector<index_t>& send_counts,
+    const std::vector<index_t>& recv_counts, index_t send_total,
+    index_t recv_total, int tag) {
+  for (int q = 0; q < npeers; ++q) {
+    scaled_send_counts_[q] = ncomp * send_counts[q];
+    scaled_recv_counts_[q] = ncomp * recv_counts[q];
+  }
+  comm.set_time_kind(TimeKind::kFftComm);
+  const std::span<const complex_t> send(
+      send_buf_.data(), static_cast<size_t>(ncomp * send_total));
+  const std::span<const index_t> scounts(
+      scaled_send_counts_.data(), static_cast<size_t>(npeers));
+  const std::span<complex_t> recv(recv_buf_.data(),
+                                  static_cast<size_t>(ncomp * recv_total));
+  const std::span<const index_t> rcounts(
+      scaled_recv_counts_.data(), static_cast<size_t>(npeers));
+  if (wire_ == WirePrecision::kF32)
+    return comm.ialltoallv_converted(
+        send, scounts, recv, rcounts,
+        std::span<complex32_t>(send_buf32_.data(), send.size()),
+        std::span<complex32_t>(recv_buf32_.data(), recv.size()), tag);
+  return comm.ialltoallv(send, scounts, recv, rcounts, tag);
 }
 
 // ---------------------------------------------------------------------------
@@ -360,21 +388,39 @@ void DistributedFft3d::row_transpose_forward(int ncomp) {
       }
     }
   }
-  exchange(row_comm, p2, ncomp, row_send_counts_, row_recv_counts_,
-           a_stride_, b_stride_, kTagRowFwd);
-  {
+  // Unpack the peer chunks selected by `want_self` (chunk offsets are
+  // q-major prefix sums, so self and peers can be unpacked in any order).
+  const int self_q = row_comm.rank();
+  const auto unpack = [&](bool want_self) {
     ScopedTimer t(timings, TimeKind::kFftExec);
-    index_t pos = 0;
+    index_t base = 0;
     for (int q = 0; q < p2; ++q) {
       const BlockRange i2r = block_range(n2, p2, q);
-      for (int c = 0; c < ncomp; ++c) {
-        complex_t* b = stage_b_.data() + c * b_stride_;
-        for (index_t i1 = 0; i1 < n1l; ++i1)
-          for (index_t k3 = 0; k3 < n3cl; ++k3)
-            for (index_t i2 = i2r.begin; i2 < i2r.end; ++i2)
-              b[(i1 * n3cl + k3) * n2 + i2] = recv_buf_[pos++];
+      if ((q == self_q) == want_self) {
+        index_t pos = base;
+        for (int c = 0; c < ncomp; ++c) {
+          complex_t* b = stage_b_.data() + c * b_stride_;
+          for (index_t i1 = 0; i1 < n1l; ++i1)
+            for (index_t k3 = 0; k3 < n3cl; ++k3)
+              for (index_t i2 = i2r.begin; i2 < i2r.end; ++i2)
+                b[(i1 * n3cl + k3) * n2 + i2] = recv_buf_[pos++];
+        }
       }
+      base += ncomp * row_recv_counts_[q];
     }
+  };
+  if (overlap_) {
+    // Self chunk lands locally at post time; unpack it under the flight.
+    auto req = iexchange(row_comm, p2, ncomp, row_send_counts_,
+                         row_recv_counts_, a_stride_, b_stride_, kTagRowFwd);
+    unpack(/*want_self=*/true);
+    req.wait();
+    unpack(/*want_self=*/false);
+  } else {
+    exchange(row_comm, p2, ncomp, row_send_counts_, row_recv_counts_,
+             a_stride_, b_stride_, kTagRowFwd);
+    unpack(/*want_self=*/true);
+    unpack(/*want_self=*/false);
   }
 }
 
@@ -415,21 +461,36 @@ void DistributedFft3d::row_transpose_inverse(int ncomp) {
       }
     }
   }
-  exchange(row_comm, p2, ncomp, row_recv_counts_, row_send_counts_,
-           b_stride_, a_stride_, kTagRowInv);
-  {
+  const int self_q = row_comm.rank();
+  const auto unpack = [&](bool want_self) {
     ScopedTimer t(timings, TimeKind::kFftExec);
-    index_t pos = 0;
+    index_t base = 0;
     for (int q = 0; q < p2; ++q) {
       const BlockRange k3r = block_range(n3c, p2, q);
-      for (int c = 0; c < ncomp; ++c) {
-        complex_t* a = stage_a_.data() + c * a_stride_;
-        for (index_t i1 = 0; i1 < n1l; ++i1)
-          for (index_t k3 = k3r.begin; k3 < k3r.end; ++k3)
-            for (index_t i2 = 0; i2 < n2l; ++i2)
-              a[(i1 * n2l + i2) * n3c + k3] = recv_buf_[pos++];
+      if ((q == self_q) == want_self) {
+        index_t pos = base;
+        for (int c = 0; c < ncomp; ++c) {
+          complex_t* a = stage_a_.data() + c * a_stride_;
+          for (index_t i1 = 0; i1 < n1l; ++i1)
+            for (index_t k3 = k3r.begin; k3 < k3r.end; ++k3)
+              for (index_t i2 = 0; i2 < n2l; ++i2)
+                a[(i1 * n2l + i2) * n3c + k3] = recv_buf_[pos++];
+        }
       }
+      base += ncomp * row_send_counts_[q];
     }
+  };
+  if (overlap_) {
+    auto req = iexchange(row_comm, p2, ncomp, row_recv_counts_,
+                         row_send_counts_, b_stride_, a_stride_, kTagRowInv);
+    unpack(/*want_self=*/true);
+    req.wait();
+    unpack(/*want_self=*/false);
+  } else {
+    exchange(row_comm, p2, ncomp, row_recv_counts_, row_send_counts_,
+             b_stride_, a_stride_, kTagRowInv);
+    unpack(/*want_self=*/true);
+    unpack(/*want_self=*/false);
   }
 }
 
@@ -471,21 +532,36 @@ void DistributedFft3d::col_transpose_forward(
       }
     }
   }
-  exchange(col_comm, p1, ncomp, col_send_counts_, col_recv_counts_,
-           b_stride_, s_stride_, kTagColFwd);
-  {
+  const int self_q = col_comm.rank();
+  const auto unpack = [&](bool want_self) {
     ScopedTimer t(timings, TimeKind::kFftExec);
-    index_t pos = 0;
+    index_t base = 0;
     for (int q = 0; q < p1; ++q) {
       const BlockRange i1r = block_range(n1, p1, q);
-      for (int c = 0; c < ncomp; ++c) {
-        complex_t* s = specs[c];
-        for (index_t k3 = 0; k3 < n3cl; ++k3)
-          for (index_t k2 = 0; k2 < n2kl; ++k2)
-            for (index_t i1 = i1r.begin; i1 < i1r.end; ++i1)
-              s[(k3 * n2kl + k2) * n1 + i1] = recv_buf_[pos++];
+      if ((q == self_q) == want_self) {
+        index_t pos = base;
+        for (int c = 0; c < ncomp; ++c) {
+          complex_t* s = specs[c];
+          for (index_t k3 = 0; k3 < n3cl; ++k3)
+            for (index_t k2 = 0; k2 < n2kl; ++k2)
+              for (index_t i1 = i1r.begin; i1 < i1r.end; ++i1)
+                s[(k3 * n2kl + k2) * n1 + i1] = recv_buf_[pos++];
+        }
       }
+      base += ncomp * col_recv_counts_[q];
     }
+  };
+  if (overlap_) {
+    auto req = iexchange(col_comm, p1, ncomp, col_send_counts_,
+                         col_recv_counts_, b_stride_, s_stride_, kTagColFwd);
+    unpack(/*want_self=*/true);
+    req.wait();
+    unpack(/*want_self=*/false);
+  } else {
+    exchange(col_comm, p1, ncomp, col_send_counts_, col_recv_counts_,
+             b_stride_, s_stride_, kTagColFwd);
+    unpack(/*want_self=*/true);
+    unpack(/*want_self=*/false);
   }
 }
 
@@ -526,21 +602,36 @@ void DistributedFft3d::col_transpose_inverse(int ncomp) {
       }
     }
   }
-  exchange(col_comm, p1, ncomp, col_recv_counts_, col_send_counts_,
-           s_stride_, b_stride_, kTagColInv);
-  {
+  const int self_q = col_comm.rank();
+  const auto unpack = [&](bool want_self) {
     ScopedTimer t(timings, TimeKind::kFftExec);
-    index_t pos = 0;
+    index_t base = 0;
     for (int q = 0; q < p1; ++q) {
       const BlockRange k2r = block_range(n2, p1, q);
-      for (int c = 0; c < ncomp; ++c) {
-        complex_t* b = stage_b_.data() + c * b_stride_;
-        for (index_t k3 = 0; k3 < n3cl; ++k3)
-          for (index_t k2 = k2r.begin; k2 < k2r.end; ++k2)
-            for (index_t i1 = 0; i1 < n1l; ++i1)
-              b[(i1 * n3cl + k3) * n2 + k2] = recv_buf_[pos++];
+      if ((q == self_q) == want_self) {
+        index_t pos = base;
+        for (int c = 0; c < ncomp; ++c) {
+          complex_t* b = stage_b_.data() + c * b_stride_;
+          for (index_t k3 = 0; k3 < n3cl; ++k3)
+            for (index_t k2 = k2r.begin; k2 < k2r.end; ++k2)
+              for (index_t i1 = 0; i1 < n1l; ++i1)
+                b[(i1 * n3cl + k3) * n2 + k2] = recv_buf_[pos++];
+        }
       }
+      base += ncomp * col_send_counts_[q];
     }
+  };
+  if (overlap_) {
+    auto req = iexchange(col_comm, p1, ncomp, col_recv_counts_,
+                         col_send_counts_, s_stride_, b_stride_, kTagColInv);
+    unpack(/*want_self=*/true);
+    req.wait();
+    unpack(/*want_self=*/false);
+  } else {
+    exchange(col_comm, p1, ncomp, col_recv_counts_, col_send_counts_,
+             s_stride_, b_stride_, kTagColInv);
+    unpack(/*want_self=*/true);
+    unpack(/*want_self=*/false);
   }
 }
 

@@ -7,12 +7,14 @@
 namespace diffreg::grid {
 
 GhostExchange::GhostExchange(PencilDecomp& decomp, index_t width,
-                             TimeKind comm_kind, WirePrecision wire)
+                             TimeKind comm_kind, WirePrecision wire,
+                             bool overlap)
     : decomp_(&decomp),
       width_(width),
       ldims_(decomp.local_real_dims()),
       comm_kind_(comm_kind),
-      wire_(wire) {
+      wire_(wire),
+      overlap_(overlap) {
   // Single-neighbour halos: every rank's block must be at least as wide as
   // the halo, on every rank (uneven blocks differ by one).
   const index_t min1 = decomp.dims()[0] / decomp.p1();
@@ -49,6 +51,21 @@ void GhostExchange::slab_sendrecv(std::span<const real_t> buf, int dest,
     comm.send(buf, dest, tag);
     comm.recv_into(halo, src, tag);
   }
+}
+
+mpisim::CommRequest GhostExchange::slab_isendrecv(std::span<const real_t> buf,
+                                                  int dest,
+                                                  std::span<real_t> halo,
+                                                  int src, int tag) {
+  auto& comm = decomp_->comm();
+  if (wire_ == WirePrecision::kF32) {
+    comm.isend_narrowed(buf, std::span<real32_t>(pack32_.data(), buf.size()),
+                        dest, tag);
+    return comm.irecv_widened(
+        halo, std::span<real32_t>(recv32_.data(), halo.size()), src, tag);
+  }
+  comm.send(buf, dest, tag);
+  return comm.irecv_into(halo, src, tag);
 }
 
 void GhostExchange::exchange(std::span<const real_t> local,
@@ -140,11 +157,34 @@ void GhostExchange::exchange_dim1(std::span<real_t> ghosted, int nfields) {
   // My high interior goes to hi_nbr's low halo (travels "high", kTagHigh);
   // I receive my low halo from lo_nbr.
   pack(send_buf, w + n1l - w);
-  slab_sendrecv(send_buf, hi_nbr, halo_buf, lo_nbr, kTagHigh);
-  unpack(halo_buf, 0);
-  pack(send_buf, w);
-  slab_sendrecv(send_buf, lo_nbr, halo_buf, hi_nbr, kTagLow);
-  unpack(halo_buf, w + n1l);
+  if (overlap_) {
+    // Pack + send the low-travelling slab while the first halo is in
+    // flight. The buffered send copied pack_buf_ at post, so repacking it
+    // is safe, and plain sends are legal while a receive is pending.
+    auto req = slab_isendrecv(send_buf, hi_nbr, halo_buf, lo_nbr, kTagHigh);
+    pack(send_buf, w);
+    if (wire_ == WirePrecision::kF32)
+      comm.send_narrowed(std::span<const real_t>(send_buf),
+                         std::span<real32_t>(pack32_.data(), send_buf.size()),
+                         lo_nbr, kTagLow);
+    else
+      comm.send(std::span<const real_t>(send_buf), lo_nbr, kTagLow);
+    req.wait();
+    unpack(halo_buf, 0);
+    if (wire_ == WirePrecision::kF32)
+      comm.recv_widened(halo_buf,
+                        std::span<real32_t>(recv32_.data(), halo_buf.size()),
+                        hi_nbr, kTagLow);
+    else
+      comm.recv_into(halo_buf, hi_nbr, kTagLow);
+    unpack(halo_buf, w + n1l);
+  } else {
+    slab_sendrecv(send_buf, hi_nbr, halo_buf, lo_nbr, kTagHigh);
+    unpack(halo_buf, 0);
+    pack(send_buf, w);
+    slab_sendrecv(send_buf, lo_nbr, halo_buf, hi_nbr, kTagLow);
+    unpack(halo_buf, w + n1l);
+  }
 }
 
 void GhostExchange::exchange_dim2(std::span<real_t> ghosted, int nfields) {
@@ -194,11 +234,32 @@ void GhostExchange::exchange_dim2(std::span<real_t> ghosted, int nfields) {
   const int hi_nbr = decomp_->rank_of(decomp_->r1(),
                                       (decomp_->r2() + 1) % p2);
   pack(send_buf, w + n2l - w);
-  slab_sendrecv(send_buf, hi_nbr, halo_buf, lo_nbr, kTagHigh);
-  unpack(halo_buf, 0);
-  pack(send_buf, w);
-  slab_sendrecv(send_buf, lo_nbr, halo_buf, hi_nbr, kTagLow);
-  unpack(halo_buf, w + n2l);
+  if (overlap_) {
+    // Same overlapped schedule as dim 1 (see exchange_dim1).
+    auto req = slab_isendrecv(send_buf, hi_nbr, halo_buf, lo_nbr, kTagHigh);
+    pack(send_buf, w);
+    if (wire_ == WirePrecision::kF32)
+      comm.send_narrowed(std::span<const real_t>(send_buf),
+                         std::span<real32_t>(pack32_.data(), send_buf.size()),
+                         lo_nbr, kTagLow);
+    else
+      comm.send(std::span<const real_t>(send_buf), lo_nbr, kTagLow);
+    req.wait();
+    unpack(halo_buf, 0);
+    if (wire_ == WirePrecision::kF32)
+      comm.recv_widened(halo_buf,
+                        std::span<real32_t>(recv32_.data(), halo_buf.size()),
+                        hi_nbr, kTagLow);
+    else
+      comm.recv_into(halo_buf, hi_nbr, kTagLow);
+    unpack(halo_buf, w + n2l);
+  } else {
+    slab_sendrecv(send_buf, hi_nbr, halo_buf, lo_nbr, kTagHigh);
+    unpack(halo_buf, 0);
+    pack(send_buf, w);
+    slab_sendrecv(send_buf, lo_nbr, halo_buf, hi_nbr, kTagLow);
+    unpack(halo_buf, w + n2l);
+  }
 }
 
 }  // namespace diffreg::grid

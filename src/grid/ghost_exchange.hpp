@@ -18,6 +18,15 @@
 // persistent fp32 staging before it ships and up-converted on receive (half
 // the halo bytes, ~1e-7 relative rounding); the degenerate single-rank
 // directions stay local fp64 copies.
+//
+// Comm/compute overlap: an `overlap` exchanger posts the FIRST halo receive
+// of each dimension nonblocking and packs + sends the SECOND slab while it
+// is in flight (buffered sends copy the payload at post, so reusing the
+// pack buffer is safe, and plain sends are legal while a receive is
+// pending). Same two sends, two receives, and tags per dimension — the
+// message schedule and the ghosted result are identical to the blocking
+// exchanger, bitwise; the overlapped wire time lands in the Timings
+// hidden-comm counter.
 #pragma once
 
 #include <span>
@@ -31,12 +40,18 @@ class GhostExchange {
  public:
   /// `width` ghost points on every side. Requires width <= the smallest
   /// local block extent in dims 1 and 2 (single-neighbour halos).
+  /// `overlap` packs/sends the second slab of each dimension under the
+  /// first halo's flight; results and message schedule are identical
+  /// either way.
   GhostExchange(PencilDecomp& decomp, index_t width,
                 TimeKind comm_kind = TimeKind::kInterpComm,
-                WirePrecision wire = WirePrecision::kF64);
+                WirePrecision wire = WirePrecision::kF64,
+                bool overlap = false);
 
   index_t width() const { return width_; }
   WirePrecision wire() const { return wire_; }
+  /// True when the per-dimension halo receives are posted nonblocking.
+  bool overlap() const { return overlap_; }
   /// Dimensions of the ghosted block: (n1l + 2w, n2l + 2w, N3 + 2w).
   const Int3& ghost_dims() const { return gdims_; }
   index_t ghost_size() const { return gdims_.prod(); }
@@ -62,12 +77,19 @@ class GhostExchange {
   void slab_sendrecv(std::span<const real_t> buf, int dest,
                      std::span<real_t> halo, int src, int tag);
 
+  /// Nonblocking twin: sends `buf` (complete at post — buffered) and posts
+  /// the receive of `halo`, returning its completion handle. `halo` (and
+  /// the fp32 recv staging) must stay untouched until wait().
+  mpisim::CommRequest slab_isendrecv(std::span<const real_t> buf, int dest,
+                                     std::span<real_t> halo, int src, int tag);
+
   PencilDecomp* decomp_;
   index_t width_;
   Int3 ldims_;   // local owned block
   Int3 gdims_;   // ghosted block
   TimeKind comm_kind_;
   WirePrecision wire_;
+  bool overlap_ = false;
 
   // Persistent slab buffers (grow-only): sized for the larger of the dim-1
   // and dim-2 slabs times the widest batch seen so far. The fp32 pair is

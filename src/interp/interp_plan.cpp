@@ -9,8 +9,8 @@ namespace diffreg::interp {
 using grid::GhostExchange;
 using grid::PencilDecomp;
 
-InterpPlan::InterpPlan(PencilDecomp& decomp, WirePrecision wire)
-    : decomp_(&decomp), wire_(wire) {
+InterpPlan::InterpPlan(PencilDecomp& decomp, WirePrecision wire, bool overlap)
+    : decomp_(&decomp), wire_(wire), overlap_(overlap) {
   const int p = decomp.comm().size();
   send_counts_.assign(p, 0);
   recv_counts_.assign(p, 0);
@@ -20,8 +20,8 @@ InterpPlan::InterpPlan(PencilDecomp& decomp, WirePrecision wire)
 }
 
 InterpPlan::InterpPlan(PencilDecomp& decomp, std::span<const Vec3> points,
-                       WirePrecision wire)
-    : InterpPlan(decomp, wire) {
+                       WirePrecision wire, bool overlap)
+    : InterpPlan(decomp, wire, overlap) {
   build(points);
 }
 
@@ -215,46 +215,44 @@ void InterpPlan::interpolate_many(GhostExchange& gx,
   }
   const index_t self_cnt = recv_counts_[rank];
 
-  // Evaluate all received points (ours and other ranks'), point-major so
-  // the per-peer chunks scale with the batch size and every field of the
-  // batch reuses the point's precomputed stencil.
-  {
-    ScopedTimer t(timings, TimeKind::kInterpExec);
-    for (index_t j = 0; j < recv_total_; ++j) {
-      const bool self = j >= self_recv_off && j < self_recv_off + self_cnt;
-      const index_t pos = j < self_recv_off ? j : j - self_cnt;
-      const index_t orig =
-          self ? send_index_[self_send_off + (j - self_recv_off)] : 0;
-      if (method == Method::kTricubic) {
-        const CubicStencil& st = stencils_[j];
-        for (int f = 0; f < m; ++f) {
-          const real_t val =
-              cubic_stencil_apply(ghosted_.data() + f * gsize, gdims, st);
-          if (self)
-            outs[f][orig] = val;
-          else
-            eval_vals_[pos * m + f] = val;
-        }
-      } else {
-        const real_t u1 = recv_coords_[3 * j];
-        const real_t u2 = recv_coords_[3 * j + 1];
-        const real_t u3 = recv_coords_[3 * j + 2];
-        for (int f = 0; f < m; ++f) {
-          const real_t val =
-              trilinear_eval(ghosted_.data() + f * gsize, gdims, u1, u2, u3);
-          if (self)
-            outs[f][orig] = val;
-          else
-            eval_vals_[pos * m + f] = val;
-        }
+  // Per-point evaluation kernel, shared by the blocking and overlapped
+  // sweeps: `self` points land straight in the caller's output, peer points
+  // in the point-major eval staging. Each point reads only its precomputed
+  // stencil and the ghosted blocks, so evaluation ORDER cannot change any
+  // value — the overlapped reordering below is bitwise-neutral.
+  const auto eval_point = [&](index_t j, bool self) {
+    const index_t pos = j < self_recv_off ? j : j - self_cnt;
+    const index_t orig =
+        self ? send_index_[self_send_off + (j - self_recv_off)] : 0;
+    if (method == Method::kTricubic) {
+      const CubicStencil& st = stencils_[j];
+      for (int f = 0; f < m; ++f) {
+        const real_t val =
+            cubic_stencil_apply(ghosted_.data() + f * gsize, gdims, st);
+        if (self)
+          outs[f][orig] = val;
+        else
+          eval_vals_[pos * m + f] = val;
+      }
+    } else {
+      const real_t u1 = recv_coords_[3 * j];
+      const real_t u2 = recv_coords_[3 * j + 1];
+      const real_t u3 = recv_coords_[3 * j + 2];
+      for (int f = 0; f < m; ++f) {
+        const real_t val =
+            trilinear_eval(ghosted_.data() + f * gsize, gdims, u1, u2, u3);
+        if (self)
+          outs[f][orig] = val;
+        else
+          eval_vals_[pos * m + f] = val;
       }
     }
-  }
+  };
 
   // One value alltoallv for the whole batch: the counts are the plan's
   // per-peer point counts scaled by the batch size, with the self chunk
-  // already delivered above (count 0). kF32 plans ship the values at fp32
-  // through the persistent staging pair.
+  // delivered locally by the eval sweep (count 0). kF32 plans ship the
+  // values at fp32 through the persistent staging pair.
   for (int r = 0; r < p; ++r) {
     val_send_counts_[r] = r == rank ? 0 : recv_counts_[r] * m;
     val_recv_counts_[r] = r == rank ? 0 : send_counts_[r] * m;
@@ -263,16 +261,56 @@ void InterpPlan::interpolate_many(GhostExchange& gx,
       eval_vals_.data(), static_cast<size_t>(m) * (recv_total_ - self_cnt));
   const std::span<real_t> val_recv(
       ret_vals_.data(), static_cast<size_t>(m) * (num_points_ - self_cnt));
-  if (wire_ == WirePrecision::kF32) {
-    comm.alltoallv_converted(
-        val_send, std::span<const index_t>(val_send_counts_), val_recv,
-        std::span<const index_t>(val_recv_counts_),
-        std::span<real32_t>(eval_vals32_.data(), val_send.size()),
-        std::span<real32_t>(ret_vals32_.data(), val_recv.size()), kTagValues);
+
+  if (overlap_) {
+    // Peer points first: their values are all the exchange ships.
+    {
+      ScopedTimer t(timings, TimeKind::kInterpExec);
+      for (index_t j = 0; j < self_recv_off; ++j) eval_point(j, false);
+      for (index_t j = self_recv_off + self_cnt; j < recv_total_; ++j)
+        eval_point(j, false);
+    }
+    // Post the value exchange, then evaluate the SELF-owned majority while
+    // it is in flight. Same tags, payloads, and counters as the blocking
+    // call — only the wait moves past the self sweep.
+    mpisim::CommRequest req =
+        wire_ == WirePrecision::kF32
+            ? comm.ialltoallv_converted(
+                  val_send, std::span<const index_t>(val_send_counts_),
+                  val_recv, std::span<const index_t>(val_recv_counts_),
+                  std::span<real32_t>(eval_vals32_.data(), val_send.size()),
+                  std::span<real32_t>(ret_vals32_.data(), val_recv.size()),
+                  kTagValues)
+            : comm.ialltoallv(val_send,
+                              std::span<const index_t>(val_send_counts_),
+                              val_recv,
+                              std::span<const index_t>(val_recv_counts_),
+                              kTagValues);
+    {
+      ScopedTimer t(timings, TimeKind::kInterpExec);
+      for (index_t j = self_recv_off; j < self_recv_off + self_cnt; ++j)
+        eval_point(j, true);
+    }
+    req.wait();
   } else {
-    comm.alltoallv(val_send, std::span<const index_t>(val_send_counts_),
-                   val_recv, std::span<const index_t>(val_recv_counts_),
-                   kTagValues);
+    // Legacy schedule: evaluate everything, then one blocking exchange.
+    {
+      ScopedTimer t(timings, TimeKind::kInterpExec);
+      for (index_t j = 0; j < recv_total_; ++j)
+        eval_point(j, j >= self_recv_off && j < self_recv_off + self_cnt);
+    }
+    if (wire_ == WirePrecision::kF32) {
+      comm.alltoallv_converted(
+          val_send, std::span<const index_t>(val_send_counts_), val_recv,
+          std::span<const index_t>(val_recv_counts_),
+          std::span<real32_t>(eval_vals32_.data(), val_send.size()),
+          std::span<real32_t>(ret_vals32_.data(), val_recv.size()),
+          kTagValues);
+    } else {
+      comm.alltoallv(val_send, std::span<const index_t>(val_send_counts_),
+                     val_recv, std::span<const index_t>(val_recv_counts_),
+                     kTagValues);
+    }
   }
 
   {  // Scatter the returned cross-rank values into the caller's point

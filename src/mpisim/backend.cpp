@@ -1,0 +1,111 @@
+#include "mpisim/backend.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace diffreg::mpisim {
+
+namespace detail {
+
+void Mailbox::push(Message message) {
+  {
+    std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+Incoming Mailbox::pop(int src, int tag) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
+      return m.src == src && m.tag == tag;
+    });
+    if (it != queue_.end()) {
+      Incoming in{std::move(it->data), it->arrival};
+      queue_.erase(it);
+      return in;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(int src, int tag) {
+  std::scoped_lock lock(mutex_);
+  return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
+    return m.src == src && m.tag == tag;
+  });
+}
+
+SharedState::SharedState(int size_in) : size(size_in), mailboxes(size_in) {}
+
+}  // namespace detail
+
+double MailboxBackend::now() const {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void MailboxBackend::send_bytes(std::span<const std::byte> data, int dest,
+                                int tag) {
+  // The copy here IS the buffered-send contract: the caller's span is free
+  // for reuse the moment this returns, and the copy stands in for the wire.
+  state_->mailboxes[static_cast<size_t>(dest)].push(
+      {rank_, tag, std::vector<std::byte>(data.begin(), data.end()), now()});
+}
+
+Incoming MailboxBackend::recv_bytes(int src, int tag) {
+  return state_->mailboxes[static_cast<size_t>(rank_)].pop(src, tag);
+}
+
+bool MailboxBackend::probe(int src, int tag) {
+  return state_->mailboxes[static_cast<size_t>(rank_)].probe(src, tag);
+}
+
+void MailboxBackend::barrier() {
+  auto& s = *state_;
+  std::unique_lock lock(s.barrier_mutex);
+  const long generation = s.barrier_generation;
+  if (++s.barrier_count == s.size) {
+    s.barrier_count = 0;
+    ++s.barrier_generation;
+    lock.unlock();
+    s.barrier_cv.notify_all();
+  } else {
+    s.barrier_cv.wait(lock, [&] { return s.barrier_generation != generation; });
+  }
+}
+
+std::shared_ptr<Backend> MailboxBackend::split(int color, int new_rank,
+                                               int new_size) {
+  // One split epoch per collective call so repeated splits don't collide.
+  long epoch = 0;
+  {
+    std::scoped_lock lock(state_->split_mutex);
+    epoch = state_->split_epoch;
+  }
+  std::shared_ptr<detail::SharedState> child;
+  {
+    std::scoped_lock lock(state_->split_mutex);
+    auto key = std::make_pair(epoch, color);
+    auto it = state_->split_states.find(key);
+    if (it == state_->split_states.end()) {
+      child = std::make_shared<detail::SharedState>(new_size);
+      state_->split_states.emplace(key, child);
+    } else {
+      child = it->second;
+    }
+  }
+  barrier();
+  // After the barrier every rank has resolved its child state; advance the
+  // epoch (rank 0) and clear the board lazily on the next epoch rollover.
+  if (rank_ == 0) {
+    std::scoped_lock lock(state_->split_mutex);
+    ++state_->split_epoch;
+  }
+  barrier();
+  return std::make_shared<MailboxBackend>(std::move(child), new_rank);
+}
+
+}  // namespace diffreg::mpisim

@@ -7,35 +7,6 @@
 
 namespace diffreg::mpisim {
 
-namespace detail {
-
-void Mailbox::push(Message message) {
-  {
-    std::scoped_lock lock(mutex_);
-    queue_.push_back(std::move(message));
-  }
-  cv_.notify_all();
-}
-
-std::vector<std::byte> Mailbox::pop(int src, int tag) {
-  std::unique_lock lock(mutex_);
-  for (;;) {
-    auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
-      return m.src == src && m.tag == tag;
-    });
-    if (it != queue_.end()) {
-      std::vector<std::byte> data = std::move(it->data);
-      queue_.erase(it);
-      return data;
-    }
-    cv_.wait(lock);
-  }
-}
-
-SharedState::SharedState(int size_in) : size(size_in), mailboxes(size_in) {}
-
-}  // namespace detail
-
 void Communicator::check_collective_consistent(std::int64_t value,
                                                const char* what) {
   if (size() == 1) return;
@@ -56,25 +27,17 @@ void Communicator::check_collective_consistent(std::int64_t value,
 }
 
 void Communicator::barrier() {
+  check_idle();
   if (size() == 1) return;
   ScopedTimer timer(*timings_, time_kind_);
-  auto& s = *state_;
-  std::unique_lock lock(s.barrier_mutex);
-  const long generation = s.barrier_generation;
-  if (++s.barrier_count == s.size) {
-    s.barrier_count = 0;
-    ++s.barrier_generation;
-    lock.unlock();
-    s.barrier_cv.notify_all();
-  } else {
-    s.barrier_cv.wait(lock,
-                      [&] { return s.barrier_generation != generation; });
-  }
+  backend_->barrier();
 }
 
 Communicator Communicator::split(int color) {
+  check_idle();
   // Gather (color, parent rank) from everyone; members of each color are
-  // ranked by parent rank.
+  // ranked by parent rank. The backend only has to wire up the agreed-upon
+  // channels — the collective agreement itself is transport-independent.
   struct Entry {
     int color;
     int rank;
@@ -89,33 +52,59 @@ Communicator Communicator::split(int color) {
     ++new_size;
   }
 
-  // One split epoch per collective call so repeated splits don't collide.
-  long epoch = 0;
-  {
-    std::scoped_lock lock(state_->split_mutex);
-    epoch = state_->split_epoch;
+  return Communicator(backend_->split(color, new_rank, new_size), timings_);
+}
+
+CommRequest::~CommRequest() {
+  if (!comm_) return;
+  try {
+    wait();
+  } catch (...) {
+    // Destructors must not throw; an abandoned request is still drained so
+    // the message schedule stays intact. Call wait() to surface failures.
   }
-  std::shared_ptr<detail::SharedState> child;
+}
+
+void CommRequest::wait() {
+  if (!comm_) return;
+  Communicator* comm = std::exchange(comm_, nullptr);
+  Timings& timings = *comm->timings_;
+  Backend& backend = *comm->backend_;
+  const double wait_entry = backend.now();
+  double last_arrival = post_time_;
   {
-    std::scoped_lock lock(state_->split_mutex);
-    auto key = std::make_pair(epoch, color);
-    auto it = state_->split_states.find(key);
-    if (it == state_->split_states.end()) {
-      child = std::make_shared<detail::SharedState>(new_size);
-      state_->split_states.emplace(key, child);
-    } else {
-      child = it->second;
+    // Time actually spent blocked (plus delivery memcpy/widen sweeps) is
+    // charged to the category like a blocking receive would be.
+    ScopedTimer timer(timings, kind_);
+    for (const detail::PendingRecv& pr : comm->pending_recvs_) {
+      const Incoming in = backend.recv_bytes(pr.src, pr.tag);
+      if (in.data.size() != pr.payload_bytes)
+        throw std::runtime_error(
+            "mpisim: nonblocking receive payload size does not match the "
+            "posted buffer");
+      if (pr.widen != nullptr)
+        pr.widen(in.data.data(), pr.dst, pr.elems);
+      else if (!in.data.empty())
+        std::memcpy(pr.dst, in.data.data(), in.data.size());
+      last_arrival = std::max(last_arrival, in.arrival);
     }
   }
-  barrier();
-  // After the barrier every rank has resolved its child state; advance the
-  // epoch (rank 0) and clear the board lazily on the next epoch rollover.
-  if (rank_ == 0) {
-    std::scoped_lock lock(state_->split_mutex);
-    ++state_->split_epoch;
-  }
-  barrier();
-  return Communicator(std::move(child), new_rank, timings_);
+  comm->pending_recvs_.clear();
+  comm->pending_ = false;
+  // Hidden comm time: the wire was busy from the post until the last
+  // message landed; whatever portion of that elapsed before the caller
+  // blocked here was overlapped with compute.
+  timings.add_hidden(kind_,
+                     std::max(0.0, std::min(last_arrival, wait_entry) -
+                                       post_time_));
+}
+
+bool CommRequest::test() {
+  if (!comm_) return true;
+  for (const detail::PendingRecv& pr : comm_->pending_recvs_)
+    if (!comm_->backend_->probe(pr.src, pr.tag)) return false;
+  wait();  // Every match has arrived: completes without blocking.
+  return true;
 }
 
 std::vector<Timings> run_spmd(
@@ -129,7 +118,8 @@ std::vector<Timings> run_spmd(
 
   for (int r = 0; r < p; ++r) {
     threads.emplace_back([&, r] {
-      Communicator comm(state, r, &timings[r]);
+      Communicator comm(std::make_shared<MailboxBackend>(state, r),
+                        &timings[r]);
       try {
         body(comm);
       } catch (...) {

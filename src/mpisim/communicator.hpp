@@ -1,130 +1,213 @@
-// mpisim: a thread-backed message-passing runtime.
-//
-// The paper's solver is an MPI SPMD program (TACC Maverick/Stampede). This
-// machine has no MPI, so we reproduce the programming model: `run_spmd(p, f)`
-// launches p "ranks" (threads) that may only exchange data through a
-// Communicator — point-to-point messages are copied through per-rank
-// mailboxes, so all data movement that would be network traffic under MPI is
-// real buffer traffic here, and is accounted separately from computation via
-// the Timings categories (the comm/exec split of Tables I-IV).
-//
-// Supported surface (what the solver needs): rank/size, barrier, send/recv,
-// sendrecv, broadcast, allreduce (sum/max/min, scalar and element-wise
-// vector), allgather, alltoall(v), and communicator splitting (row/col
-// sub-communicators of the pencil grid).
-//
-// Collective algorithms (all O(log p) message depth, no rank-0 funnel):
-//   broadcast         binomial tree rooted at `root`
-//   allgather         Bruck dissemination (works for any p)
-//   allreduce scalar  recursive doubling; non-power-of-two ranks fold into
-//                     the largest power-of-two group first and get the
-//                     result back afterwards
-//   allreduce vector  binomial-tree reduce to rank 0 + binomial broadcast
-//                     (reduce-then-broadcast, for batched field norms)
-//   alltoallv         pairwise exchange (p-1 rounds, bandwidth-bound by
-//                     design) with a collective-consistency self-check; a
-//                     span-based overload works over caller-owned flat
-//                     buffers so hot paths (the FFT transposes) allocate
-//                     nothing per call, and a converting overload
-//                     (alltoallv_converted) down-converts the payload into
-//                     caller-owned fp32 staging buffers before it hits the
-//                     wire and up-converts on receive — half the bytes for
-//                     ~1e-7 relative rounding (WirePrecision::kF32)
-// Scalar allreduce combines operands in subgroup order, so every rank
-// computes bitwise-identical results; the vector form broadcasts rank 0's
-// combination, which is likewise identical everywhere.
-//
-// Every send is also accounted to the rank's Timings as (bytes, messages)
-// under the communicator's current TimeKind, and each alltoallv entered
-// bumps an exchange counter — this is the comm-volume side of the paper's
-// comm/exec split (Tables I-IV report time; the counters make message-count
-// regressions visible too).
+/// @file communicator.hpp
+/// mpisim: a thread-backed message-passing runtime.
+///
+/// The paper's solver is an MPI SPMD program (TACC Maverick/Stampede). This
+/// machine has no MPI, so we reproduce the programming model: `run_spmd(p, f)`
+/// launches p "ranks" (threads) that may only exchange data through a
+/// Communicator — point-to-point messages are copied through per-rank
+/// mailboxes, so all data movement that would be network traffic under MPI is
+/// real buffer traffic here, and is accounted separately from computation via
+/// the Timings categories (the comm/exec split of Tables I-IV).
+///
+/// The Communicator itself is transport-agnostic: every byte that moves goes
+/// through the abstract `Backend` interface (backend.hpp). The collective
+/// algorithms, consistency self-checks, wire-precision conversions, and all
+/// Timings accounting live HERE, so a real-MPI backend inherits them — and
+/// the entire test suite — by implementing six byte-level primitives.
+///
+/// Supported surface (what the solver needs): rank/size, barrier, send/recv,
+/// sendrecv, broadcast, allreduce (sum/max/min, scalar and element-wise
+/// vector), allgather, alltoall(v), nonblocking alltoallv / point-to-point
+/// variants returning CommRequest completion handles, and communicator
+/// splitting (row/col sub-communicators of the pencil grid).
+///
+/// Collective algorithms (all O(log p) message depth, no rank-0 funnel):
+///   broadcast         binomial tree rooted at `root`
+///   allgather         Bruck dissemination (works for any p)
+///   allreduce scalar  recursive doubling; non-power-of-two ranks fold into
+///                     the largest power-of-two group first and get the
+///                     result back afterwards
+///   allreduce vector  binomial-tree reduce to rank 0 + binomial broadcast
+///                     (reduce-then-broadcast, for batched field norms)
+///   alltoallv         pairwise exchange (p-1 rounds, bandwidth-bound by
+///                     design) with a collective-consistency self-check; a
+///                     span-based overload works over caller-owned flat
+///                     buffers so hot paths (the FFT transposes) allocate
+///                     nothing per call, and a converting overload
+///                     (alltoallv_converted) down-converts the payload into
+///                     caller-owned fp32 staging buffers before it hits the
+///                     wire and up-converts on receive — half the bytes for
+///                     ~1e-7 relative rounding (WirePrecision::kF32)
+/// Scalar allreduce combines operands in subgroup order, so every rank
+/// computes bitwise-identical results; the vector form broadcasts rank 0's
+/// combination, which is likewise identical everywhere.
+///
+/// Nonblocking exchanges (`ialltoallv`, `ialltoallv_converted`,
+/// `isend_narrowed`/`irecv_widened`/`irecv_into`) post the SAME message
+/// schedule as their blocking twins — identical tags, payload order, byte /
+/// message / exchange counters — and defer only the receives behind a
+/// `CommRequest`. Between post and `wait()` the caller computes; the span of
+/// wire time that elapsed under that compute is accounted to the Timings
+/// hidden-comm counter, which is how the overlap efficiency of Tables I-IV's
+/// comm legs is measured. At most ONE request may be outstanding per
+/// Communicator: any receive, barrier, or collective while one is pending
+/// throws (wait-before-read enforcement), which turns forgotten waits into
+/// loud errors instead of stolen messages. Plain sends stay legal while a
+/// request is in flight — they are buffered and cannot race the pending
+/// receives — which is what lets GhostExchange push the second halo slab
+/// under the first one's flight.
+///
+/// Every send is also accounted to the rank's Timings as (bytes, messages)
+/// under the communicator's current TimeKind, and each alltoallv entered
+/// bumps an exchange counter — this is the comm-volume side of the paper's
+/// comm/exec split (Tables I-IV report time; the counters make message-count
+/// regressions visible too).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <cstring>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/precision.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
+#include "mpisim/backend.hpp"
 
 namespace diffreg::mpisim {
 
+class Communicator;
+
 namespace detail {
 
-struct Message {
+/// One deferred receive of an outstanding nonblocking exchange. The storage
+/// lives in the owning Communicator (grow-only, reused across posts) so warm
+/// overlapped paths allocate nothing.
+struct PendingRecv {
   int src = 0;
   int tag = 0;
-  std::vector<std::byte> data;
+  /// Destination bytes: the final buffer (plain receives) or the Wide
+  /// buffer a widening receive up-converts into.
+  std::byte* dst = nullptr;
+  /// Exact wire payload size the matching message must carry.
+  size_t payload_bytes = 0;
+  /// Element count of a widening receive (payload_bytes / sizeof(Narrow)).
+  size_t elems = 0;
+  /// Non-null for widening receives: up-converts `elems` Narrow elements of
+  /// the wire payload straight into `dst`. Null receives memcpy instead.
+  void (*widen)(const std::byte* payload, std::byte* dst, size_t elems) =
+      nullptr;
 };
 
-/// One receive queue per rank; senders push, the owner pops by (src, tag).
-class Mailbox {
- public:
-  void push(Message message);
-  /// Blocks until a message with the given source and tag is available.
-  std::vector<std::byte> pop(int src, int tag);
-
- private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
-};
-
-/// State shared by all ranks of one communicator.
-struct SharedState {
-  explicit SharedState(int size);
-
-  const int size;
-  std::vector<Mailbox> mailboxes;
-
-  // Generation-counted central barrier.
-  std::mutex barrier_mutex;
-  std::condition_variable barrier_cv;
-  int barrier_count = 0;
-  long barrier_generation = 0;
-
-  // Exchange board used by split(): the first rank of each (color, epoch)
-  // creates the child state, everyone else in that color looks it up.
-  std::mutex split_mutex;
-  std::map<std::pair<long, int>, std::shared_ptr<SharedState>> split_states;
-  long split_epoch = 0;
-};
+/// Widening kernel instantiated per (Wide, Narrow) pair for PendingRecv.
+template <typename Wide, typename Narrow>
+void widen_payload(const std::byte* payload, std::byte* dst, size_t elems) {
+  widen_into(
+      std::span<const Narrow>(reinterpret_cast<const Narrow*>(payload), elems),
+      std::span<Wide>(reinterpret_cast<Wide*>(dst), elems));
+}
 
 }  // namespace detail
 
-/// Handle through which one rank communicates. Cheap to copy.
+/// Completion handle of a nonblocking exchange (MPI_Request analogue).
+/// Move-only; produced by Communicator::ialltoallv and friends.
+///
+/// The posting call has already pushed every outgoing message (sends are
+/// buffered and complete at post), so the handle tracks only the deferred
+/// receives. `wait()` blocks until all of them have landed, scatters /
+/// widens them into the destination buffers, and credits the wire time that
+/// elapsed under the caller's compute to the Timings hidden-comm counter.
+/// Destination buffers must not be read before wait()/test() succeeds —
+/// and the owning Communicator enforces the discipline by throwing on any
+/// receive or collective posted while this request is outstanding.
+class CommRequest {
+ public:
+  /// An already-completed request (what pure-send posts return).
+  CommRequest() = default;
+
+  CommRequest(CommRequest&& other) noexcept { *this = std::move(other); }
+  CommRequest& operator=(CommRequest&& other) noexcept {
+    comm_ = std::exchange(other.comm_, nullptr);
+    post_time_ = other.post_time_;
+    kind_ = other.kind_;
+    return *this;
+  }
+  CommRequest(const CommRequest&) = delete;
+  CommRequest& operator=(const CommRequest&) = delete;
+
+  /// Completes an abandoned request (swallowing errors — destructors must
+  /// not throw) so the message schedule stays intact; call wait() yourself
+  /// to surface failures.
+  ~CommRequest();
+
+  /// True once the request has completed (wait()/test() succeeded or the
+  /// post had nothing to defer).
+  bool done() const { return comm_ == nullptr; }
+
+  /// Blocks until every deferred receive has landed and delivers the
+  /// payloads. Time spent blocked is charged to the exchange's TimeKind as
+  /// usual; the post-to-last-arrival span that elapsed BEFORE entering
+  /// wait() is credited as hidden comm time.
+  void wait();
+
+  /// Nonblocking completion probe: returns false while any message is still
+  /// in flight; otherwise completes the request (equivalent to wait()) and
+  /// returns true.
+  bool test();
+
+ private:
+  friend class Communicator;
+  CommRequest(Communicator* comm, double post_time, TimeKind kind)
+      : comm_(comm), post_time_(post_time), kind_(kind) {}
+
+  Communicator* comm_ = nullptr;  ///< Owning communicator; null once done.
+  double post_time_ = 0.0;        ///< Backend-clock stamp of the post.
+  TimeKind kind_ = TimeKind::kOther;  ///< Category captured at post time.
+};
+
+/// Handle through which one rank communicates. Cheap to copy (copies share
+/// the transport); a Communicator with an outstanding CommRequest must not
+/// be copied.
 class Communicator {
  public:
   Communicator() = default;
-  Communicator(std::shared_ptr<detail::SharedState> state, int rank,
-               Timings* timings)
-      : state_(std::move(state)), rank_(rank), timings_(timings) {}
+  /// Wraps a transport endpoint. `timings` must outlive the communicator.
+  Communicator(std::shared_ptr<Backend> backend, Timings* timings)
+      : backend_(std::move(backend)),
+        rank_(backend_ ? backend_->rank() : 0),
+        size_(backend_ ? backend_->size() : 1),
+        timings_(timings) {}
 
+  /// This rank's id in [0, size()).
   int rank() const { return rank_; }
-  int size() const { return state_ ? state_->size : 1; }
+  /// Number of ranks in the communicator.
+  int size() const { return size_; }
   bool is_root() const { return rank_ == 0; }
+
+  /// The transport endpoint (for backend-aware tooling; solver code never
+  /// needs it).
+  Backend* backend() { return backend_.get(); }
 
   /// Category charged for time spent blocked in communication calls.
   void set_time_kind(TimeKind kind) { time_kind_ = kind; }
   TimeKind time_kind() const { return time_kind_; }
   Timings& timings() { return *timings_; }
 
+  /// Blocks until every rank entered. Collective.
   void barrier();
 
+  /// Buffered point-to-point send: copies `data` onto the wire and returns
+  /// immediately (never blocks on the receiver). Legal even while a
+  /// nonblocking request is outstanding.
   template <typename T>
   void send(std::span<const T> data, int dest, int tag);
 
+  /// Blocking receive of a whole message from (src, tag).
   template <typename T>
   std::vector<T> recv(int src, int tag);
 
@@ -181,6 +264,20 @@ class Communicator {
                  std::span<T> recv, std::span<const index_t> recv_counts,
                  int tag);
 
+  /// Nonblocking twin of the span alltoallv. Performs the identical checks,
+  /// exchange accounting, self copy, and sends — the message schedule is
+  /// bitwise the same as the blocking call — but defers the p-1 receives
+  /// behind the returned CommRequest. `recv` must stay untouched until
+  /// wait()/test() succeeds; the SELF chunk of `recv` is already valid at
+  /// return (it never crosses the wire). At most one request may be
+  /// outstanding per communicator.
+  template <typename T>
+  [[nodiscard]] CommRequest ialltoallv(std::span<const T> send,
+                                       std::span<const index_t> send_counts,
+                                       std::span<T> recv,
+                                       std::span<const index_t> recv_counts,
+                                       int tag);
+
   /// Mixed-precision variant of the span alltoallv: every PEER chunk is
   /// down-converted into `send_stage`, shipped at Narrow width, received
   /// into `recv_stage`, and up-converted into `recv`; the SELF chunk is a
@@ -200,6 +297,18 @@ class Communicator {
                            std::span<Narrow> send_stage,
                            std::span<Narrow> recv_stage, int tag);
 
+  /// Nonblocking twin of alltoallv_converted: narrows and ships every peer
+  /// chunk at post (same counters, same saved-bytes accounting), defers the
+  /// widening receives. The thread-backed transport widens straight from
+  /// the wire payload, so `recv_stage` is only size-validated here — but a
+  /// real-MPI backend lands narrow payloads in it, so callers must keep it
+  /// alive and untouched until completion, exactly like the blocking call.
+  template <typename Wide, typename Narrow>
+  [[nodiscard]] CommRequest ialltoallv_converted(
+      std::span<const Wide> send, std::span<const index_t> send_counts,
+      std::span<Wide> recv, std::span<const index_t> recv_counts,
+      std::span<Narrow> send_stage, std::span<Narrow> recv_stage, int tag);
+
   /// Narrowing point-to-point send: down-converts `data` into the
   /// caller-owned `stage` and ships the narrow payload (ghost-slab halos).
   template <typename Wide, typename Narrow>
@@ -211,6 +320,28 @@ class Communicator {
   template <typename Wide, typename Narrow>
   void recv_widened(std::span<Wide> out, std::span<Narrow> stage, int src,
                     int tag);
+
+  /// Nonblocking narrowing send. The payload is narrowed and on the wire
+  /// when this returns (buffered-send contract), so the returned request is
+  /// already complete — it exists for schedule symmetry with irecv_widened.
+  template <typename Wide, typename Narrow>
+  CommRequest isend_narrowed(std::span<const Wide> data,
+                             std::span<Narrow> stage, int dest, int tag);
+
+  /// Nonblocking widening receive: registers the (src, tag) match and
+  /// returns; wait() pops the narrow payload and up-converts into `out`.
+  /// `out` (and, under a real-MPI backend, `stage`) must stay untouched
+  /// until completion.
+  template <typename Wide, typename Narrow>
+  [[nodiscard]] CommRequest irecv_widened(std::span<Wide> out,
+                                          std::span<Narrow> stage, int src,
+                                          int tag);
+
+  /// Nonblocking receive into a caller-owned buffer, the fp64 twin of
+  /// irecv_widened: wait() pops the (src, tag) payload and memcpys it into
+  /// `out` (exact size match enforced).
+  template <typename T>
+  [[nodiscard]] CommRequest irecv_into(std::span<T> out, int src, int tag);
 
   /// Fixed-count all-to-all: exactly one element to and from every rank,
   /// over caller-owned buffers of p elements each (zero allocation). This is
@@ -224,8 +355,8 @@ class Communicator {
   Communicator split(int color);
 
  private:
-  template <typename T>
-  static std::vector<std::byte> serialize(std::span<const T> data);
+  friend class CommRequest;
+
   template <typename T>
   static std::vector<T> deserialize(std::vector<std::byte> bytes);
 
@@ -239,6 +370,20 @@ class Communicator {
       std::span<const index_t> recv_counts, size_t send_size,
       size_t recv_size) const;
 
+  /// Wait-before-read enforcement: throws while a nonblocking request is
+  /// outstanding. Guards every receive, barrier, collective, and post —
+  /// but NOT plain sends (buffered sends cannot race the pending receives).
+  void check_idle() const {
+    if (pending_)
+      throw std::runtime_error(
+          "mpisim: communication attempted while a nonblocking request is "
+          "outstanding — wait() the CommRequest first");
+  }
+
+  /// Registers the deferred receives staged in pending_recvs_ and hands out
+  /// the completion handle (or a done request when nothing was deferred).
+  CommRequest finish_post(double post_time);
+
   /// Recursive-doubling scalar allreduce with any associative commutative op.
   template <typename T, typename Op>
   T allreduce_op(T value, Op op, int tag);
@@ -250,10 +395,16 @@ class Communicator {
   /// O(log p) allreduce of a packed (min, max) pair.
   void check_collective_consistent(std::int64_t value, const char* what);
 
-  std::shared_ptr<detail::SharedState> state_;
+  std::shared_ptr<Backend> backend_;
   int rank_ = 0;
+  int size_ = 1;
   Timings* timings_ = nullptr;
   TimeKind time_kind_ = TimeKind::kOther;
+
+  /// Deferred receives of the (single) outstanding request. Grow-only and
+  /// reused across posts, so warm overlapped paths allocate nothing.
+  std::vector<detail::PendingRecv> pending_recvs_;
+  bool pending_ = false;
 
   // Tags above this bound are reserved for collectives.
   static constexpr int kCollectiveTag = 1 << 20;
@@ -267,6 +418,7 @@ void Communicator::alltoall(std::span<const T> send, std::span<T> recv,
       static_cast<int>(recv.size()) != p)
     throw std::runtime_error("mpisim: alltoall needs one element per rank");
   check_collective_consistent(tag, "alltoall tag");
+  check_idle();
   timings_->add_exchange(time_kind_);
   recv[rank_] = send[rank_];
   for (int offset = 1; offset < p; ++offset) {
@@ -288,19 +440,14 @@ std::vector<Timings> run_spmd(int p,
 /// degenerate to local moves. Useful for serial drivers and microbenchmarks.
 /// `timings` must outlive the returned communicator.
 inline Communicator single_rank(Timings& timings) {
-  return Communicator(std::make_shared<detail::SharedState>(1), 0, &timings);
+  return Communicator(
+      std::make_shared<MailboxBackend>(
+          std::make_shared<detail::SharedState>(1), 0),
+      &timings);
 }
 
 // ---------------------------------------------------------------------------
 // Template implementations.
-
-template <typename T>
-std::vector<std::byte> Communicator::serialize(std::span<const T> data) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  std::vector<std::byte> bytes(data.size_bytes());
-  if (!bytes.empty()) std::memcpy(bytes.data(), data.data(), bytes.size());
-  return bytes;
-}
 
 template <typename T>
 std::vector<T> Communicator::deserialize(std::vector<std::byte> bytes) {
@@ -314,26 +461,29 @@ std::vector<T> Communicator::deserialize(std::vector<std::byte> bytes) {
 
 template <typename T>
 void Communicator::send(std::span<const T> data, int dest, int tag) {
+  static_assert(std::is_trivially_copyable_v<T>);
   ScopedTimer timer(*timings_, time_kind_);
   timings_->add_message(time_kind_, data.size_bytes());
-  state_->mailboxes[dest].push({rank_, tag, serialize(data)});
+  backend_->send_bytes(std::as_bytes(data), dest, tag);
 }
 
 template <typename T>
 std::vector<T> Communicator::recv(int src, int tag) {
+  check_idle();
   ScopedTimer timer(*timings_, time_kind_);
-  return deserialize<T>(state_->mailboxes[rank_].pop(src, tag));
+  return deserialize<T>(backend_->recv_bytes(src, tag).data);
 }
 
 template <typename T>
 void Communicator::recv_into(std::span<T> out, int src, int tag) {
   static_assert(std::is_trivially_copyable_v<T>);
+  check_idle();
   ScopedTimer timer(*timings_, time_kind_);
-  const std::vector<std::byte> bytes = state_->mailboxes[rank_].pop(src, tag);
-  if (bytes.size() != out.size_bytes())
+  const Incoming in = backend_->recv_bytes(src, tag);
+  if (in.data.size() != out.size_bytes())
     throw std::runtime_error(
         "mpisim: recv_into buffer size does not match message payload");
-  if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+  if (!in.data.empty()) std::memcpy(out.data(), in.data.data(), in.data.size());
 }
 
 template <typename T>
@@ -528,6 +678,7 @@ std::vector<std::vector<T>> Communicator::alltoallv(
   // exchange and corrupt data silently. O(log p) cost, negligible against
   // the pairwise payload exchange.
   check_collective_consistent(tag, "alltoallv tag");
+  check_idle();
   timings_->add_exchange(time_kind_);
   std::vector<std::vector<T>> recv_bufs(size());
   recv_bufs[rank_] = std::move(send_bufs[rank_]);
@@ -579,6 +730,7 @@ void Communicator::alltoallv(std::span<const T> send,
   const auto [self_send_off, self_recv_off] = check_alltoallv_counts(
       send_counts, recv_counts, send.size(), recv.size());
   check_collective_consistent(tag, "alltoallv tag");
+  check_idle();
   timings_->add_exchange(time_kind_);
 
   if (send_counts[rank_] > 0)
@@ -603,6 +755,44 @@ void Communicator::alltoallv(std::span<const T> send,
   }
 }
 
+template <typename T>
+CommRequest Communicator::ialltoallv(std::span<const T> send,
+                                     std::span<const index_t> send_counts,
+                                     std::span<T> recv,
+                                     std::span<const index_t> recv_counts,
+                                     int tag) {
+  const int p = size();
+  const auto [self_send_off, self_recv_off] = check_alltoallv_counts(
+      send_counts, recv_counts, send.size(), recv.size());
+  check_collective_consistent(tag, "alltoallv tag");
+  check_idle();
+  timings_->add_exchange(time_kind_);
+
+  if (send_counts[rank_] > 0)
+    std::memcpy(recv.data() + self_recv_off, send.data() + self_send_off,
+                static_cast<size_t>(send_counts[rank_]) * sizeof(T));
+
+  const double post_time = backend_ ? backend_->now() : 0.0;
+  for (int offset = 1; offset < p; ++offset) {
+    const int dest = (rank_ + offset) % p;
+    index_t off = 0;
+    for (int r = 0; r < dest; ++r) off += send_counts[r];
+    this->send(send.subspan(static_cast<size_t>(off),
+                            static_cast<size_t>(send_counts[dest])),
+               dest, tag);
+  }
+  pending_recvs_.clear();
+  for (int offset = 1; offset < p; ++offset) {
+    const int src = (rank_ - offset + p) % p;
+    index_t off = 0;
+    for (int r = 0; r < src; ++r) off += recv_counts[r];
+    pending_recvs_.push_back(
+        {src, tag, reinterpret_cast<std::byte*>(recv.data() + off),
+         static_cast<size_t>(recv_counts[src]) * sizeof(T), 0, nullptr});
+  }
+  return finish_post(post_time);
+}
+
 template <typename Wide, typename Narrow>
 void Communicator::alltoallv_converted(std::span<const Wide> send,
                                        std::span<const index_t> send_counts,
@@ -618,6 +808,7 @@ void Communicator::alltoallv_converted(std::span<const Wide> send,
     throw std::runtime_error(
         "mpisim: alltoallv_converted staging buffers too small");
   check_collective_consistent(tag, "alltoallv tag");
+  check_idle();
   timings_->add_exchange(time_kind_);
 
   // Self chunk: direct Wide copy (bit-exact, no staging round trip).
@@ -664,6 +855,60 @@ void Communicator::alltoallv_converted(std::span<const Wide> send,
 }
 
 template <typename Wide, typename Narrow>
+CommRequest Communicator::ialltoallv_converted(
+    std::span<const Wide> send, std::span<const index_t> send_counts,
+    std::span<Wide> recv, std::span<const index_t> recv_counts,
+    std::span<Narrow> send_stage, std::span<Narrow> recv_stage, int tag) {
+  static_assert(sizeof(Narrow) < sizeof(Wide));
+  const int p = size();
+  const auto [self_send_off, self_recv_off] = check_alltoallv_counts(
+      send_counts, recv_counts, send.size(), recv.size());
+  if (send_stage.size() < send.size() || recv_stage.size() < recv.size())
+    throw std::runtime_error(
+        "mpisim: alltoallv_converted staging buffers too small");
+  check_collective_consistent(tag, "alltoallv tag");
+  check_idle();
+  timings_->add_exchange(time_kind_);
+
+  if (send_counts[rank_] > 0)
+    std::memcpy(recv.data() + self_recv_off, send.data() + self_send_off,
+                static_cast<size_t>(send_counts[rank_]) * sizeof(Wide));
+
+  const double post_time = backend_ ? backend_->now() : 0.0;
+  for (int offset = 1; offset < p; ++offset) {
+    const int dest = (rank_ + offset) % p;
+    index_t off = 0;
+    for (int r = 0; r < dest; ++r) off += send_counts[r];
+    {
+      ScopedTimer timer(*timings_, time_kind_);
+      narrow_into(send.subspan(static_cast<size_t>(off),
+                               static_cast<size_t>(send_counts[dest])),
+                  send_stage.subspan(static_cast<size_t>(off),
+                                     static_cast<size_t>(send_counts[dest])));
+    }
+    timings_->add_saved(time_kind_,
+                        static_cast<std::uint64_t>(send_counts[dest]) *
+                            (sizeof(Wide) - sizeof(Narrow)));
+    this->send(std::span<const Narrow>(
+                   send_stage.data() + off,
+                   static_cast<size_t>(send_counts[dest])),
+               dest, tag);
+  }
+  pending_recvs_.clear();
+  for (int offset = 1; offset < p; ++offset) {
+    const int src = (rank_ - offset + p) % p;
+    index_t off = 0;
+    for (int r = 0; r < src; ++r) off += recv_counts[r];
+    pending_recvs_.push_back(
+        {src, tag, reinterpret_cast<std::byte*>(recv.data() + off),
+         static_cast<size_t>(recv_counts[src]) * sizeof(Narrow),
+         static_cast<size_t>(recv_counts[src]),
+         &detail::widen_payload<Wide, Narrow>});
+  }
+  return finish_post(post_time);
+}
+
+template <typename Wide, typename Narrow>
 void Communicator::send_narrowed(std::span<const Wide> data,
                                  std::span<Narrow> stage, int dest, int tag) {
   static_assert(sizeof(Narrow) < sizeof(Wide));
@@ -687,6 +932,49 @@ void Communicator::recv_widened(std::span<Wide> out, std::span<Narrow> stage,
   recv_into(stage.subspan(0, out.size()), src, tag);
   ScopedTimer timer(*timings_, time_kind_);
   widen_into(std::span<const Narrow>(stage.data(), out.size()), out);
+}
+
+template <typename Wide, typename Narrow>
+CommRequest Communicator::isend_narrowed(std::span<const Wide> data,
+                                         std::span<Narrow> stage, int dest,
+                                         int tag) {
+  // Buffered sends complete at post, so the "request" is already done; the
+  // narrowing + accounting are exactly the blocking call's.
+  send_narrowed(data, stage, dest, tag);
+  return CommRequest();
+}
+
+template <typename Wide, typename Narrow>
+CommRequest Communicator::irecv_widened(std::span<Wide> out,
+                                        std::span<Narrow> stage, int src,
+                                        int tag) {
+  static_assert(sizeof(Narrow) < sizeof(Wide));
+  if (stage.size() < out.size())
+    throw std::runtime_error("mpisim: recv_widened staging buffer too small");
+  check_idle();
+  const double post_time = backend_ ? backend_->now() : 0.0;
+  pending_recvs_.clear();
+  pending_recvs_.push_back({src, tag, reinterpret_cast<std::byte*>(out.data()),
+                            out.size() * sizeof(Narrow), out.size(),
+                            &detail::widen_payload<Wide, Narrow>});
+  return finish_post(post_time);
+}
+
+template <typename T>
+CommRequest Communicator::irecv_into(std::span<T> out, int src, int tag) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  check_idle();
+  const double post_time = backend_ ? backend_->now() : 0.0;
+  pending_recvs_.clear();
+  pending_recvs_.push_back({src, tag, reinterpret_cast<std::byte*>(out.data()),
+                            out.size_bytes(), 0, nullptr});
+  return finish_post(post_time);
+}
+
+inline CommRequest Communicator::finish_post(double post_time) {
+  if (pending_recvs_.empty()) return CommRequest();
+  pending_ = true;
+  return CommRequest(this, post_time, time_kind_);
 }
 
 }  // namespace diffreg::mpisim

@@ -50,6 +50,11 @@ struct TransportConfig {
   /// departure-point coordinates of a plan build stay fp64 — see
   /// interp/interp_plan.hpp).
   WirePrecision wire = WirePrecision::kF64;
+  /// Comm/compute overlap of the transport exchanges: the ghost halo packs
+  /// its second slab under the first halo's flight and the interpolation
+  /// value scatter evaluates the SELF points under the alltoallv flight.
+  /// Results and message schedule are identical either way.
+  bool overlap = false;
 };
 
 class Transport {

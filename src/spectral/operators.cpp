@@ -9,8 +9,9 @@ namespace diffreg::spectral {
 
 using fft::fft_frequency;
 
-SpectralOps::SpectralOps(grid::PencilDecomp& decomp, WirePrecision wire)
-    : decomp_(&decomp), fft_(decomp, wire) {
+SpectralOps::SpectralOps(grid::PencilDecomp& decomp, WirePrecision wire,
+                         bool overlap)
+    : decomp_(&decomp), fft_(decomp, wire, overlap) {
   const Int3 dims = decomp.dims();
   const Int3 sd = decomp.local_spectral_dims();
 

@@ -35,9 +35,12 @@ using grid::VectorField;
 class SpectralOps {
  public:
   /// `wire` is handed to the distributed FFT plan: kF32 halves the bytes of
-  /// every transpose exchange behind these operators.
+  /// every transpose exchange behind these operators. `overlap` makes the
+  /// FFT unpack its self chunk under the transpose flight (same results,
+  /// same message schedule).
   explicit SpectralOps(grid::PencilDecomp& decomp,
-                       WirePrecision wire = WirePrecision::kF64);
+                       WirePrecision wire = WirePrecision::kF64,
+                       bool overlap = false);
 
   grid::PencilDecomp& decomp() { return *decomp_; }
   fft::DistributedFft3d& fft() { return fft_; }

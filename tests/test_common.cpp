@@ -124,6 +124,40 @@ TEST(Timer, ScopedTimerMeasuresNonNegative) {
   EXPECT_GE(t.get(TimeKind::kOther), 0.0);
 }
 
+TEST(Timer, HiddenCommPlumbing) {
+  // The hidden-comm counter must ride clear/+=/max_with/timings_delta like
+  // every other Timings field, and the overlap efficiency is the hidden
+  // fraction of total wire time.
+  Timings a, b;
+  a.add(TimeKind::kFftComm, 3.0);
+  a.add_hidden(TimeKind::kFftComm, 1.0);
+  EXPECT_DOUBLE_EQ(a.hidden(TimeKind::kFftComm), 1.0);
+  EXPECT_DOUBLE_EQ(a.overlap_efficiency(TimeKind::kFftComm), 0.25);
+  EXPECT_DOUBLE_EQ(a.overlap_efficiency(TimeKind::kInterpComm), 0.0);
+
+  b.add_hidden(TimeKind::kFftComm, 0.5);
+  b.add_hidden(TimeKind::kInterpComm, 2.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.hidden(TimeKind::kFftComm), 1.5);
+  EXPECT_DOUBLE_EQ(a.hidden(TimeKind::kInterpComm), 2.0);
+
+  Timings c;
+  c.add_hidden(TimeKind::kFftComm, 9.0);
+  a.max_with(c);
+  EXPECT_DOUBLE_EQ(a.hidden(TimeKind::kFftComm), 9.0);
+  EXPECT_DOUBLE_EQ(a.hidden(TimeKind::kInterpComm), 2.0);
+
+  Timings before, after;
+  before.add_hidden(TimeKind::kInterpComm, 1.0);
+  after.add_hidden(TimeKind::kInterpComm, 4.0);
+  EXPECT_DOUBLE_EQ(timings_delta(before, after).hidden(TimeKind::kInterpComm),
+                   3.0);
+
+  a.clear();
+  EXPECT_DOUBLE_EQ(a.hidden(TimeKind::kFftComm), 0.0);
+  EXPECT_DOUBLE_EQ(a.overlap_efficiency(TimeKind::kFftComm), 0.0);
+}
+
 TEST(Timer, KindNames) {
   EXPECT_EQ(time_kind_name(TimeKind::kFftComm), "fft_comm");
   EXPECT_EQ(time_kind_name(TimeKind::kInterpExec), "interp_exec");

@@ -14,6 +14,7 @@
 #include <new>
 #include <random>
 #include <span>
+#include <utility>
 
 #include "grid/field_io.hpp"
 #include "interp/interp_plan.hpp"
@@ -649,6 +650,104 @@ TEST(InterpPlan, SteadyStateInterpolationIsAllocationFree) {
     EXPECT_EQ(single, 0) << "interpolate allocated";
     EXPECT_EQ(many, 0) << "interpolate_many allocated";
     EXPECT_EQ(rebuild, 0) << "same-size plan rebuild allocated";
+  });
+}
+
+TEST(InterpPlan, OverlapPlanMatchesBlockingBitwise) {
+  // An overlap plan evaluates the SELF points under the value alltoallv
+  // flight; every point uses the same stencil against the same ghosted
+  // block, so the results must be bit-identical to a blocking plan and the
+  // value-exchange counters must show the exact same message schedule.
+  const Int3 dims{16, 14, 12};
+  for (auto [p1, p2] : {std::pair{1, 1}, {2, 1}, {2, 2}, {3, 2}}) {
+    for (WirePrecision wire : {WirePrecision::kF64, WirePrecision::kF32}) {
+      mpisim::run_spmd(p1 * p2, [&, p1 = p1, p2 = p2](
+                                    mpisim::Communicator& comm) {
+        grid::PencilDecomp decomp(comm, dims, p1, p2);
+        grid::ScalarField field(decomp.local_real_size());
+        for (size_t i = 0; i < field.size(); ++i)
+          field[i] = static_cast<real_t>((i * 2654435761u) % 1000) / 1000;
+        // Points spread across ranks (cross-rank) plus near-cell offsets
+        // (SELF-owned), like a semi-Lagrangian displacement field.
+        std::vector<Vec3> pts;
+        std::mt19937 rng(41 + comm.rank());
+        std::uniform_real_distribution<real_t> dist(0, kTwoPi);
+        for (int k = 0; k < 64; ++k)
+          pts.push_back({dist(rng), dist(rng), dist(rng)});
+
+        grid::GhostExchange gx(decomp, kGhostWidth);
+        InterpPlan blocking(decomp, pts, wire);
+        InterpPlan overlapped(decomp, pts, wire, /*overlap=*/true);
+        EXPECT_TRUE(overlapped.overlap());
+
+        std::vector<real_t> out_b(pts.size()), out_o(pts.size());
+        comm.timings().clear();
+        const Timings t0 = comm.timings();
+        blocking.interpolate(gx, field, out_b);
+        const Timings t1 = comm.timings();
+        overlapped.interpolate(gx, field, out_o);
+        const Timings t2 = comm.timings();
+
+        for (size_t k = 0; k < pts.size(); ++k)
+          ASSERT_EQ(out_b[k], out_o[k]) << "k=" << k;
+
+        const Timings db = timings_delta(t0, t1);
+        const Timings dn = timings_delta(t1, t2);
+        EXPECT_EQ(db.exchanges(TimeKind::kInterpComm),
+                  dn.exchanges(TimeKind::kInterpComm));
+        EXPECT_EQ(db.messages(TimeKind::kInterpComm),
+                  dn.messages(TimeKind::kInterpComm));
+        EXPECT_EQ(db.bytes(TimeKind::kInterpComm),
+                  dn.bytes(TimeKind::kInterpComm));
+        EXPECT_EQ(db.saved_bytes(TimeKind::kInterpComm),
+                  dn.saved_bytes(TimeKind::kInterpComm));
+        EXPECT_EQ(db.hidden(TimeKind::kInterpComm), 0.0);
+      });
+    }
+  }
+}
+
+TEST(InterpPlan, OverlapBatchedManyMatchesBlockingBitwise) {
+  // The batched three-component path under overlap: one nonblocking value
+  // exchange for the whole batch, bit-identical outputs.
+  const Int3 dims{12, 12, 12};
+  mpisim::run_spmd(4, [&](mpisim::Communicator& comm) {
+    grid::PencilDecomp decomp(comm, dims, 2, 2);
+    const index_t n = decomp.local_real_size();
+    std::vector<real_t> fields[3];
+    for (int c = 0; c < 3; ++c) {
+      fields[c].resize(n);
+      for (index_t i = 0; i < n; ++i)
+        fields[c][i] =
+            static_cast<real_t>(((i + 17 * c) * 2654435761u) % 997) / 997;
+    }
+    std::vector<Vec3> pts;
+    std::mt19937 rng(7 + comm.rank());
+    std::uniform_real_distribution<real_t> dist(0, kTwoPi);
+    for (int k = 0; k < 50; ++k)
+      pts.push_back({dist(rng), dist(rng), dist(rng)});
+
+    grid::GhostExchange gx(decomp, kGhostWidth);
+    InterpPlan blocking(decomp, pts);
+    InterpPlan overlapped(decomp, pts, WirePrecision::kF64, /*overlap=*/true);
+    const real_t* fptrs[3] = {fields[0].data(), fields[1].data(),
+                              fields[2].data()};
+    std::vector<real_t> out_b[3], out_o[3];
+    real_t* optrs_b[3];
+    real_t* optrs_o[3];
+    for (int c = 0; c < 3; ++c) {
+      out_b[c].assign(pts.size(), -1);
+      out_o[c].assign(pts.size(), -1);
+      optrs_b[c] = out_b[c].data();
+      optrs_o[c] = out_o[c].data();
+    }
+    blocking.interpolate_many(gx, std::span<const real_t* const>(fptrs, 3),
+                              std::span<real_t* const>(optrs_b, 3));
+    overlapped.interpolate_many(gx, std::span<const real_t* const>(fptrs, 3),
+                                std::span<real_t* const>(optrs_o, 3));
+    for (int c = 0; c < 3; ++c)
+      for (size_t k = 0; k < pts.size(); ++k)
+        ASSERT_EQ(out_b[c][k], out_o[c][k]) << "c=" << c << " k=" << k;
   });
 }
 
