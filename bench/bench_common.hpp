@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <string>
 
 #include "core/diffreg.hpp"
@@ -83,9 +84,14 @@ struct FftCaseResult {
   Timings agg;  // sum over ranks; normalize by 2 * reps * p for per-rank
 };
 
+/// `guard` adds the --guard validate_finite sweep after every transform (the
+/// granularity the solver uses), so the "guard" bench leg prices the
+/// safeguard on the hottest kernel. The sweep's allreduce self-charges to
+/// kOther, so the published kFftComm counters match the unguarded leg.
 inline FftCaseResult run_fft_trajectory_case(index_t n, int p, int reps,
                                              WirePrecision wire,
-                                             bool overlap = false) {
+                                             bool overlap = false,
+                                             bool guard = false) {
   FftCaseResult out;
   const Int3 dims{n, n, n};
   double fwd_max = 0, inv_max = 0;
@@ -96,16 +102,26 @@ inline FftCaseResult run_fft_trajectory_case(index_t n, int p, int reps,
     for (index_t i = 0; i < fft.local_real_size(); ++i)
       x[i] = static_cast<real_t>((i * 2654435761u) % 1000) / 1000.0;
     std::vector<complex_t> spec(fft.local_spectral_size());
+    const auto spec_as_real = [&] {
+      return std::span<const real_t>(
+          reinterpret_cast<const real_t*>(spec.data()), 2 * spec.size());
+    };
 
     fft.forward(x, spec);  // warm-up
     fft.inverse(spec, x);
     comm.timings().clear();
 
     WallTimer t;
-    for (int r = 0; r < reps; ++r) fft.forward(x, spec);
+    for (int r = 0; r < reps; ++r) {
+      fft.forward(x, spec);
+      if (guard) grid::validate_finite(decomp, spec_as_real(), "fft forward");
+    }
     const double fwd = t.seconds() / reps;
     t.reset();
-    for (int r = 0; r < reps; ++r) fft.inverse(spec, x);
+    for (int r = 0; r < reps; ++r) {
+      fft.inverse(spec, x);
+      if (guard) grid::validate_finite(decomp, x, "fft inverse");
+    }
     const double inv = t.seconds() / reps;
 
     static std::mutex mu;
@@ -131,10 +147,14 @@ struct SemilagCaseResult {
   Timings matvec_agg;
 };
 
+/// `guard` mirrors the solver's --guard sweep cadence on the transport path:
+/// one validate_finite per timed solve/matvec/interp result. Its allreduce
+/// self-charges to kOther, keeping the kInterpComm counters comparable.
 inline SemilagCaseResult run_semilag_trajectory_case(index_t n, int p,
                                                      int reps,
                                                      WirePrecision wire,
-                                                     bool overlap = false) {
+                                                     bool overlap = false,
+                                                     bool guard = false) {
   SemilagCaseResult out;
   const Int3 dims{n, n, n};
   double build_max = 0, state_max = 0, matvec_max = 0, vec3_max = 0;
@@ -171,7 +191,12 @@ inline SemilagCaseResult run_semilag_trajectory_case(index_t n, int p,
     const double build = t.seconds() / reps;
 
     t.reset();
-    for (int r = 0; r < reps; ++r) transport.solve_state(rho0);
+    for (int r = 0; r < reps; ++r) {
+      transport.solve_state(rho0);
+      if (guard)
+        grid::validate_finite(decomp, transport.final_state(),
+                              "transport state");
+    }
     const double state = t.seconds() / reps;
 
     const Timings before = comm.timings();
@@ -179,13 +204,16 @@ inline SemilagCaseResult run_semilag_trajectory_case(index_t n, int p,
     for (int r = 0; r < reps; ++r) {
       transport.solve_incremental_state(w, rho_tilde1);
       transport.solve_incremental_adjoint_gn(rho_tilde1, b);
+      if (guard) grid::validate_finite(decomp, b, "gn matvec integrand");
     }
     const double matvec = t.seconds() / reps;
     const Timings matvec_delta = timings_delta(before, comm.timings());
 
     t.reset();
-    for (int r = 0; r < reps; ++r)
+    for (int r = 0; r < reps; ++r) {
       transport.interp_vec_at_forward_points(w, vec_out);
+      if (guard) grid::validate_finite(decomp, vec_out, "vec3 interp");
+    }
     const double vec3 = t.seconds() / reps;
 
     std::scoped_lock lock(mu);

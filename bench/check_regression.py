@@ -66,9 +66,57 @@ def record_key(record):
     return tuple((k, record[k]) for k in IDENTITY_KEYS if k in record)
 
 
-def load_records(path):
-    with open(path) as f:
-        doc = json.load(f)
+FIELD_CLASS_DESC = {
+    "identity": "identity key (matches records, never gated)",
+    "time": "wall time (--time-tolerance)",
+    "iters": "iteration count (--iters-tolerance)",
+    "wire_bytes": "wire byte counter (exact, any growth fails)",
+    "bytes": "byte counter (--bytes-tolerance)",
+    "ratio": "ratio (absolute drop beyond --ratio-tolerance fails)",
+    "converged": "convergence flag (exact in both directions)",
+    "counter": "comm counter (exact, any growth fails)",
+}
+
+
+def field_class(field):
+    """Gate class of a record field (see the module docstring). The compare
+    loop dispatches on this, so --list-fields prints exactly what the gate
+    will do."""
+    if field in IDENTITY_KEYS:
+        return "identity"
+    if field.endswith(TIME_SUFFIX):
+        return "time"
+    if field.endswith(ITERS_SUFFIX):
+        return "iters"
+    if field.endswith(WIRE_BYTES_SUFFIX):
+        return "wire_bytes"
+    if "bytes" in field:
+        return "bytes"
+    if field.endswith(RATIO_SUFFIX):
+        return "ratio"
+    if field.endswith("_converged"):
+        return "converged"
+    return "counter"
+
+
+def load_records(path, failures):
+    """Parses one bench JSON; on failure appends a one-line error naming the
+    file to `failures` and returns None (a truncated or corrupt bench output
+    must read as a gate failure, not a crash)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        failures.append(f"cannot read bench JSON {path}: {e.strerror or e}")
+        return None
+    except json.JSONDecodeError as e:
+        failures.append(f"corrupt bench JSON {path}: line {e.lineno}: "
+                        f"{e.msg}")
+        return None
+    if not isinstance(doc, dict):
+        failures.append(f"corrupt bench JSON {path}: top level is not an "
+                        "object")
+        return None
     records = {}
     for rec in doc.get("records", []):
         records[record_key(rec)] = rec
@@ -76,10 +124,34 @@ def load_records(path):
             doc.get("flags", "default"), records)
 
 
+def list_fields(paths, failures):
+    """Prints every record's identity and a field -> gate-class table, so a
+    baseline refresh can be reviewed without reading the gate logic."""
+    for path in paths:
+        loaded = load_records(path, failures)
+        if loaded is None:
+            continue
+        bench, flags, records = loaded
+        print(f"{path}: bench={bench} flags={flags} "
+              f"({len(records)} record(s))")
+        for key, rec in sorted(records.items()):
+            ident = ", ".join(f"{k}={v}" for k, v in key)
+            print(f"  record ({ident})")
+            for field in rec:
+                cls = field_class(field)
+                if cls == "identity":
+                    continue
+                print(f"    {field}: {FIELD_CLASS_DESC[cls]}")
+
+
 def compare_file(current_path, baseline_path, time_tol, bytes_tol, iters_tol,
                  ratio_tol, failures, notes):
-    bench, cur_flags, current = load_records(current_path)
-    _, base_flags, baseline = load_records(baseline_path)
+    cur_loaded = load_records(current_path, failures)
+    base_loaded = load_records(baseline_path, failures)
+    if cur_loaded is None or base_loaded is None:
+        return
+    bench, cur_flags, current = cur_loaded
+    _, base_flags, baseline = base_loaded
     compare_times = cur_flags == base_flags
     if not compare_times:
         notes.append(
@@ -109,14 +181,15 @@ def compare_file(current_path, baseline_path, time_tol, bytes_tol, iters_tol,
                          "refresh bench/baselines/")
             continue
         for field, cur_val in cur.items():
-            if field in IDENTITY_KEYS or not isinstance(cur_val, (int, float)):
+            cls = field_class(field)
+            if cls == "identity" or not isinstance(cur_val, (int, float)):
                 continue
             base_val = base.get(field)
             if base_val is None:
                 notes.append(f"{bench} ({ident}): field {field} missing from "
                              "baseline")
                 continue
-            if field.endswith(TIME_SUFFIX):
+            if cls == "time":
                 if not compare_times:
                     continue
                 limit = base_val * (1.0 + time_tol)
@@ -130,7 +203,7 @@ def compare_file(current_path, baseline_path, time_tol, bytes_tol, iters_tol,
                         f"{bench} ({ident}): {field} improved "
                         f"{base_val:.3f} -> {cur_val:.3f} ms; consider "
                         "refreshing the baseline")
-            elif field.endswith(ITERS_SUFFIX):
+            elif cls == "iters":
                 # Iteration counts wobble across compilers (FMA contraction
                 # shifts PCG breakdown points); a real conditioning
                 # regression blows far past this tolerance.
@@ -145,7 +218,7 @@ def compare_file(current_path, baseline_path, time_tol, bytes_tol, iters_tol,
                         f"{bench} ({ident}): iteration count {field} "
                         f"dropped {base_val} -> {cur_val}; refresh the "
                         "baseline to lock in the win")
-            elif field.endswith(WIRE_BYTES_SUFFIX):
+            elif cls == "wire_bytes":
                 # Deterministic wire/saved byte counters (the fp32 wire
                 # format halves these; any growth is a format regression).
                 if cur_val > base_val:
@@ -157,7 +230,7 @@ def compare_file(current_path, baseline_path, time_tol, bytes_tol, iters_tol,
                         f"{bench} ({ident}): wire byte counter {field} "
                         f"dropped {base_val} -> {cur_val}; refresh the "
                         "baseline to lock in the win")
-            elif "bytes" in field:
+            elif cls == "bytes":
                 # Byte volume is data-dependent at the margin (departure
                 # point ownership is a floating-point classification).
                 limit = base_val * (1.0 + bytes_tol)
@@ -166,7 +239,7 @@ def compare_file(current_path, baseline_path, time_tol, bytes_tol, iters_tol,
                         f"{bench} ({ident}): byte counter {field} grew "
                         f"{base_val} -> {cur_val} (limit {limit:.0f}, "
                         f"tolerance {bytes_tol:.0%})")
-            elif field.endswith(RATIO_SUFFIX):
+            elif cls == "ratio":
                 # Overlap-efficiency style fractions: regressing means the
                 # nonblocking legs stopped hiding wire time. Absolute
                 # tolerance (the fraction is noisy under oversubscription);
@@ -181,7 +254,7 @@ def compare_file(current_path, baseline_path, time_tol, bytes_tol, iters_tol,
                         f"{bench} ({ident}): ratio {field} improved "
                         f"{base_val:.3f} -> {cur_val:.3f}; consider "
                         "refreshing the baseline")
-            elif field.endswith("_converged"):
+            elif cls == "converged":
                 # Convergence flags must match exactly in BOTH directions: a
                 # solve that stops converging is a regression even though
                 # the value *decreased*.
@@ -226,7 +299,17 @@ def main():
                              "(default 0.25; env BENCH_RATIO_TOLERANCE)")
     parser.add_argument("--allow-missing", action="store_true",
                         help="do not fail when a baseline file is absent")
+    parser.add_argument("--list-fields", action="store_true",
+                        help="print each record's identity and a field -> "
+                             "gate-class table instead of comparing")
     args = parser.parse_args()
+
+    if args.list_fields:
+        failures = []
+        list_fields(args.current, failures)
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        return 1 if failures else 0
 
     failures, notes = [], []
     for current_path in args.current:

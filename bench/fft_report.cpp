@@ -27,6 +27,7 @@ struct Record {
   index_t n = 0;
   int p = 0;
   bool overlap = false;
+  bool guard = false;
   double forward_ms = 0;
   double inverse_ms = 0;
   double hidden_ratio = 0;  // hidden / (hidden + timed) FFT comm time
@@ -36,13 +37,14 @@ struct Record {
 };
 
 Record run_case(index_t n, int p, int reps, WirePrecision wire,
-                bool overlap = false) {
+                bool overlap = false, bool guard = false) {
   Record rec;
   rec.n = n;
   rec.p = p;
   rec.overlap = overlap;
+  rec.guard = guard;
   const bench::FftCaseResult res =
-      bench::run_fft_trajectory_case(n, p, reps, wire, overlap);
+      bench::run_fft_trajectory_case(n, p, reps, wire, overlap, guard);
   rec.forward_ms = res.forward_ms;
   rec.inverse_ms = res.inverse_ms;
   // Per-rank, per-transform averages, so records are comparable across rank
@@ -79,6 +81,13 @@ int main(int argc, char** argv) {
   // their identity distinct from the blocking records).
   records.push_back(run_case(32, 4, 10, wire, /*overlap=*/true));
   records.push_back(run_case(64, 4, 3, wire, /*overlap=*/true));
+  // Guard legs of the multi-rank cases: one collective validate_finite
+  // sweep per transform, pricing the --guard safeguard on the hottest
+  // kernel ("case": "guard"). Comm counters must match the base records.
+  records.push_back(run_case(32, 4, 10, wire, /*overlap=*/false,
+                             /*guard=*/true));
+  records.push_back(run_case(64, 4, 3, wire, /*overlap=*/false,
+                             /*guard=*/true));
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
@@ -95,6 +104,8 @@ int main(int argc, char** argv) {
       std::snprintf(extra, sizeof extra,
                     "\"case\": \"overlap\", \"hidden_comm_ratio\": %.4f, ",
                     r.hidden_ratio);
+    else if (r.guard)
+      std::snprintf(extra, sizeof extra, "\"case\": \"guard\", ");
     std::fprintf(f,
                  "    {%s\"size\": %lld, \"ranks\": %d, \"forward_ms\": %.4f, "
                  "\"inverse_ms\": %.4f, \"comm_bytes_per_rank_transform\": "
@@ -111,9 +122,10 @@ int main(int argc, char** argv) {
 
   for (const Record& r : records)
     std::printf(
-        "fft %lld^3 p=%d%s: forward %.3f ms, inverse %.3f ms, "
+        "fft %lld^3 p=%d%s%s: forward %.3f ms, inverse %.3f ms, "
         "%llu B / %llu msgs / %llu exchanges per rank per transform\n",
         static_cast<long long>(r.n), r.p, r.overlap ? " overlap" : "",
+        r.guard ? " guard" : "",
         r.forward_ms, r.inverse_ms,
         static_cast<unsigned long long>(r.comm_bytes),
         static_cast<unsigned long long>(r.comm_messages),

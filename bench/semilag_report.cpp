@@ -35,6 +35,7 @@ struct Record {
   double matvec_ms = 0;       // incr. state + GN incr. adjoint transports
   double interp_vec3_ms = 0;  // one batched 3-component interpolation
   bool overlap = false;
+  bool guard = false;
   double hidden_ratio = 0;  // hidden / (hidden + timed) interp comm time
   std::uint64_t comm_bytes = 0;     // interp comm per rank per matvec
   std::uint64_t comm_messages = 0;
@@ -42,13 +43,14 @@ struct Record {
 };
 
 Record run_case(index_t n, int p, int reps, WirePrecision wire,
-                bool overlap = false) {
+                bool overlap = false, bool guard = false) {
   Record rec;
   rec.n = n;
   rec.p = p;
   rec.overlap = overlap;
+  rec.guard = guard;
   const bench::SemilagCaseResult res =
-      bench::run_semilag_trajectory_case(n, p, reps, wire, overlap);
+      bench::run_semilag_trajectory_case(n, p, reps, wire, overlap, guard);
   rec.plan_build_ms = res.plan_build_ms;
   rec.state_ms = res.state_ms;
   rec.matvec_ms = res.matvec_ms;
@@ -87,6 +89,13 @@ int main(int argc, char** argv) {
   // ("case": "overlap" keeps their identity distinct).
   records.push_back(run_case(32, 4, 5, wire, /*overlap=*/true));
   records.push_back(run_case(64, 4, 2, wire, /*overlap=*/true));
+  // Guard legs of the multi-rank cases: one collective validate_finite per
+  // timed solve/matvec/interp, pricing the --guard safeguard on the
+  // transport path ("case": "guard"). Comm counters must match the base.
+  records.push_back(run_case(32, 4, 5, wire, /*overlap=*/false,
+                             /*guard=*/true));
+  records.push_back(run_case(64, 4, 2, wire, /*overlap=*/false,
+                             /*guard=*/true));
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
@@ -103,6 +112,8 @@ int main(int argc, char** argv) {
       std::snprintf(extra, sizeof extra,
                     "\"case\": \"overlap\", \"hidden_comm_ratio\": %.4f, ",
                     r.hidden_ratio);
+    else if (r.guard)
+      std::snprintf(extra, sizeof extra, "\"case\": \"guard\", ");
     std::fprintf(
         f,
         "    {%s\"size\": %lld, \"ranks\": %d, \"plan_build_ms\": %.4f, "
@@ -122,10 +133,11 @@ int main(int argc, char** argv) {
 
   for (const Record& r : records)
     std::printf(
-        "semilag %lld^3 p=%d%s: plan build %.3f ms, state %.3f ms, matvec "
+        "semilag %lld^3 p=%d%s%s: plan build %.3f ms, state %.3f ms, matvec "
         "%.3f ms, vec3 interp %.3f ms, %llu B / %llu msgs / %llu exchanges "
         "per rank per matvec\n",
         static_cast<long long>(r.n), r.p, r.overlap ? " overlap" : "",
+        r.guard ? " guard" : "",
         r.plan_build_ms, r.state_ms,
         r.matvec_ms, r.interp_vec3_ms,
         static_cast<unsigned long long>(r.comm_bytes),

@@ -35,6 +35,9 @@ struct CliOptions {
   core::ContinuationOptions cont;
   core::MultilevelOptions multi;
   bool multilevel = false;  // set by --levels N with N > 1
+  // Fault-tolerant runtime (docs/FAULT_MODEL.md).
+  std::string fault_spec;       // --fault-spec, forwarded to run_spmd
+  double comm_timeout_ms = 0;   // --comm-timeout-ms, 0 = watchdog off
 };
 
 void print_usage() {
@@ -75,6 +78,19 @@ void print_usage() {
       "  --precond-iters N    inner CG sweeps of the coarse Hessian solve "
       "(default 5)\n"
       "  --out PREFIX         write deformed/residual/det volumes + slices\n"
+      "  --guard M            on | off (default off); collective finite\n"
+      "                       sweeps per Newton iterate plus line-search,\n"
+      "                       PCG-breakdown and mixed-precision recovery\n"
+      "  --comm-timeout-ms T  comm watchdog: blocking receives/barriers\n"
+      "                       raise CommTimeoutError with a per-rank\n"
+      "                       diagnosis after T ms (default 0 = off)\n"
+      "  --fault-spec S       fault injection for robustness testing, e.g.\n"
+      "                       \"seed=7,drop=0.01,delay_ms=5\" (see\n"
+      "                       docs/FAULT_MODEL.md for the full grammar)\n"
+      "  --checkpoint PATH    checkpoint file (default diffreg.ckpt)\n"
+      "  --checkpoint-every N write a checkpoint every N accepted Newton\n"
+      "                       iterates and at every level end\n"
+      "  --resume PATH        warm-restart a killed run from a checkpoint\n"
       "  --verbose            per-iteration Newton log\n"
       "  --help               this message\n");
 }
@@ -204,6 +220,41 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       opt.out_prefix = v;
+    } else if (flag == "--guard") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      if (std::strcmp(v, "on") == 0)
+        opt.reg.guard = true;
+      else if (std::strcmp(v, "off") == 0)
+        opt.reg.guard = false;
+      else {
+        std::fprintf(stderr, "error: --guard must be on or off\n");
+        return std::nullopt;
+      }
+    } else if (flag == "--comm-timeout-ms") {
+      const char* v = next();
+      if (!v || (opt.comm_timeout_ms = std::atof(v)) < 0) {
+        std::fprintf(stderr, "error: bad --comm-timeout-ms\n");
+        return std::nullopt;
+      }
+    } else if (flag == "--fault-spec") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.fault_spec = v;
+    } else if (flag == "--checkpoint") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.multi.checkpoint_path = v;
+    } else if (flag == "--checkpoint-every") {
+      const char* v = next();
+      if (!v || (opt.multi.checkpoint_every = std::atoi(v)) < 1) {
+        std::fprintf(stderr, "error: bad --checkpoint-every\n");
+        return std::nullopt;
+      }
+    } else if (flag == "--resume") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.multi.resume_path = v;
     } else if (flag == "--verbose") {
       opt.reg.verbose = true;
     } else {
@@ -217,6 +268,16 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     std::fprintf(stderr, "error: --template and --reference go together\n");
     return std::nullopt;
   }
+  // Checkpoint/restart runs through the multilevel driver (a single level
+  // is both the coarsest and the finest), so the flags imply it.
+  if (!opt.multi.checkpoint_path.empty() && opt.multi.checkpoint_every == 0)
+    opt.multi.checkpoint_every = 1;
+  if (opt.multi.checkpoint_every > 0 && opt.multi.checkpoint_path.empty())
+    opt.multi.checkpoint_path = "diffreg.ckpt";
+  if (opt.multi.checkpoint_every > 0 || !opt.multi.resume_path.empty()) {
+    if (!opt.multilevel) opt.multi.levels = 1;
+    opt.multilevel = true;
+  }
   return opt;
 }
 
@@ -228,7 +289,10 @@ int main(int argc, char** argv) {
   const CliOptions opt = *parsed;
 
   int exit_code = 0;
-  mpisim::run_spmd(opt.ranks, [&](mpisim::Communicator& comm) {
+  mpisim::SpmdOptions spmd;
+  spmd.fault_spec = opt.fault_spec;
+  spmd.comm_timeout_ms = opt.comm_timeout_ms;
+  const auto body = [&](mpisim::Communicator& comm) {
     grid::PencilDecomp decomp(comm, opt.dims);
     spectral::SpectralOps ops(decomp);
     const bool root = comm.is_root();
@@ -370,6 +434,15 @@ int main(int argc, char** argv) {
         std::printf("wrote %s_{deformed,residual,det}.{raw,mhd,pgm}\n",
                     opt.out_prefix.c_str());
     }
-  });
+  };
+  try {
+    mpisim::run_spmd(opt.ranks, body, spmd);
+  } catch (const std::exception& e) {
+    // Structured failure path: watchdog timeouts, integrity violations,
+    // injected crashes and checkpoint errors all land here with their
+    // diagnosis in what() instead of hanging the run.
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  }
   return exit_code;
 }

@@ -7,8 +7,17 @@ Logger& Logger::instance() {
   return logger;
 }
 
-void Logger::log(LogLevel level, const std::string& message) {
-  if (level < level_) return;
+void Logger::set_sink(Sink sink) {
+  std::scoped_lock lock(mutex_);
+  sink_ = std::move(sink);
+  rated_counts_.clear();
+}
+
+void Logger::emit(LogLevel level, const std::string& message) {
+  if (sink_) {
+    sink_(level, message);
+    return;
+  }
   const char* tag = "";
   switch (level) {
     case LogLevel::kDebug:
@@ -26,8 +35,25 @@ void Logger::log(LogLevel level, const std::string& message) {
     case LogLevel::kOff:
       return;
   }
-  std::scoped_lock lock(mutex_);
   std::fprintf(stderr, "%s%s\n", tag, message.c_str());
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (level < level_ || level == LogLevel::kOff) return;
+  std::scoped_lock lock(mutex_);
+  emit(level, message);
+}
+
+void Logger::log_rated(LogLevel level, const std::string& key,
+                       const std::string& message) {
+  if (level < level_ || level == LogLevel::kOff) return;
+  std::scoped_lock lock(mutex_);
+  const int count = ++rated_counts_[key];
+  if (count > kRatedLimit) return;
+  if (count == kRatedLimit)
+    emit(level, message + " (suppressing further '" + key + "' messages)");
+  else
+    emit(level, message);
 }
 
 void log_info(const std::string& message) {
@@ -41,6 +67,9 @@ void log_error(const std::string& message) {
 }
 void log_debug(const std::string& message) {
   Logger::instance().log(LogLevel::kDebug, message);
+}
+void log_warn_rated(const std::string& key, const std::string& message) {
+  Logger::instance().log_rated(LogLevel::kWarn, key, message);
 }
 
 }  // namespace diffreg

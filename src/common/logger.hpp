@@ -1,8 +1,13 @@
 // Minimal thread-safe logger. Rank 0 of an SPMD run typically owns stdout;
-// other ranks stay quiet unless explicitly enabled.
+// other ranks stay quiet unless explicitly enabled. Supports an injectable
+// sink (tests capture warnings instead of scraping stderr) and per-key
+// rate-limited warnings for conditions that can fire once per message on a
+// hot path (e.g. the CommRequest drain-on-destroy warning).
 #pragma once
 
 #include <cstdio>
+#include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 
@@ -12,22 +17,46 @@ enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
 
 class Logger {
  public:
+  /// Replacement output target; called with the level and the raw message
+  /// (no level tag) under the logger mutex.
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
   static Logger& instance();
 
   void set_level(LogLevel level) { level_ = level; }
   LogLevel level() const { return level_; }
 
+  /// Routes output to `sink` instead of stderr; pass nullptr to restore
+  /// stderr. Installing a sink also resets the rate-limit counters so a
+  /// test capturing warnings starts from a clean slate.
+  void set_sink(Sink sink);
+
   void log(LogLevel level, const std::string& message);
+
+  /// Rate-limited log: at most kRatedLimit emissions per `key`, then one
+  /// final suppression notice. Keys are small and stable (e.g.
+  /// "mpisim.commrequest.drain"), so the map stays tiny.
+  void log_rated(LogLevel level, const std::string& key,
+                 const std::string& message);
 
  private:
   Logger() = default;
+
+  static constexpr int kRatedLimit = 3;
+
+  void emit(LogLevel level, const std::string& message);
+
   LogLevel level_ = LogLevel::kInfo;
   std::mutex mutex_;
+  Sink sink_;
+  std::map<std::string, int> rated_counts_;
 };
 
 void log_info(const std::string& message);
 void log_warn(const std::string& message);
 void log_error(const std::string& message);
 void log_debug(const std::string& message);
+/// Rate-limited warning (Logger::log_rated at kWarn).
+void log_warn_rated(const std::string& key, const std::string& message);
 
 }  // namespace diffreg

@@ -125,6 +125,11 @@ class Timings {
     for (auto b : saved_bytes_) sum += b;
     return sum;
   }
+  std::uint64_t total_exchanges() const {
+    std::uint64_t sum = 0;
+    for (auto e : exchanges_) sum += e;
+    return sum;
+  }
 
   void clear() {
     seconds_.fill(0.0);

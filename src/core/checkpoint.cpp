@@ -1,0 +1,209 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "grid/field_io.hpp"
+
+namespace diffreg::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'R', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+/// Fixed-layout on-disk header (trivially copyable, broadcastable).
+struct WireHeader {
+  char magic[4];
+  std::uint32_t version;
+  std::int64_t fine[3];
+  std::int64_t level[3];
+  double beta;
+  double beta_override;
+  double gradient_reference;
+  std::int32_t admissible;
+  std::int32_t newton_iters_done;
+};
+
+WireHeader to_wire(const CheckpointHeader& h) {
+  WireHeader w{};
+  std::memcpy(w.magic, kMagic, sizeof kMagic);
+  w.version = kVersion;
+  for (int d = 0; d < 3; ++d) {
+    w.fine[d] = h.fine_dims[d];
+    w.level[d] = h.level_dims[d];
+  }
+  w.beta = h.beta;
+  w.beta_override = h.beta_override;
+  w.gradient_reference = h.gradient_reference;
+  w.admissible = h.admissible ? 1 : 0;
+  w.newton_iters_done = h.newton_iters_done;
+  return w;
+}
+
+CheckpointHeader from_wire(const WireHeader& w) {
+  CheckpointHeader h;
+  for (int d = 0; d < 3; ++d) {
+    h.fine_dims[d] = w.fine[d];
+    h.level_dims[d] = w.level[d];
+  }
+  h.beta = w.beta;
+  h.beta_override = w.beta_override;
+  h.gradient_reference = w.gradient_reference;
+  h.admissible = w.admissible != 0;
+  h.newton_iters_done = w.newton_iters_done;
+  return h;
+}
+
+// Root-side I/O status codes, broadcast so every rank converges on the same
+// success-or-throw decision (a one-sided throw would hang the collective).
+enum : std::int32_t {
+  kOk = 0,
+  kCannotOpen,
+  kTruncatedHeader,
+  kBadMagic,
+  kBadDims,
+  kTruncatedPayload,
+  kWriteFailed,
+};
+
+const char* status_message(std::int32_t status) {
+  switch (status) {
+    case kCannotOpen:
+      return "cannot open checkpoint file";
+    case kTruncatedHeader:
+      return "checkpoint header truncated";
+    case kBadMagic:
+      return "not a checkpoint file (bad magic or version)";
+    case kBadDims:
+      return "checkpoint grid dims are invalid or do not match";
+    case kTruncatedPayload:
+      return "checkpoint velocity payload truncated";
+    case kWriteFailed:
+      return "cannot write checkpoint file";
+    default:
+      return "checkpoint I/O failed";
+  }
+}
+
+/// Broadcasts rank 0's status and throws CheckpointError everywhere on
+/// failure, naming the path.
+void agree_or_throw(mpisim::Communicator& comm, std::int32_t status,
+                    const std::string& path) {
+  std::vector<std::int32_t> wire{status};
+  comm.set_time_kind(TimeKind::kOther);
+  comm.broadcast(wire, 0);
+  if (wire[0] != kOk)
+    throw CheckpointError(std::string(status_message(wire[0])) + ": " + path);
+}
+
+/// Root-side header read; returns the status and fills `header` on success.
+std::int32_t read_header_root(std::FILE* f, WireHeader& header) {
+  if (std::fread(&header, sizeof header, 1, f) != 1) return kTruncatedHeader;
+  if (std::memcmp(header.magic, kMagic, sizeof kMagic) != 0 ||
+      header.version != kVersion)
+    return kBadMagic;
+  for (int d = 0; d < 3; ++d)
+    if (header.level[d] <= 0 || header.fine[d] <= 0) return kBadDims;
+  return kOk;
+}
+
+}  // namespace
+
+void write_checkpoint(grid::PencilDecomp& level_decomp,
+                      const CheckpointHeader& header,
+                      const grid::VectorField& velocity,
+                      const std::string& path) {
+  // Gather all three components first: the gathers are collective, so they
+  // must complete on every rank before the root-only I/O outcome decides
+  // whether to throw.
+  std::vector<real_t> full[3];
+  for (int d = 0; d < 3; ++d)
+    full[d] = grid::gather_to_root(level_decomp,
+                                   std::span<const real_t>(velocity[d]));
+
+  std::int32_t status = kOk;
+  mpisim::Communicator& comm = level_decomp.comm();
+  if (comm.is_root()) {
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+      status = kCannotOpen;
+    } else {
+      const WireHeader wire = to_wire(header);
+      bool ok = std::fwrite(&wire, sizeof wire, 1, f) == 1;
+      for (int d = 0; ok && d < 3; ++d)
+        ok = std::fwrite(full[d].data(), sizeof(real_t), full[d].size(), f) ==
+             full[d].size();
+      ok = std::fclose(f) == 0 && ok;
+      // The rename is what makes the write atomic: a crash before this
+      // point leaves the previous checkpoint untouched.
+      if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+      if (!ok) {
+        std::remove(tmp.c_str());
+        status = kWriteFailed;
+      }
+    }
+  }
+  agree_or_throw(comm, status, path);
+}
+
+CheckpointHeader read_checkpoint_header(mpisim::Communicator& comm,
+                                        const std::string& path) {
+  WireHeader wire{};
+  std::int32_t status = kOk;
+  if (comm.is_root()) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+      status = kCannotOpen;
+    } else {
+      status = read_header_root(f, wire);
+      std::fclose(f);
+    }
+  }
+  agree_or_throw(comm, status, path);
+  std::vector<WireHeader> bcast{wire};
+  comm.set_time_kind(TimeKind::kOther);
+  comm.broadcast(bcast, 0);
+  return from_wire(bcast[0]);
+}
+
+grid::VectorField read_checkpoint_velocity(grid::PencilDecomp& level_decomp,
+                                           const std::string& path) {
+  mpisim::Communicator& comm = level_decomp.comm();
+  const index_t full_size = level_decomp.dims().prod();
+  std::vector<real_t> full[3];
+  std::int32_t status = kOk;
+  if (comm.is_root()) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+      status = kCannotOpen;
+    } else {
+      WireHeader wire{};
+      status = read_header_root(f, wire);
+      if (status == kOk) {
+        const Int3 stored{wire.level[0], wire.level[1], wire.level[2]};
+        if (!(stored == level_decomp.dims())) status = kBadDims;
+      }
+      for (int d = 0; status == kOk && d < 3; ++d) {
+        full[d].resize(static_cast<size_t>(full_size));
+        if (std::fread(full[d].data(), sizeof(real_t), full[d].size(), f) !=
+            full[d].size())
+          status = kTruncatedPayload;
+      }
+      std::fclose(f);
+    }
+  }
+  agree_or_throw(comm, status, path);
+  grid::VectorField v(level_decomp.local_real_size());
+  for (int d = 0; d < 3; ++d) {
+    std::vector<real_t> local = grid::scatter_from_root(
+        level_decomp, std::span<const real_t>(full[d]));
+    v[d] = std::move(local);
+  }
+  return v;
+}
+
+}  // namespace diffreg::core

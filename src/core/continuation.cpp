@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/checkpoint.hpp"
 #include "spectral/resample.hpp"
 
 namespace diffreg::core {
@@ -106,6 +107,10 @@ MultilevelResult run_multilevel_continuation(grid::PencilDecomp& fine_decomp,
   if (mopt.levels < 1)
     throw std::invalid_argument(
         "run_multilevel_continuation: levels must be >= 1");
+  if (mopt.checkpoint_every > 0 && mopt.checkpoint_path.empty())
+    throw std::invalid_argument(
+        "run_multilevel_continuation: checkpoint_every > 0 needs a "
+        "checkpoint_path");
   const std::vector<Int3> level_dims =
       build_level_dims(fine_decomp.dims(), mopt.levels, mopt.coarsest_dim);
   const int nlevels = static_cast<int>(level_dims.size());
@@ -166,16 +171,99 @@ MultilevelResult run_multilevel_continuation(grid::PencilDecomp& fine_decomp,
   };
 
   real_t beta_override = -1;  // set by the coarse beta continuation
-  RegistrationResult prev;    // result of the level below the current one
+
+  // Resume: locate the checkpoint's pyramid level and restore the carried
+  // solver state. All checkpoint reads are collective and converge on
+  // errors, so a bad file throws CheckpointError on every rank.
+  int resume_level = -1;
+  int resume_base_iters = 0;
+  real_t resume_beta = 0;
+  VectorField resume_v;
+  if (!mopt.resume_path.empty()) {
+    const CheckpointHeader hdr =
+        read_checkpoint_header(fine_decomp.comm(), mopt.resume_path);
+    if (!(hdr.fine_dims == fine_decomp.dims()))
+      throw CheckpointError(
+          "checkpoint fine grid does not match this run: " +
+          mopt.resume_path);
+    for (int k = 0; k < nlevels; ++k)
+      if (hdr.level_dims == level_dims[k]) {
+        resume_level = k;
+        break;
+      }
+    if (resume_level < 0)
+      throw CheckpointError(
+          "checkpoint level matches no level of this pyramid: " +
+          mopt.resume_path);
+    out.gradient_reference = hdr.gradient_reference;
+    out.admissible = hdr.admissible;
+    if (hdr.beta_override > 0) beta_override = hdr.beta_override;
+    resume_base_iters = hdr.newton_iters_done;
+    resume_beta = hdr.beta;
+    resume_v =
+        read_checkpoint_velocity(*decomps[resume_level], mopt.resume_path);
+  }
+
+  RegistrationResult prev;  // result of the level below the current one
   for (int k = nlevels - 1; k >= 0; --k) {
+    // Levels coarser than the checkpoint already ran before the kill.
+    if (resume_level >= 0 && k > resume_level) continue;
+    const bool resuming_here = resume_level == k;
+
     RegistrationOptions lopt = base;
-    lopt.beta = beta_override > 0 ? beta_override : scheduled_beta(k);
+    lopt.beta = resuming_here
+                    ? resume_beta
+                    : (beta_override > 0 ? beta_override : scheduled_beta(k));
     lopt.gradient_reference = out.gradient_reference;
+
+    // Periodic in-level checkpoints ride the accepted-iterate hook (chained
+    // with any caller-installed hook, which runs first — a kill that fires
+    // from the user hook leaves the previous checkpoint in place). A
+    // coarsest level running the beta continuation only checkpoints at
+    // level end: its intermediate stages are warm starts, not resumable
+    // Newton state.
+    const bool coarse_cont = k == nlevels - 1 &&
+                             mopt.coarse_beta_cont.has_value() &&
+                             !resuming_here;
+    const int base_iters = resuming_here ? resume_base_iters : 0;
+    if (mopt.checkpoint_every > 0 && !coarse_cont) {
+      const real_t level_beta = lopt.beta;
+      const Int3 ldims = level_dims[k];
+      grid::PencilDecomp* const ldecomp = decomps[k];
+      const auto user_hook = base.iterate_hook;
+      lopt.iterate_hook = [&, level_beta, ldims, ldecomp, base_iters,
+                           user_hook](const NewtonIterateInfo& info) {
+        if (user_hook) user_hook(info);
+        if ((base_iters + info.iterates_done) % mopt.checkpoint_every != 0)
+          return;
+        CheckpointHeader hdr;
+        hdr.fine_dims = fine_decomp.dims();
+        hdr.level_dims = ldims;
+        hdr.beta = level_beta;
+        hdr.beta_override = beta_override;
+        hdr.gradient_reference = out.gradient_reference > 0
+                                     ? out.gradient_reference
+                                     : info.gradient_reference;
+        hdr.admissible = out.admissible;
+        hdr.newton_iters_done = base_iters + info.iterates_done;
+        write_checkpoint(*ldecomp, hdr, *info.velocity,
+                         mopt.checkpoint_path);
+      };
+    }
     RegistrationSolver solver(*decomps[k], lopt);
 
     WallTimer wall;
     RegistrationResult result;
-    if (k == nlevels - 1) {
+    if (resuming_here) {
+      // Warm-restart the interrupted level from the stored iterate. The
+      // carried gradient_reference keeps the stopping target identical, so
+      // this replays exactly the iterates the killed run never finished
+      // (level-end checkpoints replay zero: the warm start is already
+      // converged).
+      result = solver.run(rho_ts[k], rho_rs[k], &resume_v);
+      result.newton.iterations += base_iters;
+      if (k == nlevels - 1) out.coarsest = result;
+    } else if (k == nlevels - 1) {
       if (mopt.coarse_beta_cont.has_value()) {
         ContinuationResult cont = run_beta_continuation(
             solver, rho_ts[k], rho_rs[k], *mopt.coarse_beta_cont);
@@ -202,6 +290,21 @@ MultilevelResult run_multilevel_continuation(grid::PencilDecomp& fine_decomp,
     out.levels.push_back(
         make_level_report(level_dims[k], lopt.beta, result, wall.seconds()));
     out.final_beta = lopt.beta;
+
+    // Level-end checkpoint: marks the level complete (a resume from it
+    // replays nothing here and moves on to the prolongation).
+    if (mopt.checkpoint_every > 0) {
+      CheckpointHeader hdr;
+      hdr.fine_dims = fine_decomp.dims();
+      hdr.level_dims = level_dims[k];
+      hdr.beta = lopt.beta;
+      hdr.beta_override = beta_override;
+      hdr.gradient_reference = out.gradient_reference;
+      hdr.admissible = out.admissible;
+      hdr.newton_iters_done = result.newton.iterations;
+      write_checkpoint(*decomps[k], hdr, result.velocity,
+                       mopt.checkpoint_path);
+    }
 
     if (k == 0)
       out.fine = std::move(result);

@@ -74,6 +74,20 @@ struct MultilevelOptions {
   /// single solve, and its final (admissible) beta is used on every finer
   /// level — the cheap coarse grid determines how far beta can be pushed.
   std::optional<ContinuationOptions> coarse_beta_cont;
+
+  // Checkpoint/restart (core/checkpoint.hpp, docs/FAULT_MODEL.md). With
+  // checkpoint_every = N > 0 a checkpoint is written to checkpoint_path
+  // after every N-th accepted Newton iterate and at the end of every level
+  // (atomically: a crash mid-write keeps the previous one). A coarsest
+  // level running a beta continuation checkpoints at level end only — its
+  // per-stage warm starts are not restartable mid-stage. resume_path
+  // restarts a killed run: completed levels are skipped, the interrupted
+  // level is warm-started from the stored velocity, and — because Newton
+  // state is fully determined by (velocity, options) — the resumed run
+  // replays the remaining iterates of the uninterrupted trajectory.
+  std::string checkpoint_path;  ///< Target file (required when writing).
+  int checkpoint_every = 0;     ///< Newton-iterate period; 0 disables.
+  std::string resume_path;      ///< Checkpoint to restart from; "" = cold.
 };
 
 struct MultilevelLevelReport {

@@ -9,6 +9,7 @@
 #include "common/partition.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
+#include "core/checkpoint.hpp"
 #include "core/continuation.hpp"
 #include "core/deformation.hpp"
 #include "core/newton.hpp"

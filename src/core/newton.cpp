@@ -58,6 +58,16 @@ NewtonReport newton_solve(OptimalitySystem& system, VectorField& v,
 
   for (int iter = 0; iter <= options.max_newton_iters; ++iter) {
     system.gradient(g);
+    if (options.guard) {
+      // Collective finite sweep (every rank throws together; see
+      // grid::validate_finite). The objective is already reduced, so the
+      // scalar test below is consistent across ranks without another
+      // collective.
+      grid::validate_finite(decomp, g, "newton gradient");
+      if (!std::isfinite(objective))
+        throw grid::NonFiniteFieldError(
+            "non-finite objective in newton_solve");
+    }
     const real_t g_norm = grid::norm_l2(decomp, g);
     if (iter == 0) {
       g0_norm = g_ref > 0 ? g_ref : g_norm;
@@ -102,11 +112,21 @@ NewtonReport newton_solve(OptimalitySystem& system, VectorField& v,
     const auto apply_m = [&](const VectorField& x, VectorField& y) {
       system.apply_preconditioner(x, y);
     };
-    const PcgResult pcg =
+    PcgResult pcg =
         mixed ? pcg_solve_mixed(decomp, apply_a, apply_m, rhs, step, eta,
                                 options.max_krylov_iters, pcg_ws32)
               : pcg_solve(decomp, apply_a, apply_m, rhs, step, eta,
                           options.max_krylov_iters, pcg_ws);
+    if (mixed && options.guard && (pcg.breakdown || !pcg.converged)) {
+      // Guard-mode precision escalation: the fp32 recurrence broke down or
+      // stagnated short of its forcing tolerance — redo this step's Krylov
+      // solve in full fp64 (the conservative end of the recovery ladder;
+      // docs/FAULT_MODEL.md).
+      pcg = pcg_solve(decomp, apply_a, apply_m, rhs, step, eta,
+                      options.max_krylov_iters, pcg_ws);
+      ++report.fp64_escalations;
+    }
+    if (options.guard) grid::validate_finite(decomp, step, "newton step");
     entry.krylov_iterations = pcg.iterations;
 
     // Descent safeguard: fall back to the preconditioned steepest-descent
@@ -131,6 +151,29 @@ NewtonReport newton_solve(OptimalitySystem& system, VectorField& v,
       }
       alpha *= real_t(0.5);
     }
+    if (!accepted && options.guard) {
+      // Guard-mode line-search recovery: retry along the preconditioned
+      // steepest-descent direction with a damped initial step. The damping
+      // both skips the step lengths a Newton direction would want and
+      // extends the halving ladder past where the first search gave up.
+      system.apply_preconditioner(rhs, step);
+      gs = grid::dot(decomp, g, step);
+      if (gs < 0) {
+        alpha = real_t(0.25);
+        for (int ls = 0; ls < options.max_line_search; ++ls) {
+          grid::copy(v, v_trial);
+          grid::axpy(alpha, step, v_trial);
+          trial_objective = system.evaluate(v_trial);
+          if (trial_objective <=
+              objective + options.armijo_c1 * alpha * gs) {
+            accepted = true;
+            ++report.line_search_recoveries;
+            break;
+          }
+          alpha *= real_t(0.5);
+        }
+      }
+    }
     if (!accepted) {
       // Restore the state fields of the current iterate and stop.
       objective = system.evaluate(v);
@@ -146,6 +189,14 @@ NewtonReport newton_solve(OptimalitySystem& system, VectorField& v,
     entry.step_length = alpha;
     report.log.push_back(entry);
     report.iterations = iter + 1;
+
+    if (options.iterate_hook) {
+      NewtonIterateInfo info;
+      info.iterates_done = iter + 1;
+      info.gradient_reference = g0_norm;
+      info.velocity = &v;
+      options.iterate_hook(info);
+    }
   }
 
   report.final_objective = objective;

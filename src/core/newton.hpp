@@ -28,6 +28,13 @@ struct NewtonReport {
   /// all PCG matvecs and the accepted-iterate re-evaluation reuse cached
   /// plans, so this stays far below total_matvecs.
   int plan_builds = 0;
+  /// Guard-mode recoveries: exhausted line searches rescued by the damped
+  /// steepest-descent retry (0 unless options.guard).
+  int line_search_recoveries = 0;
+  /// Guard-mode escalations: mixed-precision Krylov solves re-run at fp64
+  /// after a breakdown or stagnation (0 unless options.guard and
+  /// Precision::kMixed).
+  int fp64_escalations = 0;
   real_t initial_gradient_norm = 0;
   real_t final_gradient_norm = 0;
   real_t final_objective = 0;

@@ -3,11 +3,23 @@
 // Gauss-Newton with quadratic forcing).
 #pragma once
 
+#include <functional>
+
 #include "common/precision.hpp"
 #include "core/regularization.hpp"
+#include "grid/field_math.hpp"
 #include "interp/kernels.hpp"
 
 namespace diffreg::core {
+
+/// Snapshot handed to RegistrationOptions::iterate_hook after every ACCEPTED
+/// Newton iterate. Observational only: the hook must not mutate the solve.
+/// The velocity pointer is valid only for the duration of the call.
+struct NewtonIterateInfo {
+  int iterates_done = 0;  ///< Accepted iterates so far in this solve.
+  real_t gradient_reference = 0;  ///< ||g(0)|| anchor of the running solve.
+  const grid::VectorField* velocity = nullptr;  ///< Current iterate.
+};
 
 enum class Forcing {
   kQuadratic,    // eta_k = min(eta_max, ||g_k|| / ||g_0||)
@@ -89,6 +101,22 @@ struct RegistrationOptions {
   // with bandwidth of about one grid cell to control aliasing).
   bool smooth_inputs = true;
   real_t smoothing_cells = 1.0;
+
+  // Numerical safeguards (CLI --guard on; docs/FAULT_MODEL.md). Adds
+  // collective finite sweeps at Newton-iterate granularity, a damped
+  // steepest-descent recovery when the line search exhausts, and — under
+  // Precision::kMixed — automatic per-iterate escalation to the fp64 Krylov
+  // solve when the fp32 recurrence breaks down or stagnates. Off by
+  // default: with guard off the solve is bitwise identical to the
+  // pre-safeguard solver.
+  bool guard = false;
+
+  /// Called after every accepted Newton iterate (null: off). The
+  /// checkpoint/restart driver installs this to write periodic checkpoints;
+  /// tests use it to kill a run mid-level. Exceptions it throws propagate
+  /// out of newton_solve — a hook that throws on every rank at the same
+  /// iterate terminates the solve cleanly on all ranks.
+  std::function<void(const NewtonIterateInfo&)> iterate_hook;
 
   bool verbose = false;
 };

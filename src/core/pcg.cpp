@@ -28,6 +28,12 @@ PcgResult pcg_recurrence(grid::PencilDecomp& decomp, const ApplyA& apply_a,
   grid::copy(z, p);
 
   real_t rz = grid::dot(decomp, r, z);
+  if (!std::isfinite(rz)) {
+    // The right-hand side (or preconditioner output) is already poisoned;
+    // there is nothing to iterate on.
+    result.breakdown = true;
+    return result;
+  }
   const real_t r0 = std::sqrt(std::max(rz, real_t(0)));
   if (r0 == 0) {
     result.converged = true;
@@ -38,6 +44,12 @@ PcgResult pcg_recurrence(grid::PencilDecomp& decomp, const ApplyA& apply_a,
   for (int it = 0; it < max_iters; ++it) {
     apply_a(p, ap);
     const real_t pap = grid::dot(decomp, p, ap);
+    if (!std::isfinite(pap)) {
+      // NaN/Inf curvature would otherwise slip past the pap <= 0 test
+      // (NaN compares false) and poison every later iterate.
+      result.breakdown = true;
+      break;
+    }
     if (pap <= 0) {
       // Non-positive curvature: stop with the current iterate (x_s = 0 on
       // the first iteration; the caller falls back to z).
@@ -49,6 +61,10 @@ PcgResult pcg_recurrence(grid::PencilDecomp& decomp, const ApplyA& apply_a,
     grid::axpy(-alpha, ap, r);
     apply_m(r, z);
     const real_t rz_next = grid::dot(decomp, r, z);
+    if (!std::isfinite(rz_next)) {
+      result.breakdown = true;
+      break;
+    }
     result.iterations = it + 1;
     result.rel_residual = std::sqrt(std::max(rz_next, real_t(0))) / r0;
     if (result.rel_residual <= rtol) {
@@ -82,7 +98,8 @@ PcgResult pcg_solve(grid::PencilDecomp& decomp, const ApplyFn& apply_a,
   PcgResult result = pcg_recurrence<real_t>(decomp, apply_a, apply_m, ws.r,
                                             ws.z, ws.p, ws.ap, x, rtol,
                                             max_iters);
-  if (result.negative_curvature && result.iterations == 0)
+  if ((result.negative_curvature || result.breakdown) &&
+      result.iterations == 0)
     grid::copy(ws.z, x);  // fall back to the preconditioned gradient
   return result;
 }
@@ -125,7 +142,8 @@ PcgResult pcg_solve_mixed(grid::PencilDecomp& decomp, const ApplyFn& apply_a,
   PcgResult result =
       pcg_recurrence<real32_t>(decomp, apply_a32, apply_m32, ws.r, ws.z,
                                ws.p, ws.ap, ws.x, rtol, max_iters);
-  if (result.negative_curvature && result.iterations == 0)
+  if ((result.negative_curvature || result.breakdown) &&
+      result.iterations == 0)
     grid::copy(ws.z, x);  // widening fallback direction
   else
     grid::copy(ws.x, x);  // widen the fp32 iterate into the fp64 step

@@ -34,6 +34,13 @@ struct PcgResult {
   /// True when a direction of non-positive curvature was encountered (the
   /// solve returns the best iterate so far, standard in truncated Newton).
   bool negative_curvature = false;
+  /// True when the recurrence broke down numerically (a NaN/Inf or negative
+  /// inner product): the solve stops with the last finite iterate — or the
+  /// preconditioned gradient when it happened on the first sweep — instead
+  /// of iterating on garbage. Detection is a scalar isfinite check on inner
+  /// products the recurrence computes anyway, so the healthy path is
+  /// bitwise unchanged.
+  bool breakdown = false;
 };
 
 /// Caller-owned scratch of one PCG solve. Reusing a workspace across solves

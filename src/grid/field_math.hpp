@@ -13,6 +13,8 @@
 #include <array>
 #include <cmath>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/precision.hpp"
@@ -166,6 +168,56 @@ inline void resize_zero(BasicVectorField<T>& x, index_t n) {
     x = BasicVectorField<T>(n);
   else
     x.fill(T(0));
+}
+
+// Numerical safeguards (the opt-in --guard sweeps of the fault-tolerant
+// runtime; docs/FAULT_MODEL.md).
+
+/// Raised by validate_finite. The throw is COLLECTIVE: the non-finite count
+/// is allreduced first, so every rank throws together (a one-sided throw
+/// would strand its peers mid-communication-schedule).
+class NonFiniteFieldError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Local count of NaN/Inf entries (no communication).
+inline index_t count_nonfinite(std::span<const real_t> a) {
+  index_t bad = 0;
+  for (real_t v : a)
+    if (!std::isfinite(v)) ++bad;
+  return bad;
+}
+
+inline index_t count_nonfinite(const VectorField& a) {
+  index_t bad = 0;
+  for (int d = 0; d < 3; ++d)
+    bad += count_nonfinite(std::span<const real_t>(a[d]));
+  return bad;
+}
+
+/// Collective finite sweep: allreduces the local non-finite count and throws
+/// NonFiniteFieldError (on EVERY rank, naming `what` and the global count)
+/// when any entry is NaN/Inf. One scalar allreduce — cheap enough for
+/// Newton-iterate granularity.
+inline void validate_finite(PencilDecomp& decomp, std::span<const real_t> a,
+                            const char* what) {
+  decomp.comm().set_time_kind(TimeKind::kOther);
+  const index_t bad = decomp.comm().allreduce_sum(count_nonfinite(a));
+  if (bad > 0)
+    throw NonFiniteFieldError(std::string("non-finite values in ") + what +
+                              ": " + std::to_string(bad) +
+                              " entries across ranks");
+}
+
+inline void validate_finite(PencilDecomp& decomp, const VectorField& a,
+                            const char* what) {
+  decomp.comm().set_time_kind(TimeKind::kOther);
+  const index_t bad = decomp.comm().allreduce_sum(count_nonfinite(a));
+  if (bad > 0)
+    throw NonFiniteFieldError(std::string("non-finite values in ") + what +
+                              ": " + std::to_string(bad) +
+                              " entries across ranks");
 }
 
 }  // namespace diffreg::grid

@@ -30,6 +30,33 @@ Incoming Mailbox::pop(int src, int tag) {
   }
 }
 
+std::optional<Incoming> Mailbox::pop_for(int src, int tag,
+                                         double timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              timeout_ms > 0 ? timeout_ms : 0));
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
+      return m.src == src && m.tag == tag;
+    });
+    if (it != queue_.end()) {
+      Incoming in{std::move(it->data), it->arrival};
+      queue_.erase(it);
+      return in;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Final check under the lock: a push may have raced the timeout.
+      it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
+        return m.src == src && m.tag == tag;
+      });
+      if (it == queue_.end()) return std::nullopt;
+    }
+  }
+}
+
 bool Mailbox::probe(int src, int tag) {
   std::scoped_lock lock(mutex_);
   return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
@@ -59,6 +86,12 @@ Incoming MailboxBackend::recv_bytes(int src, int tag) {
   return state_->mailboxes[static_cast<size_t>(rank_)].pop(src, tag);
 }
 
+std::optional<Incoming> MailboxBackend::try_recv_bytes(int src, int tag,
+                                                       double timeout_ms) {
+  return state_->mailboxes[static_cast<size_t>(rank_)].pop_for(src, tag,
+                                                               timeout_ms);
+}
+
 bool MailboxBackend::probe(int src, int tag) {
   return state_->mailboxes[static_cast<size_t>(rank_)].probe(src, tag);
 }
@@ -77,8 +110,37 @@ void MailboxBackend::barrier() {
   }
 }
 
+bool MailboxBackend::try_barrier(double timeout_ms) {
+  auto& s = *state_;
+  std::unique_lock lock(s.barrier_mutex);
+  const long generation = s.barrier_generation;
+  if (++s.barrier_count == s.size) {
+    s.barrier_count = 0;
+    ++s.barrier_generation;
+    lock.unlock();
+    s.barrier_cv.notify_all();
+    return true;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              timeout_ms > 0 ? timeout_ms : 0));
+  while (s.barrier_generation == generation) {
+    if (s.barrier_cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+        s.barrier_generation == generation) {
+      // Withdraw under the lock so a late full complement still releases
+      // cleanly on its own (every waiter left re-decrements its entry).
+      --s.barrier_count;
+      return false;
+    }
+  }
+  return true;
+}
+
 std::shared_ptr<Backend> MailboxBackend::split(int color, int new_rank,
-                                               int new_size) {
+                                               int new_size,
+                                               double timeout_ms) {
   // One split epoch per collective call so repeated splits don't collide.
   long epoch = 0;
   {
@@ -97,14 +159,26 @@ std::shared_ptr<Backend> MailboxBackend::split(int color, int new_rank,
       child = it->second;
     }
   }
-  barrier();
+  // Both rendezvous barriers honor the watchdog deadline: a peer that died
+  // after the caller's collective agreement (e.g. on a checksum failure in
+  // the allgather) must surface as a timeout here, not strand the
+  // survivors in an untimed wait.
+  if (timeout_ms > 0) {
+    if (!try_barrier(timeout_ms)) return nullptr;
+  } else {
+    barrier();
+  }
   // After the barrier every rank has resolved its child state; advance the
   // epoch (rank 0) and clear the board lazily on the next epoch rollover.
   if (rank_ == 0) {
     std::scoped_lock lock(state_->split_mutex);
     ++state_->split_epoch;
   }
-  barrier();
+  if (timeout_ms > 0) {
+    if (!try_barrier(timeout_ms)) return nullptr;
+  } else {
+    barrier();
+  }
   return std::make_shared<MailboxBackend>(std::move(child), new_rank);
 }
 

@@ -35,6 +35,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -70,18 +71,34 @@ class Backend {
   /// it together with its arrival timestamp.
   virtual Incoming recv_bytes(int src, int tag) = 0;
 
+  /// Deadline variant of recv_bytes: blocks at most `timeout_ms` and returns
+  /// std::nullopt when no match arrived in time (the watchdog primitive —
+  /// the Communicator turns the nullopt into a CommTimeoutError with a full
+  /// diagnosis). `timeout_ms <= 0` degenerates to an immediate probe.
+  virtual std::optional<Incoming> try_recv_bytes(int src, int tag,
+                                                 double timeout_ms) = 0;
+
   /// Nonblocking match probe: true iff recv_bytes(src, tag) would not block.
   virtual bool probe(int src, int tag) = 0;
 
   /// Blocks until every rank of this communicator has entered.
   virtual void barrier() = 0;
 
+  /// Deadline variant of barrier: returns false when not every rank arrived
+  /// within `timeout_ms` (this rank then withdraws from the barrier so the
+  /// shared state stays consistent for the ranks that do show up later).
+  virtual bool try_barrier(double timeout_ms) = 0;
+
   /// Creates this rank's transport for the sub-communicator selected by
   /// `color`. The caller (Communicator::split) has already agreed on
   /// `new_rank`/`new_size` collectively; the backend only wires up the
-  /// channels. Collective over the parent communicator.
+  /// channels. Collective over the parent communicator. With
+  /// `timeout_ms > 0` the internal rendezvous is deadline-bounded and
+  /// returns nullptr when a peer never arrives (a rank that died after the
+  /// caller's collective agreement must not strand the survivors here).
   virtual std::shared_ptr<Backend> split(int color, int new_rank,
-                                         int new_size) = 0;
+                                         int new_size,
+                                         double timeout_ms) = 0;
 
   /// Monotonic wall clock, in seconds, on the same timebase as the arrival
   /// stamps returned by recv_bytes.
@@ -104,6 +121,8 @@ class Mailbox {
   void push(Message message);
   /// Blocks until a message with the given source and tag is available.
   Incoming pop(int src, int tag);
+  /// Deadline pop: nullopt when no (src, tag) match arrived in time.
+  std::optional<Incoming> pop_for(int src, int tag, double timeout_ms);
   /// Nonblocking: true iff a (src, tag) match is queued.
   bool probe(int src, int tag);
 
@@ -150,10 +169,13 @@ class MailboxBackend final : public Backend {
   void send_bytes(std::span<const std::byte> data, int dest,
                   int tag) override;
   Incoming recv_bytes(int src, int tag) override;
+  std::optional<Incoming> try_recv_bytes(int src, int tag,
+                                         double timeout_ms) override;
   bool probe(int src, int tag) override;
   void barrier() override;
-  std::shared_ptr<Backend> split(int color, int new_rank,
-                                 int new_size) override;
+  bool try_barrier(double timeout_ms) override;
+  std::shared_ptr<Backend> split(int color, int new_rank, int new_size,
+                                 double timeout_ms) override;
   double now() const override;
 
  private:

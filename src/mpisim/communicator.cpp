@@ -1,9 +1,14 @@
 #include "mpisim/communicator.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
+#include <optional>
 #include <string>
 #include <thread>
+
+#include "common/logger.hpp"
+#include "mpisim/fault_injection.hpp"
 
 namespace diffreg::mpisim {
 
@@ -26,10 +31,81 @@ void Communicator::check_collective_consistent(std::int64_t value,
         " (collective-consistency self-check failed)");
 }
 
+CommDiagnosis Communicator::make_diagnosis(
+    const char* operation, int src, int tag, double waited_ms,
+    std::vector<std::pair<int, int>> missing) const {
+  CommDiagnosis d;
+  d.rank = rank_;
+  d.size = size_;
+  d.operation = operation;
+  d.src = src;
+  d.tag = tag;
+  d.waited_ms = waited_ms;
+  d.missing = std::move(missing);
+  d.bytes_sent = timings_->total_bytes();
+  d.messages_sent = timings_->total_messages();
+  d.exchanges = timings_->total_exchanges();
+  return d;
+}
+
+void Communicator::send_with_checksum(std::span<const std::byte> payload,
+                                      int dest, int tag) {
+  checksum_stage_.resize(payload.size() + sizeof(std::uint64_t));
+  if (!payload.empty())
+    std::memcpy(checksum_stage_.data(), payload.data(), payload.size());
+  const std::uint64_t sum = fnv1a64(payload);
+  std::memcpy(checksum_stage_.data() + payload.size(), &sum, sizeof sum);
+  timings_->add_message(time_kind_, checksum_stage_.size());
+  backend_->send_bytes(checksum_stage_, dest, tag);
+}
+
+void Communicator::verify_and_strip_checksum(std::vector<std::byte>& data,
+                                             int src, int tag) const {
+  if (data.size() < sizeof(std::uint64_t))
+    throw CommIntegrityError(rank_, src, tag, data.size(),
+                             "payload shorter than its checksum trailer "
+                             "(truncated on the wire)");
+  const size_t payload_size = data.size() - sizeof(std::uint64_t);
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, data.data() + payload_size, sizeof stored);
+  const std::uint64_t actual =
+      fnv1a64(std::span<const std::byte>(data.data(), payload_size));
+  if (stored != actual)
+    throw CommIntegrityError(rank_, src, tag, payload_size,
+                             "checksum mismatch (payload corrupted on the "
+                             "wire)");
+  data.resize(payload_size);
+}
+
+Incoming Communicator::receive_payload(int src, int tag,
+                                       const char* operation) {
+  Incoming in;
+  if (timeout_ms_ > 0) {
+    WallTimer waited;
+    std::optional<Incoming> got =
+        backend_->try_recv_bytes(src, tag, timeout_ms_);
+    if (!got)
+      throw CommTimeoutError(
+          make_diagnosis(operation, src, tag, waited.seconds() * 1e3,
+                         {{src, tag}}));
+    in = std::move(*got);
+  } else {
+    in = backend_->recv_bytes(src, tag);
+  }
+  if (checksums_) verify_and_strip_checksum(in.data, src, tag);
+  return in;
+}
+
 void Communicator::barrier() {
   check_idle();
   if (size() == 1) return;
   ScopedTimer timer(*timings_, time_kind_);
+  if (timeout_ms_ > 0) {
+    if (!backend_->try_barrier(timeout_ms_))
+      throw CommTimeoutError(
+          make_diagnosis("barrier", -1, -1, timeout_ms_, {}));
+    return;
+  }
   backend_->barrier();
 }
 
@@ -52,16 +128,45 @@ Communicator Communicator::split(int color) {
     ++new_size;
   }
 
-  return Communicator(backend_->split(color, new_rank, new_size), timings_);
+  std::shared_ptr<Backend> child_backend =
+      backend_->split(color, new_rank, new_size, timeout_ms_);
+  if (!child_backend)
+    throw CommTimeoutError(
+        make_diagnosis("split", -1, -1, timeout_ms_, {}));
+  Communicator child(std::move(child_backend), timings_);
+  // Robustness settings follow the rank into sub-communicators: a hung
+  // row/col exchange must trip the same watchdog as the parent's.
+  child.timeout_ms_ = timeout_ms_;
+  child.checksums_ = checksums_;
+  return child;
 }
 
 CommRequest::~CommRequest() {
   if (!comm_) return;
+  // An abandoned request is a bug magnet: the drain below keeps the message
+  // schedule intact but swallows any failure. Say so loudly (rated, so a
+  // leak in a loop does not flood the log) with enough context to find the
+  // post site.
+  std::string context = "mpisim: CommRequest destroyed before wait(); "
+                        "draining " +
+                        std::to_string(comm_->pending_recvs_.size()) +
+                        " pending receive(s)";
+  if (!comm_->pending_recvs_.empty()) {
+    const detail::PendingRecv& first = comm_->pending_recvs_.front();
+    context += " (first: src=" + std::to_string(first.src) +
+               ", tag=" + std::to_string(first.tag) + ")";
+  }
+  log_warn_rated("mpisim.commrequest.drain",
+                 context + " — call wait() to surface failures");
   try {
     wait();
+  } catch (const std::exception& e) {
+    // Destructors must not throw; the schedule is already poisoned, so the
+    // best we can do is make the swallowed failure visible.
+    log_warn_rated("mpisim.commrequest.drain-error",
+                   std::string("mpisim: drain-on-destroy swallowed: ") +
+                       e.what());
   } catch (...) {
-    // Destructors must not throw; an abandoned request is still drained so
-    // the message schedule stays intact. Call wait() to surface failures.
   }
 }
 
@@ -72,12 +177,35 @@ void CommRequest::wait() {
   Backend& backend = *comm->backend_;
   const double wait_entry = backend.now();
   double last_arrival = post_time_;
-  {
+  try {
     // Time actually spent blocked (plus delivery memcpy/widen sweeps) is
     // charged to the category like a blocking receive would be.
     ScopedTimer timer(timings, kind_);
     for (const detail::PendingRecv& pr : comm->pending_recvs_) {
-      const Incoming in = backend.recv_bytes(pr.src, pr.tag);
+      Incoming in;
+      if (comm->timeout_ms_ > 0) {
+        WallTimer waited;
+        std::optional<Incoming> got =
+            backend.try_recv_bytes(pr.src, pr.tag, comm->timeout_ms_);
+        if (!got) {
+          // Deadline expired: snapshot which of the posted matches are
+          // STILL missing (probe is nonblocking), so the diagnosis names
+          // every absent peer of the exchange, not just the one we were
+          // blocked on.
+          std::vector<std::pair<int, int>> missing;
+          for (const detail::PendingRecv& other : comm->pending_recvs_)
+            if (!backend.probe(other.src, other.tag))
+              missing.emplace_back(other.src, other.tag);
+          throw CommTimeoutError(comm->make_diagnosis(
+              "nonblocking wait", pr.src, pr.tag, waited.seconds() * 1e3,
+              std::move(missing)));
+        }
+        in = std::move(*got);
+      } else {
+        in = backend.recv_bytes(pr.src, pr.tag);
+      }
+      if (comm->checksums_)
+        comm->verify_and_strip_checksum(in.data, pr.src, pr.tag);
       if (in.data.size() != pr.payload_bytes)
         throw std::runtime_error(
             "mpisim: nonblocking receive payload size does not match the "
@@ -88,6 +216,13 @@ void CommRequest::wait() {
         std::memcpy(pr.dst, in.data.data(), in.data.size());
       last_arrival = std::max(last_arrival, in.arrival);
     }
+  } catch (...) {
+    // The exchange is unrecoverable; release the one-outstanding-request
+    // slot so the failure propagates instead of cascading into
+    // "communication attempted while a request is outstanding".
+    comm->pending_recvs_.clear();
+    comm->pending_ = false;
+    throw;
   }
   comm->pending_recvs_.clear();
   comm->pending_ = false;
@@ -109,6 +244,27 @@ bool CommRequest::test() {
 
 std::vector<Timings> run_spmd(
     int p, const std::function<void(Communicator&)>& body) {
+  // Environment hooks let the chaos CI job rerun any existing suite under
+  // faults/watchdog without recompiling; explicit SpmdOptions callers are
+  // unaffected.
+  SpmdOptions options;
+  if (const char* spec = std::getenv("DIFFREG_FAULT_SPEC"))
+    options.fault_spec = spec;
+  if (const char* timeout = std::getenv("DIFFREG_COMM_TIMEOUT_MS"))
+    options.comm_timeout_ms = std::atof(timeout);
+  return run_spmd(p, body, options);
+}
+
+std::vector<Timings> run_spmd(int p,
+                              const std::function<void(Communicator&)>& body,
+                              const SpmdOptions& options) {
+  // Parse up front so a malformed spec fails the launch, not rank threads.
+  std::optional<FaultSpec> spec;
+  if (!options.fault_spec.empty())
+    spec = FaultSpec::parse(options.fault_spec);
+  const bool checksums =
+      options.wire_checksums || (spec.has_value() && spec->checksum);
+
   auto state = std::make_shared<detail::SharedState>(p);
   std::vector<Timings> timings(p);
   std::vector<std::thread> threads;
@@ -118,8 +274,14 @@ std::vector<Timings> run_spmd(
 
   for (int r = 0; r < p; ++r) {
     threads.emplace_back([&, r] {
-      Communicator comm(std::make_shared<MailboxBackend>(state, r),
-                        &timings[r]);
+      std::shared_ptr<Backend> backend =
+          std::make_shared<MailboxBackend>(state, r);
+      if (spec.has_value() && spec->enabled())
+        backend = std::make_shared<FaultInjectingBackend>(std::move(backend),
+                                                          *spec);
+      Communicator comm(std::move(backend), &timings[r]);
+      comm.set_comm_timeout_ms(options.comm_timeout_ms);
+      comm.set_wire_checksums(checksums);
       try {
         body(comm);
       } catch (...) {

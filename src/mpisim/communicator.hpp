@@ -78,6 +78,7 @@
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "mpisim/backend.hpp"
+#include "mpisim/errors.hpp"
 
 namespace diffreg::mpisim {
 
@@ -197,6 +198,22 @@ class Communicator {
   void set_time_kind(TimeKind kind) { time_kind_ = kind; }
   TimeKind time_kind() const { return time_kind_; }
   Timings& timings() { return *timings_; }
+
+  /// Watchdog deadline (milliseconds) for every blocking receive, request
+  /// wait, and barrier: instead of hanging, the blocked call throws a
+  /// CommTimeoutError carrying a per-rank diagnosis (errors.hpp). 0 (the
+  /// default) keeps the historical block-forever behavior. Inherited by
+  /// split() sub-communicators.
+  void set_comm_timeout_ms(double timeout_ms) { timeout_ms_ = timeout_ms; }
+  double comm_timeout_ms() const { return timeout_ms_; }
+
+  /// Wire checksums: every sent payload gains an FNV-1a 64-bit trailer that
+  /// is validated and stripped on receive, so truncation and bit-flips
+  /// surface as CommIntegrityError instead of wrong answers. Off by default
+  /// (the trailer changes the byte/message counters, so counter-gated
+  /// benches run without it). Inherited by split() sub-communicators.
+  void set_wire_checksums(bool on) { checksums_ = on; }
+  bool wire_checksums() const { return checksums_; }
 
   /// Blocks until every rank entered. Collective.
   void barrier();
@@ -384,6 +401,26 @@ class Communicator {
   /// the completion handle (or a done request when nothing was deferred).
   CommRequest finish_post(double post_time);
 
+  /// The single blocking-receive funnel: applies the watchdog deadline
+  /// (throwing CommTimeoutError with a diagnosis when it expires) and the
+  /// wire-checksum validation (throwing CommIntegrityError on corruption).
+  /// Every blocking receive path — recv, recv_into, and the collectives
+  /// built on them — lands here.
+  Incoming receive_payload(int src, int tag, const char* operation);
+
+  /// Appends the checksum trailer and ships payload+trailer as one message.
+  void send_with_checksum(std::span<const std::byte> payload, int dest,
+                          int tag);
+
+  /// Validates and strips the checksum trailer of a received payload.
+  void verify_and_strip_checksum(std::vector<std::byte>& data, int src,
+                                 int tag) const;
+
+  /// Assembles the per-rank failure snapshot attached to CommTimeoutError.
+  CommDiagnosis make_diagnosis(
+      const char* operation, int src, int tag, double waited_ms,
+      std::vector<std::pair<int, int>> missing) const;
+
   /// Recursive-doubling scalar allreduce with any associative commutative op.
   template <typename T, typename Op>
   T allreduce_op(T value, Op op, int tag);
@@ -405,6 +442,11 @@ class Communicator {
   /// reused across posts, so warm overlapped paths allocate nothing.
   std::vector<detail::PendingRecv> pending_recvs_;
   bool pending_ = false;
+
+  double timeout_ms_ = 0;  ///< Watchdog deadline; 0 = block forever.
+  bool checksums_ = false;  ///< FNV-1a trailer on every payload.
+  /// Staging for checksummed sends (grow-only, reused across messages).
+  std::vector<std::byte> checksum_stage_;
 
   // Tags above this bound are reserved for collectives.
   static constexpr int kCollectiveTag = 1 << 20;
@@ -431,10 +473,31 @@ void Communicator::alltoall(std::span<const T> send, std::span<T> recv,
   }
 }
 
+/// Robustness knobs of an SPMD run (fault_injection.hpp, errors.hpp).
+/// Default-constructed = the historical behavior: mailbox transport, no
+/// faults, block-forever receives, no checksums.
+struct SpmdOptions {
+  /// Fault-injection spec (FaultSpec grammar); empty = no fault wrapper.
+  std::string fault_spec;
+  /// Watchdog deadline applied to every rank's communicator; 0 = off.
+  double comm_timeout_ms = 0;
+  /// Wire checksums on every rank (also enabled by `checksum=1` in the
+  /// fault spec).
+  bool wire_checksums = false;
+};
+
 /// Runs `body` on p ranks (threads) and returns the per-rank timings.
-/// Exceptions thrown by any rank are rethrown (first one wins).
+/// Exceptions thrown by any rank are rethrown (first one wins). This
+/// overload reads the DIFFREG_FAULT_SPEC / DIFFREG_COMM_TIMEOUT_MS
+/// environment hooks (the chaos CI mechanism: any existing suite can be
+/// rerun under faults without recompiling).
 std::vector<Timings> run_spmd(int p,
                               const std::function<void(Communicator&)>& body);
+
+/// run_spmd with explicit robustness options (ignores the environment).
+std::vector<Timings> run_spmd(int p,
+                              const std::function<void(Communicator&)>& body,
+                              const SpmdOptions& options);
 
 /// Standalone single-rank communicator (no threads spawned); all collectives
 /// degenerate to local moves. Useful for serial drivers and microbenchmarks.
@@ -463,6 +526,10 @@ template <typename T>
 void Communicator::send(std::span<const T> data, int dest, int tag) {
   static_assert(std::is_trivially_copyable_v<T>);
   ScopedTimer timer(*timings_, time_kind_);
+  if (checksums_) {
+    send_with_checksum(std::as_bytes(data), dest, tag);
+    return;
+  }
   timings_->add_message(time_kind_, data.size_bytes());
   backend_->send_bytes(std::as_bytes(data), dest, tag);
 }
@@ -471,7 +538,7 @@ template <typename T>
 std::vector<T> Communicator::recv(int src, int tag) {
   check_idle();
   ScopedTimer timer(*timings_, time_kind_);
-  return deserialize<T>(backend_->recv_bytes(src, tag).data);
+  return deserialize<T>(receive_payload(src, tag, "recv").data);
 }
 
 template <typename T>
@@ -479,7 +546,7 @@ void Communicator::recv_into(std::span<T> out, int src, int tag) {
   static_assert(std::is_trivially_copyable_v<T>);
   check_idle();
   ScopedTimer timer(*timings_, time_kind_);
-  const Incoming in = backend_->recv_bytes(src, tag);
+  const Incoming in = receive_payload(src, tag, "recv_into");
   if (in.data.size() != out.size_bytes())
     throw std::runtime_error(
         "mpisim: recv_into buffer size does not match message payload");

@@ -1,0 +1,35 @@
+#include "mpisim/errors.hpp"
+
+#include <cstdio>
+
+namespace diffreg::mpisim {
+
+std::string CommDiagnosis::describe() const {
+  char head[192];
+  if (src >= 0)
+    std::snprintf(head, sizeof head,
+                  "rank %d/%d blocked in %s on (src=%d, tag=%d) for %.1f ms",
+                  rank, size, operation.c_str(), src, tag, waited_ms);
+  else
+    std::snprintf(head, sizeof head, "rank %d/%d blocked in %s for %.1f ms",
+                  rank, size, operation.c_str(), waited_ms);
+  std::string out = head;
+  if (!missing.empty()) {
+    out += "; still missing:";
+    for (const auto& [m_src, m_tag] : missing) {
+      char item[48];
+      std::snprintf(item, sizeof item, " (src=%d, tag=%d)", m_src, m_tag);
+      out += item;
+    }
+  }
+  char counters[128];
+  std::snprintf(counters, sizeof counters,
+                "; counters: %llu B / %llu msgs sent, %llu exchanges",
+                static_cast<unsigned long long>(bytes_sent),
+                static_cast<unsigned long long>(messages_sent),
+                static_cast<unsigned long long>(exchanges));
+  out += counters;
+  return out;
+}
+
+}  // namespace diffreg::mpisim

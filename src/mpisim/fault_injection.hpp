@@ -1,0 +1,100 @@
+/// @file fault_injection.hpp
+/// Deterministic seeded fault injection behind the Backend interface.
+///
+/// `FaultInjectingBackend` decorates any `mpisim::Backend` and perturbs the
+/// byte stream the way a sick network or a dying node would: per-message
+/// delivery delay, message drop, duplicate delivery, payload truncation,
+/// payload bit-flips, and rank-crash-at-step. Every decision is drawn from a
+/// counter-keyed hash of (seed, rank, message index), NOT from a shared RNG
+/// stream, so a given spec perturbs the same messages on every run
+/// regardless of thread scheduling — chaos tests are reproducible bug
+/// reports, not flakes.
+///
+/// Specs are parsed from a flat key=value string (the `--fault-spec` CLI
+/// flag and the DIFFREG_FAULT_SPEC environment hook):
+///
+///     "seed=7,drop=0.01,delay_ms=5,delay_prob=0.1"
+///
+/// Keys: seed (u64), drop / dup / truncate / bitflip (probabilities in
+/// [0,1]), delay_ms (per-delayed-message sleep), delay_prob (fraction of
+/// messages delayed; default 1 when delay_ms is set), crash_rank /
+/// crash_at (the given rank throws RankCrashError at that backend step),
+/// checksum (0/1: ask the Communicator to run wire checksums so corruption
+/// surfaces as CommIntegrityError instead of wrong answers). Unknown keys
+/// and malformed values throw std::invalid_argument.
+///
+/// See docs/FAULT_MODEL.md for the fault taxonomy and how the chaos CI job
+/// uses these specs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mpisim/backend.hpp"
+
+namespace diffreg::mpisim {
+
+/// Parsed fault schedule. Default-constructed = no faults.
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  double drop = 0;      ///< P(message silently dropped on the wire).
+  double dup = 0;       ///< P(message delivered twice).
+  double truncate = 0;  ///< P(payload loses its trailing 1..8 bytes).
+  double bitflip = 0;   ///< P(one payload bit inverted).
+  double delay_ms = 0;  ///< Sleep applied to delayed messages.
+  double delay_prob = 1.0;  ///< Fraction of messages delayed (when delay_ms>0).
+  int crash_rank = -1;      ///< Rank that crashes (-1: nobody).
+  long crash_at = -1;       ///< Backend step at which crash_rank throws.
+  bool checksum = false;    ///< Request wire checksums from the Communicator.
+
+  /// True when any perturbation is configured (checksum alone is not one).
+  bool enabled() const {
+    return drop > 0 || dup > 0 || truncate > 0 || bitflip > 0 ||
+           delay_ms > 0 || crash_rank >= 0;
+  }
+
+  /// Parses the key=value spec grammar above; throws std::invalid_argument
+  /// on unknown keys, malformed numbers, or out-of-range probabilities.
+  static FaultSpec parse(const std::string& spec);
+};
+
+/// Backend decorator applying a FaultSpec to every message. Wraps the inner
+/// transport 1:1 — same rank/size/clock — and rewraps sub-communicators on
+/// split() so faults follow the rank into row/col exchanges.
+class FaultInjectingBackend final : public Backend {
+ public:
+  FaultInjectingBackend(std::shared_ptr<Backend> inner, const FaultSpec& spec)
+      : inner_(std::move(inner)), spec_(spec) {}
+
+  int rank() const override { return inner_->rank(); }
+  int size() const override { return inner_->size(); }
+  void send_bytes(std::span<const std::byte> data, int dest,
+                  int tag) override;
+  Incoming recv_bytes(int src, int tag) override;
+  std::optional<Incoming> try_recv_bytes(int src, int tag,
+                                         double timeout_ms) override;
+  bool probe(int src, int tag) override;
+  void barrier() override;
+  bool try_barrier(double timeout_ms) override;
+  std::shared_ptr<Backend> split(int color, int new_rank, int new_size,
+                                 double timeout_ms) override;
+  double now() const override { return inner_->now(); }
+
+ private:
+  /// Deterministic uniform draw in [0, 1) for decision `salt` of message
+  /// `message`: a splitmix64 hash of (seed, rank, message, salt).
+  double roll(std::uint64_t message, std::uint64_t salt) const;
+  /// Counts a backend operation and throws RankCrashError when this rank's
+  /// configured crash step is reached.
+  void step();
+
+  std::shared_ptr<Backend> inner_;
+  FaultSpec spec_;
+  long op_count_ = 0;            ///< All backend calls (crash_at clock).
+  std::uint64_t msg_count_ = 0;  ///< Sends only (per-message RNG key).
+  std::vector<std::byte> scratch_;  ///< Corruption staging (reused).
+};
+
+}  // namespace diffreg::mpisim

@@ -5,7 +5,12 @@
 // rigid baseline.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <string>
 
 #include "core/diffreg.hpp"
 #include "imaging/synthetic.hpp"
@@ -866,6 +871,262 @@ TEST(Rigid, IdentityWhenImagesMatch) {
   auto result = rigid.run(img, img, 30);
   EXPECT_NEAR(result.final_residual, 0.0, 1e-9);
   EXPECT_NEAR(result.params.translation.norm(), 0.0, 1e-6);
+}
+
+// ---- Numerical safeguards (--guard) -------------------------------------
+
+TEST(Pcg, BreakdownFallsBackToAFiniteDirection) {
+  // An operator that emits NaNs must trip the breakdown detector on the
+  // first sweep and fall back to the (finite) preconditioned gradient
+  // instead of iterating on garbage.
+  mpisim::run_spmd(1, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {8, 8, 8});
+    VectorField b(decomp.local_real_size());
+    b.fill(1.0);
+    auto apply_nan = [&](const VectorField& in, VectorField& out) {
+      out = in;
+      out[0][0] = std::numeric_limits<real_t>::quiet_NaN();
+    };
+    auto apply_id = [&](const VectorField& in, VectorField& out) {
+      out = in;
+    };
+    VectorField x;
+    PcgResult result = pcg_solve(decomp, apply_nan, apply_id, b, x, 1e-6, 50);
+    EXPECT_TRUE(result.breakdown);
+    EXPECT_EQ(result.iterations, 0);
+    EXPECT_FALSE(result.converged);
+    EXPECT_EQ(grid::count_nonfinite(x), 0);
+    // The fallback is the preconditioned gradient: z = M r = b here.
+    for (int d = 0; d < 3; ++d)
+      for (size_t i = 0; i < x[d].size(); ++i) ASSERT_EQ(x[d][i], b[d][i]);
+  });
+}
+
+TEST(Guard, ValidateFiniteIsCollective) {
+  // A NaN local to rank 1 must throw on BOTH ranks (a one-sided throw would
+  // strand the healthy rank in the next collective).
+  std::atomic<int> threw{0};
+  EXPECT_THROW(
+      mpisim::run_spmd(2,
+                       [&](mpisim::Communicator& comm) {
+                         PencilDecomp decomp(comm, {8, 8, 8});
+                         VectorField v(decomp.local_real_size());
+                         if (comm.rank() == 1)
+                           v[2][3] = std::numeric_limits<
+                               real_t>::quiet_NaN();
+                         try {
+                           grid::validate_finite(decomp, v, "test field");
+                         } catch (const grid::NonFiniteFieldError&) {
+                           ++threw;
+                           throw;
+                         }
+                       }),
+      grid::NonFiniteFieldError);
+  EXPECT_EQ(threw.load(), 2);
+}
+
+TEST(Guard, ThrowsOnNonFiniteInputImages) {
+  // A poisoned template image must surface as NonFiniteFieldError at the
+  // first guarded Newton iterate, on every rank, instead of converging to
+  // garbage or diverging silently.
+  EXPECT_THROW(
+      mpisim::run_spmd(2,
+                       [&](mpisim::Communicator& comm) {
+                         PencilDecomp decomp(comm, {16, 16, 16});
+                         spectral::SpectralOps ops(decomp);
+                         auto rho_t = imaging::synthetic_template(decomp);
+                         auto v_star = imaging::synthetic_velocity(decomp,
+                                                                   0.5);
+                         auto rho_r =
+                             imaging::make_reference(ops, rho_t, v_star);
+                         if (comm.rank() == 0)
+                           rho_t[1] =
+                               std::numeric_limits<real_t>::infinity();
+                         RegistrationOptions opt;
+                         opt.guard = true;
+                         opt.smooth_inputs = false;  // keep the Inf local
+                         opt.max_newton_iters = 3;
+                         RegistrationSolver solver(decomp, opt);
+                         solver.run(rho_t, rho_r);
+                       }),
+      grid::NonFiniteFieldError);
+}
+
+TEST(Guard, GuardedSolveIsBitwiseIdenticalToUnguarded) {
+  // On healthy inputs --guard adds sweeps but must not perturb a single
+  // bit of the solve (the acceptance criterion for having it default off).
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {16, 16, 16});
+    spectral::SpectralOps ops(decomp);
+    auto rho_t = imaging::synthetic_template(decomp);
+    auto v_star = imaging::synthetic_velocity(decomp, 0.5);
+    auto rho_r = imaging::make_reference(ops, rho_t, v_star);
+
+    RegistrationOptions opt;
+    opt.max_newton_iters = 5;
+    RegistrationSolver plain(decomp, opt);
+    auto res_plain = plain.run(rho_t, rho_r);
+
+    opt.guard = true;
+    RegistrationSolver guarded(decomp, opt);
+    auto res_guarded = guarded.run(rho_t, rho_r);
+
+    EXPECT_EQ(res_guarded.newton.iterations, res_plain.newton.iterations);
+    EXPECT_EQ(res_guarded.newton.line_search_recoveries, 0);
+    EXPECT_EQ(res_guarded.newton.fp64_escalations, 0);
+    for (int d = 0; d < 3; ++d)
+      for (size_t i = 0; i < res_plain.velocity[d].size(); ++i)
+        ASSERT_EQ(res_guarded.velocity[d][i], res_plain.velocity[d][i])
+            << "d=" << d << " i=" << i;
+  });
+}
+
+TEST(Guard, MixedPrecisionStagnationEscalatesToFp64) {
+  // A starved Krylov budget leaves the fp32 inner solve unconverged at
+  // every iterate: with guard on, each one must be redone at fp64 and
+  // counted, and the solve must still complete.
+  NewtonReport report;
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {16, 16, 16});
+    spectral::SpectralOps ops(decomp);
+    auto rho_t = imaging::synthetic_template(decomp);
+    auto v_star = imaging::synthetic_velocity(decomp, 0.5);
+    auto rho_r = imaging::make_reference(ops, rho_t, v_star);
+
+    RegistrationOptions opt;
+    opt.precision = Precision::kMixed;
+    opt.guard = true;
+    opt.max_krylov_iters = 1;
+    opt.forcing = Forcing::kConstant;
+    opt.forcing_max = 1e-6;  // unreachable in one sweep
+    opt.max_newton_iters = 3;
+    RegistrationSolver solver(decomp, opt);
+    auto res = solver.run(rho_t, rho_r);
+    if (comm.is_root()) report = res.newton;
+  });
+  EXPECT_GE(report.fp64_escalations, 1);
+  EXPECT_GE(report.iterations, 1);
+}
+
+TEST(Newton, IterateHookSeesEveryAcceptedIterate) {
+  std::atomic<int> calls{0};
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {16, 16, 16});
+    spectral::SpectralOps ops(decomp);
+    auto rho_t = imaging::synthetic_template(decomp);
+    auto v_star = imaging::synthetic_velocity(decomp, 0.5);
+    auto rho_r = imaging::make_reference(ops, rho_t, v_star);
+
+    RegistrationOptions opt;
+    opt.max_newton_iters = 5;
+    int local_calls = 0;
+    opt.iterate_hook = [&](const NewtonIterateInfo& info) {
+      ++local_calls;
+      EXPECT_EQ(info.iterates_done, local_calls);
+      EXPECT_GT(info.gradient_reference, 0);
+      ASSERT_NE(info.velocity, nullptr);
+      EXPECT_EQ(grid::count_nonfinite(*info.velocity), 0);
+    };
+    RegistrationSolver solver(decomp, opt);
+    auto res = solver.run(rho_t, rho_r);
+    EXPECT_EQ(local_calls, res.newton.iterations);
+    calls += local_calls;
+  });
+  EXPECT_GT(calls.load(), 0);
+}
+
+// ---- Checkpoint/restart -------------------------------------------------
+
+TEST(Checkpoint, RoundTripsHeaderAndVelocityBitwise) {
+  const std::string path = ::testing::TempDir() + "diffreg_ckpt_rt.bin";
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {12, 10, 8});
+    VectorField v(decomp.local_real_size());
+    for (int d = 0; d < 3; ++d)
+      for (size_t i = 0; i < v[d].size(); ++i)
+        v[d][i] = 0.25 * d + 1e-3 * static_cast<real_t>(i) +
+                  comm.rank() * 7.5;
+    CheckpointHeader hdr;
+    hdr.fine_dims = {24, 20, 16};
+    hdr.level_dims = decomp.dims();
+    hdr.beta = 1e-2;
+    hdr.beta_override = 5e-3;
+    hdr.gradient_reference = 3.75;
+    hdr.admissible = false;
+    hdr.newton_iters_done = 4;
+    write_checkpoint(decomp, hdr, v, path);
+
+    const CheckpointHeader back = read_checkpoint_header(comm, path);
+    EXPECT_EQ(back.fine_dims, hdr.fine_dims);
+    EXPECT_EQ(back.level_dims, hdr.level_dims);
+    EXPECT_EQ(back.beta, hdr.beta);
+    EXPECT_EQ(back.beta_override, hdr.beta_override);
+    EXPECT_EQ(back.gradient_reference, hdr.gradient_reference);
+    EXPECT_EQ(back.admissible, hdr.admissible);
+    EXPECT_EQ(back.newton_iters_done, hdr.newton_iters_done);
+
+    const VectorField got = read_checkpoint_velocity(decomp, path);
+    for (int d = 0; d < 3; ++d)
+      for (size_t i = 0; i < v[d].size(); ++i)
+        ASSERT_EQ(got[d][i], v[d][i]) << "d=" << d << " i=" << i;
+  });
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingAndCorruptFilesThrowOnEveryRank) {
+  const std::string garbage =
+      ::testing::TempDir() + "diffreg_ckpt_garbage.bin";
+  {
+    std::FILE* f = std::fopen(garbage.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "not a checkpoint at all";
+    std::fwrite(junk, 1, sizeof junk, f);
+    std::fclose(f);
+  }
+  std::atomic<int> threw{0};
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {8, 8, 8});
+    try {
+      read_checkpoint_header(comm, "/nonexistent/diffreg.ckpt");
+    } catch (const CheckpointError&) {
+      ++threw;
+    }
+    try {
+      read_checkpoint_velocity(decomp, garbage);
+    } catch (const CheckpointError&) {
+      ++threw;
+    }
+  });
+  // Both failure modes, on both ranks.
+  EXPECT_EQ(threw.load(), 4);
+  std::remove(garbage.c_str());
+}
+
+TEST(Checkpoint, TruncatedPayloadThrowsOnEveryRank) {
+  const std::string path = ::testing::TempDir() + "diffreg_ckpt_trunc.bin";
+  std::atomic<int> threw{0};
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    PencilDecomp decomp(comm, {8, 8, 8});
+    VectorField v(decomp.local_real_size());
+    v.fill(1.5);
+    CheckpointHeader hdr;
+    hdr.fine_dims = decomp.dims();
+    hdr.level_dims = decomp.dims();
+    write_checkpoint(decomp, hdr, v, path);
+    comm.barrier();
+    if (comm.is_root()) {
+      std::filesystem::resize_file(path, 200);  // header + partial payload
+    }
+    comm.barrier();
+    try {
+      read_checkpoint_velocity(decomp, path);
+    } catch (const CheckpointError& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+      ++threw;
+    }
+  });
+  EXPECT_EQ(threw.load(), 2);
+  std::remove(path.c_str());
 }
 
 }  // namespace

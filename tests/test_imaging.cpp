@@ -136,6 +136,26 @@ TEST(Io, RawVolumeRoundTrip) {
   std::remove((path + ".mhd").c_str());
 }
 
+TEST(Io, TruncatedRawVolumeThrowsNamingTheFile) {
+  // A partially written (or partially copied) volume must fail loudly with
+  // the file name, not return a short buffer padded with stale memory.
+  const Int3 dims{6, 5, 4};
+  std::vector<real_t> vol(dims.prod(), 1.25);
+  const std::string path = ::testing::TempDir() + "diffreg_truncated_volume";
+  write_raw_volume(path, dims, vol);
+  std::filesystem::resize_file(path + ".raw", 100);
+  try {
+    read_raw_volume(path, dims);
+    FAIL() << "expected a truncated-file error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos);
+    EXPECT_NE(what.find(path), std::string::npos);
+  }
+  std::remove((path + ".raw").c_str());
+  std::remove((path + ".mhd").c_str());
+}
+
 TEST(Io, PgmSliceHasCorrectHeaderAndSize) {
   const Int3 dims{4, 3, 5};
   std::vector<real_t> vol(dims.prod());

@@ -14,6 +14,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "core/diffreg.hpp"
 #include "imaging/metrics.hpp"
@@ -221,6 +225,106 @@ TEST(Integration, TimingCategoriesAreAllExercisedByASolve) {
   EXPECT_GT(max.get(TimeKind::kFftExec), 0.0);
   EXPECT_GT(max.get(TimeKind::kInterpComm), 0.0);
   EXPECT_GT(max.get(TimeKind::kInterpExec), 0.0);
+}
+
+/// Thrown by the kill-switch iterate hook below: models a job dying
+/// mid-continuation (every rank throws at the same accepted iterate).
+struct KillSwitch : std::runtime_error {
+  KillSwitch() : std::runtime_error("kill switch") {}
+};
+
+TEST(Integration, CheckpointResumeReproducesTheContinuationRun) {
+  // The checkpoint/restart acceptance test: a 3-level 48^3 continuation is
+  // (1) run uninterrupted for reference, (2) killed right after the first
+  // accepted Newton iterate past the coarsest level with --checkpoint-every
+  // 1, and (3) resumed from the surviving checkpoint. Newton state is fully
+  // determined by (velocity, options), so the resumed run must converge to
+  // the same gtol with the same final-level Newton iterate count — and in
+  // this thread-backed deterministic runtime, a bitwise-identical velocity.
+  const std::string ckpt = ::testing::TempDir() + "diffreg_resume_test.ckpt";
+  core::RegistrationOptions opt;
+  opt.beta = 1e-2;
+  opt.gtol = 1e-2;
+  opt.max_newton_iters = 10;
+  core::MultilevelOptions mopt;
+  mopt.levels = 3;
+  mopt.coarsest_dim = 8;
+
+  auto body = [&](mpisim::Communicator& comm, const core::MultilevelOptions&
+                                                  run_mopt,
+                  core::MultilevelResult& out) {
+    PencilDecomp decomp(comm, {48, 48, 48});
+    spectral::SpectralOps ops(decomp);
+    auto rho_t = imaging::synthetic_template(decomp);
+    auto v_star = imaging::synthetic_velocity(decomp, 0.5);
+    auto rho_r = imaging::make_reference(ops, rho_t, v_star);
+    out = core::run_multilevel_continuation(decomp, opt, rho_t, rho_r,
+                                            run_mopt);
+  };
+
+  // (1) Uninterrupted reference.
+  core::MultilevelResult ref;
+  int ref_coarsest_iters = 0;
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    core::MultilevelResult ml;
+    body(comm, mopt, ml);
+    if (comm.is_root()) {
+      ref = std::move(ml);
+      ref_coarsest_iters = ref.levels.front().newton_iterations;
+    }
+  });
+  ASSERT_TRUE(ref.fine.newton.converged);
+  ASSERT_GE(ref_coarsest_iters, 1);
+
+  // (2) Kill the run at the first accepted iterate past the coarsest level.
+  const int kill_at = ref_coarsest_iters + 1;
+  EXPECT_THROW(
+      mpisim::run_spmd(2,
+                       [&](mpisim::Communicator& comm) {
+                         core::MultilevelOptions kmopt = mopt;
+                         kmopt.checkpoint_path = ckpt;
+                         kmopt.checkpoint_every = 1;
+                         core::RegistrationOptions kopt = opt;
+                         int accepted = 0;  // per-rank, advances in lockstep
+                         kopt.iterate_hook =
+                             [&](const core::NewtonIterateInfo&) {
+                               if (++accepted == kill_at) throw KillSwitch();
+                             };
+                         PencilDecomp decomp(comm, {48, 48, 48});
+                         spectral::SpectralOps ops(decomp);
+                         auto rho_t = imaging::synthetic_template(decomp);
+                         auto v_star = imaging::synthetic_velocity(decomp,
+                                                                   0.5);
+                         auto rho_r =
+                             imaging::make_reference(ops, rho_t, v_star);
+                         core::run_multilevel_continuation(decomp, kopt,
+                                                           rho_t, rho_r,
+                                                           kmopt);
+                       }),
+      KillSwitch);
+
+  // (3) Resume from the surviving checkpoint and compare.
+  core::MultilevelResult resumed;
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    core::MultilevelOptions rmopt = mopt;
+    rmopt.resume_path = ckpt;
+    core::MultilevelResult ml;
+    body(comm, rmopt, ml);
+    if (comm.is_root()) resumed = std::move(ml);
+  });
+
+  EXPECT_TRUE(resumed.fine.newton.converged);
+  EXPECT_EQ(resumed.fine.newton.iterations, ref.fine.newton.iterations);
+  EXPECT_DOUBLE_EQ(resumed.fine.newton.final_gradient_norm,
+                   ref.fine.newton.final_gradient_norm);
+  EXPECT_DOUBLE_EQ(resumed.gradient_reference, ref.gradient_reference);
+  ASSERT_EQ(resumed.fine.velocity.local_size(),
+            ref.fine.velocity.local_size());
+  for (int d = 0; d < 3; ++d)
+    for (size_t i = 0; i < ref.fine.velocity[d].size(); ++i)
+      ASSERT_EQ(resumed.fine.velocity[d][i], ref.fine.velocity[d][i])
+          << "d=" << d << " i=" << i;
+  std::remove(ckpt.c_str());
 }
 
 }  // namespace

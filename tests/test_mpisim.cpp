@@ -9,8 +9,10 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <string>
 #include <thread>
 
+#include "common/logger.hpp"
 #include "mpisim/communicator.hpp"
 
 namespace diffreg::mpisim {
@@ -733,6 +735,102 @@ TEST(Nonblocking, HiddenTimeAccountsOverlappedFlight) {
   double total = 0;
   for (const auto& t : timings) total += t.hidden(TimeKind::kFftComm);
   EXPECT_GT(total, 0.0);
+}
+
+TEST(Collectives, AlltoallvConsistencyThrowsOnEveryRank) {
+  // The consistency self-check's contract is collective failure: when any
+  // rank disagrees on the alltoallv tag, ALL ranks must throw (none may
+  // hang waiting for an exchange that will never match up).
+  std::atomic<int> threw{0};
+  EXPECT_THROW(run_spmd(4,
+                        [&](Communicator& comm) {
+                          std::vector<std::vector<int>> bufs(4);
+                          try {
+                            comm.alltoallv(std::move(bufs),
+                                           comm.rank() == 2 ? 22 : 21);
+                          } catch (const std::runtime_error&) {
+                            ++threw;
+                            throw;
+                          }
+                        }),
+               std::runtime_error);
+  EXPECT_EQ(threw.load(), 4);
+}
+
+TEST(Nonblocking, WaitRejectsMismatchedFp32WirePayload) {
+  // The exact-size contract must hold on the fp32 wire too: a widened
+  // receive posted for 6 elements against an 8-element narrowed payload
+  // fails at wait() instead of widening garbage.
+  std::atomic<int> threw{0};
+  run_spmd(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> payload(8, 2.25);
+      std::vector<float> sstage(8);
+      comm.send_narrowed(std::span<const double>(payload),
+                         std::span<float>(sstage), 1, /*tag=*/81);
+    } else {
+      std::vector<double> out(6);
+      std::vector<float> rstage(6);
+      auto req = comm.irecv_widened(std::span<double>(out),
+                                    std::span<float>(rstage), 0, /*tag=*/81);
+      try {
+        req.wait();
+      } catch (const std::runtime_error&) {
+        ++threw;
+      }
+    }
+  });
+  EXPECT_EQ(threw.load(), 1);
+}
+
+TEST(Nonblocking, DrainOnDestroyLogsRatedWarning) {
+  // Dropping a CommRequest without wait() is a correctness smell (failures
+  // it would have surfaced are swallowed): the destructor must drain the
+  // pending receives and say so through the logger, with enough context to
+  // find the call site.
+  std::vector<std::string> warnings;
+  Logger::instance().set_sink(
+      [&](LogLevel level, const std::string& message) {
+        if (level == LogLevel::kWarn) warnings.push_back(message);
+      });
+  run_spmd(2, [&](Communicator& comm) {
+    const int peer = 1 - comm.rank();
+    std::vector<double> payload(4, 1.5), out(4);
+    comm.send(std::span<const double>(payload), peer, /*tag=*/83);
+    {
+      auto req = comm.irecv_into(std::span<double>(out), peer, /*tag=*/83);
+      // req destroyed without wait(): must drain and warn, not throw.
+    }
+    comm.barrier();
+  });
+  Logger::instance().set_sink(nullptr);
+  ASSERT_EQ(warnings.size(), 2u);  // one per rank
+  for (const auto& w : warnings) {
+    EXPECT_NE(w.find("CommRequest destroyed before wait()"),
+              std::string::npos);
+    EXPECT_NE(w.find("tag=83"), std::string::npos);
+  }
+}
+
+TEST(Nonblocking, DrainWarningIsRateLimited) {
+  // The drain warning fires per destroyed request; the rate limiter must
+  // cap the noise at kRatedLimit emissions (the last one carrying the
+  // suppression notice) no matter how many leaks follow.
+  std::vector<std::string> warnings;
+  Logger::instance().set_sink(
+      [&](LogLevel level, const std::string& message) {
+        if (level == LogLevel::kWarn) warnings.push_back(message);
+      });
+  run_spmd(1, [&](Communicator& comm) {
+    for (int k = 0; k < 6; ++k) {
+      std::vector<double> payload(1, 1.0), out(1);
+      comm.send(std::span<const double>(payload), 0, /*tag=*/84);
+      auto req = comm.irecv_into(std::span<double>(out), 0, /*tag=*/84);
+    }
+  });
+  Logger::instance().set_sink(nullptr);
+  ASSERT_EQ(warnings.size(), 3u);
+  EXPECT_NE(warnings.back().find("suppressing"), std::string::npos);
 }
 
 }  // namespace
