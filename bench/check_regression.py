@@ -31,6 +31,11 @@ Field classes:
   tolerance (--ratio-tolerance, default 0.25: thread scheduling on an
   oversubscribed CI box makes the hidden fraction noisy). Growth is never
   a failure.
+* Throughput rates (ending in ``_rate``, e.g. registrations/sec of the
+  batch service leg): higher is better, so the gate is the mirror image of
+  the ``_ms`` class — fail when the current value drops below
+  baseline / (1 + --time-tolerance). Like wall times, rates are only
+  compared when both JSONs carry the same arch flag set.
 * Convergence flags (ending in ``_converged``): must match the baseline
   exactly in both directions — a solve that stops converging is a
   regression even though the value decreased.
@@ -60,6 +65,7 @@ TIME_SUFFIX = "_ms"
 ITERS_SUFFIX = "_iters"
 WIRE_BYTES_SUFFIX = "_bytes"
 RATIO_SUFFIX = "_ratio"
+RATE_SUFFIX = "_rate"
 
 
 def record_key(record):
@@ -73,6 +79,7 @@ FIELD_CLASS_DESC = {
     "wire_bytes": "wire byte counter (exact, any growth fails)",
     "bytes": "byte counter (--bytes-tolerance)",
     "ratio": "ratio (absolute drop beyond --ratio-tolerance fails)",
+    "rate": "throughput rate (drop beyond --time-tolerance fails)",
     "converged": "convergence flag (exact in both directions)",
     "counter": "comm counter (exact, any growth fails)",
 }
@@ -94,6 +101,8 @@ def field_class(field):
         return "bytes"
     if field.endswith(RATIO_SUFFIX):
         return "ratio"
+    if field.endswith(RATE_SUFFIX):
+        return "rate"
     if field.endswith("_converged"):
         return "converged"
     return "counter"
@@ -252,6 +261,23 @@ def compare_file(current_path, baseline_path, time_tol, bytes_tol, iters_tol,
                 elif cur_val > base_val + ratio_tol:
                     notes.append(
                         f"{bench} ({ident}): ratio {field} improved "
+                        f"{base_val:.3f} -> {cur_val:.3f}; consider "
+                        "refreshing the baseline")
+            elif cls == "rate":
+                # Throughput (higher is better): the mirror image of the
+                # wall-time class, with the same tolerance and the same
+                # arch-flag skip (a rate is 1 / wall time in disguise).
+                if not compare_times:
+                    continue
+                limit = base_val / (1.0 + time_tol)
+                if cur_val < limit:
+                    failures.append(
+                        f"{bench} ({ident}): rate {field} regressed "
+                        f"{base_val:.3f} -> {cur_val:.3f} "
+                        f"(limit {limit:.3f}, tolerance {time_tol:.0%})")
+                elif cur_val > base_val * (1.0 + time_tol):
+                    notes.append(
+                        f"{bench} ({ident}): rate {field} improved "
                         f"{base_val:.3f} -> {cur_val:.3f}; consider "
                         "refreshing the baseline")
             elif cls == "converged":

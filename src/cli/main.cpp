@@ -6,292 +6,157 @@
 //   diffreg --grid 64,64,64 --ranks 2 --workload synthetic
 //   diffreg --grid 48,56,48 --workload brain --continuation --out result
 //   diffreg --grid 64,64,64 --template t --reference r --incompressible
+//   diffreg --grid 32,32,32 --ranks 4 --batch jobs.txt
 //
 // With --out PREFIX the deformed template, the residual and the
 // det(grad y) map are written as PREFIX_*.{raw,mhd} volumes plus a
-// mid-axial PGM slice each.
+// mid-axial PGM slice each. With --batch FILE every non-comment line of
+// FILE is one registration job (same flags as the command line, inheriting
+// the command-line defaults) and all jobs run through one shared plan
+// registry — see docs/SERVICE.md.
 #include <cstdio>
-#include <cstring>
+#include <fstream>
 #include <optional>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "cli/cli_options.hpp"
 #include "core/diffreg.hpp"
 #include "grid/field_io.hpp"
 #include "imaging/io.hpp"
-#include "imaging/synthetic.hpp"
 
 using namespace diffreg;
 
 namespace {
 
-struct CliOptions {
-  Int3 dims{64, 64, 64};
-  int ranks = 2;
-  std::string workload = "synthetic";  // synthetic | brain | spheres | files
-  std::string template_path, reference_path;
-  std::string out_prefix;
-  bool continuation = false;
-  core::RegistrationOptions reg;
-  core::ContinuationOptions cont;
-  core::MultilevelOptions multi;
-  bool multilevel = false;  // set by --levels N with N > 1
-  // Fault-tolerant runtime (docs/FAULT_MODEL.md).
-  std::string fault_spec;       // --fault-spec, forwarded to run_spmd
-  double comm_timeout_ms = 0;   // --comm-timeout-ms, 0 = watchdog off
-};
-
-void print_usage() {
-  std::printf(
-      "diffreg — distributed-memory large deformation diffeomorphic 3D "
-      "image registration (SC16 reproduction)\n\n"
-      "usage: diffreg [options]\n"
-      "  --grid N1,N2,N3      grid size (default 64,64,64)\n"
-      "  --ranks P            simulated MPI ranks (default 2)\n"
-      "  --workload W         synthetic | brain | spheres (default synthetic)\n"
-      "  --template PATH      raw volume (with --reference; overrides workload)\n"
-      "  --reference PATH     raw volume\n"
-      "  --beta B             regularization weight (default 1e-2)\n"
-      "  --reg h1|h2          regularization seminorm (default h2)\n"
-      "  --nt N               semi-Lagrangian time steps (default 4)\n"
-      "  --gtol T             relative gradient tolerance (default 1e-2)\n"
-      "  --max-newton N       Newton iteration cap (default 50)\n"
-      "  --incompressible     enforce div v = 0 (volume preserving map)\n"
-      "  --precision P        double | mixed (default double); mixed ships\n"
-      "                       every hot exchange as fp32 and runs the inner\n"
-      "                       Krylov solve in single precision (outer Newton\n"
-      "                       stays double — see README precision policy)\n"
-      "  --overlap M          on | off (default off); on posts the hot\n"
-      "                       exchanges nonblocking and runs independent\n"
-      "                       local work under their flight (bitwise\n"
-      "                       identical results and message schedule)\n"
-      "  --full-newton        keep the full-Newton Hessian terms\n"
-      "  --trilinear          trilinear instead of tricubic interpolation\n"
-      "  --continuation       run beta continuation (start 1e-1 -> beta)\n"
-      "  --levels N           N-level coarse-to-fine grid pyramid "
-      "(default 1 = single level);\n"
-      "                       with --continuation the coarsest level runs "
-      "the beta schedule\n"
-      "  --coarsest D         pyramid floor: no axis below D points "
-      "(default 8)\n"
-      "  --two-level          coarse-grid Hessian preconditioner for the "
-      "PCG solves\n"
-      "  --precond-iters N    inner CG sweeps of the coarse Hessian solve "
-      "(default 5)\n"
-      "  --out PREFIX         write deformed/residual/det volumes + slices\n"
-      "  --guard M            on | off (default off); collective finite\n"
-      "                       sweeps per Newton iterate plus line-search,\n"
-      "                       PCG-breakdown and mixed-precision recovery\n"
-      "  --comm-timeout-ms T  comm watchdog: blocking receives/barriers\n"
-      "                       raise CommTimeoutError with a per-rank\n"
-      "                       diagnosis after T ms (default 0 = off)\n"
-      "  --fault-spec S       fault injection for robustness testing, e.g.\n"
-      "                       \"seed=7,drop=0.01,delay_ms=5\" (see\n"
-      "                       docs/FAULT_MODEL.md for the full grammar)\n"
-      "  --checkpoint PATH    checkpoint file (default diffreg.ckpt)\n"
-      "  --checkpoint-every N write a checkpoint every N accepted Newton\n"
-      "                       iterates and at every level end\n"
-      "  --resume PATH        warm-restart a killed run from a checkpoint\n"
-      "  --verbose            per-iteration Newton log\n"
-      "  --help               this message\n");
-}
-
-bool parse_int3(const char* arg, Int3& out) {
-  long long a = 0, b = 0, c = 0;
-  if (std::sscanf(arg, "%lld,%lld,%lld", &a, &b, &c) != 3) return false;
-  if (a < 4 || b < 4 || c < 4) return false;
-  out = {a, b, c};
+/// Reads and parses a --batch job file. Returns false after printing the
+/// offending line (host-side, before any ranks spawn).
+bool read_job_file(const std::string& path, const cli::CliOptions& defaults,
+                   std::vector<cli::CliOptions>& jobs) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open job file %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::string error;
+    auto jo = cli::parse_options(line, defaults, error);
+    if (!jo) {
+      std::fprintf(stderr, "error: %s:%d: %s\n", path.c_str(), lineno,
+                   error.c_str());
+      return false;
+    }
+    jobs.push_back(std::move(*jo));
+  }
+  if (jobs.empty()) {
+    std::fprintf(stderr, "error: job file %s has no jobs\n", path.c_str());
+    return false;
+  }
   return true;
 }
 
-std::optional<CliOptions> parse(int argc, char** argv) {
-  CliOptions opt;
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    auto next = [&]() -> const char* {
-      return (i + 1 < argc) ? argv[++i] : nullptr;
-    };
-    if (flag == "--help" || flag == "-h") {
-      print_usage();
-      return std::nullopt;
-    } else if (flag == "--grid") {
-      const char* v = next();
-      if (!v || !parse_int3(v, opt.dims)) {
-        std::fprintf(stderr, "error: bad --grid\n");
-        return std::nullopt;
-      }
-    } else if (flag == "--ranks") {
-      const char* v = next();
-      if (!v || (opt.ranks = std::atoi(v)) < 1) {
-        std::fprintf(stderr, "error: bad --ranks\n");
-        return std::nullopt;
-      }
-    } else if (flag == "--workload") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      opt.workload = v;
-    } else if (flag == "--template") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      opt.template_path = v;
-      opt.workload = "files";
-    } else if (flag == "--reference") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      opt.reference_path = v;
-      opt.workload = "files";
-    } else if (flag == "--beta") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      opt.reg.beta = std::atof(v);
-    } else if (flag == "--reg") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      if (std::strcmp(v, "h1") == 0)
-        opt.reg.reg_type = core::RegType::kH1Seminorm;
-      else if (std::strcmp(v, "h2") == 0)
-        opt.reg.reg_type = core::RegType::kH2Seminorm;
-      else {
-        std::fprintf(stderr, "error: --reg must be h1 or h2\n");
-        return std::nullopt;
-      }
-    } else if (flag == "--nt") {
-      const char* v = next();
-      if (!v || (opt.reg.nt = std::atoi(v)) < 1) return std::nullopt;
-    } else if (flag == "--gtol") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      opt.reg.gtol = std::atof(v);
-    } else if (flag == "--max-newton") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      opt.reg.max_newton_iters = std::atoi(v);
-    } else if (flag == "--incompressible") {
-      opt.reg.incompressible = true;
-    } else if (flag == "--precision") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      if (std::strcmp(v, "double") == 0)
-        opt.reg.precision = core::Precision::kDouble;
-      else if (std::strcmp(v, "mixed") == 0)
-        opt.reg.precision = core::Precision::kMixed;
-      else {
-        std::fprintf(stderr, "error: --precision must be double or mixed\n");
-        return std::nullopt;
-      }
-    } else if (flag == "--overlap") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      if (std::strcmp(v, "on") == 0)
-        opt.reg.overlap = true;
-      else if (std::strcmp(v, "off") == 0)
-        opt.reg.overlap = false;
-      else {
-        std::fprintf(stderr, "error: --overlap must be on or off\n");
-        return std::nullopt;
-      }
-    } else if (flag == "--full-newton") {
-      opt.reg.gauss_newton = false;
-    } else if (flag == "--trilinear") {
-      opt.reg.interp_method = interp::Method::kTrilinear;
-    } else if (flag == "--continuation") {
-      opt.continuation = true;
-    } else if (flag == "--levels") {
-      const char* v = next();
-      if (!v || (opt.multi.levels = std::atoi(v)) < 1) {
-        std::fprintf(stderr, "error: bad --levels\n");
-        return std::nullopt;
-      }
-      opt.multilevel = opt.multi.levels > 1;
-    } else if (flag == "--coarsest") {
-      const char* v = next();
-      if (!v || (opt.multi.coarsest_dim = std::atoll(v)) < 4) {
-        std::fprintf(stderr, "error: bad --coarsest\n");
-        return std::nullopt;
-      }
-    } else if (flag == "--two-level") {
-      opt.reg.two_level_precond = true;
-    } else if (flag == "--precond-iters") {
-      const char* v = next();
-      if (!v || (opt.reg.precond_inner_iters = std::atoi(v)) < 1) {
-        std::fprintf(stderr, "error: bad --precond-iters\n");
-        return std::nullopt;
-      }
-    } else if (flag == "--out") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      opt.out_prefix = v;
-    } else if (flag == "--guard") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      if (std::strcmp(v, "on") == 0)
-        opt.reg.guard = true;
-      else if (std::strcmp(v, "off") == 0)
-        opt.reg.guard = false;
-      else {
-        std::fprintf(stderr, "error: --guard must be on or off\n");
-        return std::nullopt;
-      }
-    } else if (flag == "--comm-timeout-ms") {
-      const char* v = next();
-      if (!v || (opt.comm_timeout_ms = std::atof(v)) < 0) {
-        std::fprintf(stderr, "error: bad --comm-timeout-ms\n");
-        return std::nullopt;
-      }
-    } else if (flag == "--fault-spec") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      opt.fault_spec = v;
-    } else if (flag == "--checkpoint") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      opt.multi.checkpoint_path = v;
-    } else if (flag == "--checkpoint-every") {
-      const char* v = next();
-      if (!v || (opt.multi.checkpoint_every = std::atoi(v)) < 1) {
-        std::fprintf(stderr, "error: bad --checkpoint-every\n");
-        return std::nullopt;
-      }
-    } else if (flag == "--resume") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      opt.multi.resume_path = v;
-    } else if (flag == "--verbose") {
-      opt.reg.verbose = true;
-    } else {
-      std::fprintf(stderr, "error: unknown flag %s (try --help)\n",
-                   flag.c_str());
-      return std::nullopt;
+/// Batch service mode: submit every job to a BatchSolver and print the
+/// per-job summary table plus registry statistics on the root rank.
+int run_batch(const cli::CliOptions& opt,
+              const std::vector<cli::CliOptions>& jobs,
+              const mpisim::SpmdOptions& spmd) {
+  const auto body = [&](mpisim::Communicator& comm) {
+    core::BatchSolver batch(comm);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const cli::CliOptions& jo = jobs[j];
+      core::BatchJobSpec spec;
+      spec.dims = jo.dims;
+      spec.request.options = jo.reg;
+      spec.request.job_id = j + 1;
+      spec.request.priority = jo.priority;
+      spec.request.deadline_seconds = jo.deadline;
+      spec.request.checkpoint_path = jo.multi.checkpoint_path;
+      if (jo.multi.checkpoint_every > 0)
+        spec.request.checkpoint_every = jo.multi.checkpoint_every;
+      spec.make_inputs = [jo](grid::PencilDecomp& d, grid::ScalarField& t,
+                              grid::ScalarField& r) {
+        spectral::SpectralOps ops(d);
+        std::string error;
+        if (!cli::build_workload(d, ops, jo, t, r, error))
+          throw std::runtime_error(error);
+      };
+      batch.submit(std::move(spec));
     }
+
+    core::BatchOptions bopt;
+    bopt.shards = opt.shards;
+    bopt.verbose = opt.reg.verbose;
+    auto report = batch.run_all(bopt);
+
+    if (comm.is_root()) {
+      std::printf(
+          "batch: %zu jobs  %d shard%s  wall %.2f s  %.3f registrations/s\n",
+          report.summary.size(), report.shards,
+          report.shards == 1 ? "" : "s", report.wall_seconds,
+          report.registrations_per_sec);
+      std::printf(
+          "plan registry: %d builds (%d decomp, %d spectral, %d resample, "
+          "%d transport)  %d leases\n",
+          report.registry.decomp_builds + report.registry.spectral_builds +
+              report.registry.resample_builds +
+              report.registry.transport_builds,
+          report.registry.decomp_builds, report.registry.spectral_builds,
+          report.registry.resample_builds, report.registry.transport_builds,
+          report.registry.leases);
+      std::printf(
+          "%4s %5s %4s %6s %7s %8s %8s %8s %8s %8s\n", "job", "shard",
+          "conv", "newton", "matvecs", "rel res", "min det", "solve s",
+          "done at", "deadline");
+      for (const auto& s : report.summary)
+        std::printf(
+            "%4llu %5d %4s %6d %7d %8.3f %8.3f %8.2f %8.2f %8s\n",
+            static_cast<unsigned long long>(s.job_id), s.shard,
+            s.converged ? "yes" : "no", s.newton_iters, s.matvecs,
+            s.rel_residual, s.min_det, s.solve_seconds,
+            s.completed_at_seconds, s.deadline_met ? "met" : "MISSED");
+    }
+  };
+  try {
+    mpisim::run_spmd(opt.ranks, body, spmd);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
   }
-  if (opt.workload == "files" &&
-      (opt.template_path.empty() || opt.reference_path.empty())) {
-    std::fprintf(stderr, "error: --template and --reference go together\n");
-    return std::nullopt;
-  }
-  // Checkpoint/restart runs through the multilevel driver (a single level
-  // is both the coarsest and the finest), so the flags imply it.
-  if (!opt.multi.checkpoint_path.empty() && opt.multi.checkpoint_every == 0)
-    opt.multi.checkpoint_every = 1;
-  if (opt.multi.checkpoint_every > 0 && opt.multi.checkpoint_path.empty())
-    opt.multi.checkpoint_path = "diffreg.ckpt";
-  if (opt.multi.checkpoint_every > 0 || !opt.multi.resume_path.empty()) {
-    if (!opt.multilevel) opt.multi.levels = 1;
-    opt.multilevel = true;
-  }
-  return opt;
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto parsed = parse(argc, argv);
-  if (!parsed) return argc > 1 && std::string(argv[1]) == "--help" ? 0 : 1;
-  const CliOptions opt = *parsed;
+  std::string parse_error;
+  auto parsed = cli::parse_options(argc, argv, parse_error);
+  if (!parsed) {
+    std::fprintf(stderr, "error: %s\n", parse_error.c_str());
+    return 1;
+  }
+  if (parsed->help) {
+    cli::print_usage();
+    return 0;
+  }
+  const cli::CliOptions opt = *parsed;
 
-  int exit_code = 0;
   mpisim::SpmdOptions spmd;
   spmd.fault_spec = opt.fault_spec;
   spmd.comm_timeout_ms = opt.comm_timeout_ms;
+
+  if (!opt.batch_file.empty()) {
+    std::vector<cli::CliOptions> jobs;
+    if (!read_job_file(opt.batch_file, opt, jobs)) return 1;
+    return run_batch(opt, jobs, spmd);
+  }
+
+  int exit_code = 0;
   const auto body = [&](mpisim::Communicator& comm) {
     grid::PencilDecomp decomp(comm, opt.dims);
     spectral::SpectralOps ops(decomp);
@@ -299,35 +164,9 @@ int main(int argc, char** argv) {
 
     // Build or load the image pair.
     grid::ScalarField rho_t, rho_r;
-    if (opt.workload == "synthetic") {
-      rho_t = imaging::synthetic_template(decomp);
-      auto v = opt.reg.incompressible
-                   ? imaging::synthetic_velocity_divfree(decomp, 0.5)
-                   : imaging::synthetic_velocity(decomp, 0.5);
-      rho_r = imaging::make_reference(ops, rho_t, v, opt.reg.nt);
-    } else if (opt.workload == "brain") {
-      rho_r = imaging::brain_phantom(decomp, 1);
-      rho_t = imaging::brain_phantom(decomp, 2);
-    } else if (opt.workload == "spheres") {
-      const real_t c = kTwoPi / 2;
-      rho_t = imaging::sphere_phantom(decomp, {c, c, c}, 1.2);
-      rho_r = imaging::sphere_phantom(decomp, {c + 0.4, c - 0.3, c}, 1.4);
-    } else if (opt.workload == "files") {
-      std::vector<real_t> full_t, full_r;
-      if (root) {
-        full_t = imaging::read_raw_volume(opt.template_path, opt.dims);
-        full_r = imaging::read_raw_volume(opt.reference_path, opt.dims);
-      }
-      rho_t = grid::scatter_from_root(
-          decomp, root ? std::span<const real_t>(full_t)
-                       : std::span<const real_t>());
-      rho_r = grid::scatter_from_root(
-          decomp, root ? std::span<const real_t>(full_r)
-                       : std::span<const real_t>());
-    } else {
-      if (root)
-        std::fprintf(stderr, "error: unknown workload %s\n",
-                     opt.workload.c_str());
+    std::string werror;
+    if (!cli::build_workload(decomp, ops, opt, rho_t, rho_r, werror)) {
+      if (root) std::fprintf(stderr, "error: %s\n", werror.c_str());
       exit_code = 1;
       return;
     }
@@ -335,6 +174,7 @@ int main(int argc, char** argv) {
     // Solve.
     core::RegistrationSolver solver(decomp, opt.reg);
     core::RegistrationResult result;
+    double summary_beta = opt.reg.beta;
     if (opt.multilevel) {
       core::MultilevelOptions mopt = opt.multi;
       if (opt.continuation) {
@@ -359,7 +199,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(lev.dims[2]), lev.beta,
               lev.newton_iterations, lev.matvecs, lev.rel_residual,
               lev.min_det, lev.time_seconds);
-      solver.mutable_options().beta = ml.final_beta;
+      summary_beta = ml.final_beta;
       result = std::move(ml.fine);
     } else if (opt.continuation) {
       core::ContinuationOptions copt = opt.cont;
@@ -375,9 +215,8 @@ int main(int argc, char** argv) {
         std::printf("warning: no admissible stage (min det <= %.2f); "
                     "reporting the beta %.1e solve\n",
                     copt.min_det_bound, cont.final_beta);
-      // run_beta_continuation restores the solver's options; reflect the
-      // beta that produced `best` in the summary below.
-      solver.mutable_options().beta = cont.final_beta;
+      // Reflect the beta that produced `best` in the summary below.
+      summary_beta = cont.final_beta;
       result = std::move(cont.best);
     } else {
       result = solver.run(rho_t, rho_r);
@@ -388,7 +227,7 @@ int main(int argc, char** argv) {
                   static_cast<long long>(opt.dims[0]),
                   static_cast<long long>(opt.dims[1]),
                   static_cast<long long>(opt.dims[2]), opt.ranks,
-                  solver.options().beta,
+                  summary_beta,
                   opt.reg.incompressible ? "incompressible" : "compressible",
                   opt.reg.gauss_newton ? "gauss-newton" : "full-newton",
                   opt.reg.precision == core::Precision::kMixed

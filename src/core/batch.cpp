@@ -1,0 +1,323 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "interp/fused_exchange.hpp"
+
+namespace diffreg::core {
+
+namespace {
+
+semilag::TransportConfig transport_config(const RegistrationOptions& opt) {
+  semilag::TransportConfig tc;
+  tc.nt = opt.nt;
+  tc.method = opt.interp_method;
+  tc.incompressible = opt.incompressible;
+  tc.wire = opt.wire();
+  tc.overlap = opt.overlap;
+  return tc;
+}
+
+Vec3 smoothing_sigma(const RegistrationOptions& opt, const Int3& dims) {
+  return {opt.smoothing_cells * kTwoPi / dims[0],
+          opt.smoothing_cells * kTwoPi / dims[1],
+          opt.smoothing_cells * kTwoPi / dims[2]};
+}
+
+}  // namespace
+
+std::uint64_t BatchSolver::submit(BatchJobSpec spec) {
+  if (spec.dims[0] < 1 || spec.dims[1] < 1 || spec.dims[2] < 1)
+    throw std::invalid_argument("BatchSolver: job needs valid dims");
+  if (!spec.make_inputs &&
+      (spec.request.rho_t == nullptr || spec.request.rho_r == nullptr))
+    throw std::invalid_argument(
+        "BatchSolver: job needs input pointers or an input factory");
+  if (spec.request.job_id == 0) spec.request.job_id = next_job_id_++;
+  const std::uint64_t id = spec.request.job_id;
+  queue_.push_back(std::move(spec));
+  return id;
+}
+
+BatchSolver::Shard& BatchSolver::shard_context(int shards, int shard_size,
+                                               int color) {
+  auto it = shards_.find(shards);
+  if (it == shards_.end()) {
+    Shard ctx;
+    // One shard is the parent communicator itself: no split, so the comm
+    // schedule (and therefore every result) matches standalone solves
+    // bitwise. More shards split collectively — every rank participates.
+    ctx.sub = shards == 1 ? comm_ : comm_.split(color);
+    (void)shard_size;
+    ctx.registry = std::make_shared<PlanRegistry>(ctx.sub);
+    it = shards_.emplace(shards, std::move(ctx)).first;
+  }
+  return it->second;
+}
+
+BatchReport BatchSolver::run_all(const BatchOptions& opts) {
+  BatchReport out;
+  const int p = comm_.size();
+  const int njobs = static_cast<int>(queue_.size());
+  if (njobs == 0) return out;
+
+  // Scheduling order: priority desc, FIFO within a class (stable sort
+  // preserves submit order among equal priorities).
+  std::vector<int> order(njobs);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return queue_[a].request.priority > queue_[b].request.priority;
+  });
+
+  const bool all_factories =
+      std::all_of(queue_.begin(), queue_.end(),
+                  [](const BatchJobSpec& s) { return bool(s.make_inputs); });
+  int shards = opts.shards;
+  if (shards == 0) {
+    shards = 1;
+    if (all_factories)
+      for (int s = std::min(p, njobs); s >= 1; --s)
+        if (p % s == 0) {
+          shards = s;
+          break;
+        }
+  } else {
+    if (shards < 1 || p % shards != 0)
+      throw std::invalid_argument(
+          "BatchSolver: shards must divide the rank count");
+    if (shards > 1 && !all_factories)
+      throw std::invalid_argument(
+          "BatchSolver: raw-pointer inputs require shards = 1 (their blocks "
+          "live on the parent decomposition)");
+  }
+  const int shard_size = p / shards;
+  const int color = comm_.rank() / shard_size;
+  Shard& ctx = shard_context(shards, shard_size, color);
+  out.shards = shards;
+
+  WallTimer batch_clock;
+
+  // My shard's slice: round-robin over the scheduling order.
+  std::vector<int> mine;  // queue indices, execution order
+  for (int k = 0; k < njobs; ++k)
+    if (k % shards == color) mine.push_back(order[k]);
+  const int jn = static_cast<int>(mine.size());
+
+  // Materialize inputs on the shard decomposition.
+  struct JobData {
+    ScalarField t_owned, r_owned;          // factory outputs
+    const ScalarField* rho_t = nullptr;    // raw (unsmoothed) inputs
+    const ScalarField* rho_r = nullptr;
+    ScalarField t_smooth, r_smooth;        // fused pre-smoothing outputs
+    bool presmoothed = false;
+  };
+  std::vector<JobData> data(jn);
+  for (int i = 0; i < jn; ++i) {
+    const BatchJobSpec& spec = queue_[mine[i]];
+    if (spec.make_inputs) {
+      auto decomp = ctx.registry->decomp(spec.dims);
+      spec.make_inputs(*decomp, data[i].t_owned, data[i].r_owned);
+      data[i].rho_t = &data[i].t_owned;
+      data[i].rho_r = &data[i].r_owned;
+    } else {
+      data[i].rho_t = spec.request.rho_t;
+      data[i].rho_r = spec.request.rho_r;
+    }
+  }
+
+  // Fused input pre-smoothing: the template AND reference fields of all
+  // co-resident jobs that want smoothing ride batched gaussian_smooth_many
+  // calls (per-field sigma), up to the FFT batch width per exchange set.
+  // Bitwise identical per field to the in-solve smoothing it replaces.
+  if (opts.fuse_exchanges) {
+    struct SmoothItem {
+      const real_t* in;
+      real_t* out;
+      Vec3 sigma;
+    };
+    // Group by the spectral-operator key the smoothing runs on.
+    std::map<std::tuple<index_t, index_t, index_t, int, int>,
+             std::vector<SmoothItem>>
+        groups;
+    for (int i = 0; i < jn; ++i) {
+      const BatchJobSpec& spec = queue_[mine[i]];
+      const RegistrationOptions& jopt = spec.request.options;
+      if (!jopt.smooth_inputs) continue;
+      auto decomp = ctx.registry->decomp(spec.dims);
+      const index_t n = decomp->local_real_size();
+      data[i].t_smooth.resize(n);
+      data[i].r_smooth.resize(n);
+      const Vec3 sigma = smoothing_sigma(jopt, spec.dims);
+      auto& g = groups[{spec.dims[0], spec.dims[1], spec.dims[2],
+                        static_cast<int>(jopt.wire()), jopt.overlap ? 1 : 0}];
+      g.push_back({data[i].rho_t->data(), data[i].t_smooth.data(), sigma});
+      g.push_back({data[i].rho_r->data(), data[i].r_smooth.data(), sigma});
+      data[i].presmoothed = true;
+    }
+    for (auto& [key, items] : groups) {
+      const Int3 dims{std::get<0>(key), std::get<1>(key), std::get<2>(key)};
+      auto ops = ctx.registry->spectral(
+          dims, static_cast<WirePrecision>(std::get<3>(key)),
+          std::get<4>(key) != 0);
+      const int chunk = fft::DistributedFft3d::kMaxBatch;
+      for (std::size_t b = 0; b < items.size(); b += chunk) {
+        const int m = static_cast<int>(
+            std::min<std::size_t>(chunk, items.size() - b));
+        const real_t* ins[fft::DistributedFft3d::kMaxBatch];
+        real_t* outs[fft::DistributedFft3d::kMaxBatch];
+        Vec3 sigmas[fft::DistributedFft3d::kMaxBatch];
+        for (int q = 0; q < m; ++q) {
+          ins[q] = items[b + q].in;
+          outs[q] = items[b + q].out;
+          sigmas[q] = items[b + q].sigma;
+        }
+        ops->gaussian_smooth_many(std::span<const real_t* const>(ins, m),
+                                  std::span<const Vec3>(sigmas, m),
+                                  std::span<real_t* const>(outs, m));
+      }
+    }
+  }
+
+  // Sequential solves through the shared registry; one facade per grid.
+  std::map<std::tuple<index_t, index_t, index_t>,
+           std::unique_ptr<RegistrationSolver>>
+      solvers;
+  const auto solver_for = [&](const BatchJobSpec& spec) -> RegistrationSolver& {
+    auto& slot = solvers[{spec.dims[0], spec.dims[1], spec.dims[2]}];
+    if (!slot)
+      slot = std::make_unique<RegistrationSolver>(
+          *ctx.registry->decomp(spec.dims), spec.request.options,
+          ctx.registry);
+    return *slot;
+  };
+  std::vector<double> completed_at(jn, 0);
+  for (int i = 0; i < jn; ++i) {
+    const BatchJobSpec& spec = queue_[mine[i]];
+    SolveRequest req = spec.request;
+    if (data[i].presmoothed) {
+      req.rho_t = &data[i].t_smooth;
+      req.rho_r = &data[i].r_smooth;
+      req.options.smooth_inputs = false;
+    } else {
+      req.rho_t = data[i].rho_t;
+      req.rho_r = data[i].rho_r;
+    }
+    SolveReport rep = solver_for(spec).solve(req);
+    completed_at[i] = batch_clock.seconds();
+    rep.deadline_met = req.deadline_seconds <= 0 ||
+                       completed_at[i] <= req.deadline_seconds;
+    if (opts.verbose && ctx.sub.rank() == 0)
+      std::printf("[batch shard %d] job %llu: %s in %d iters, rel res "
+                  "%.3e, %.2fs\n",
+                  color, static_cast<unsigned long long>(rep.job_id),
+                  rep.newton.converged ? "converged" : "NOT converged",
+                  rep.newton.iterations, static_cast<double>(rep.rel_residual),
+                  completed_at[i]);
+    out.reports.push_back(std::move(rep));
+  }
+
+  // Deformed templates: co-resident same-shape jobs run their final
+  // transport lockstep through the fused exchange (one ghost exchange and
+  // one value alltoallv per time step for the whole group).
+  if (opts.want_deformed) {
+    out.deformed.resize(jn);
+    if (opts.fuse_exchanges) {
+      std::map<std::tuple<index_t, index_t, index_t, int, int, int, int, int>,
+               std::vector<int>>
+          groups;
+      for (int i = 0; i < jn; ++i) {
+        const BatchJobSpec& spec = queue_[mine[i]];
+        const semilag::TransportConfig tc =
+            transport_config(spec.request.options);
+        groups[{spec.dims[0], spec.dims[1], spec.dims[2], tc.nt,
+                static_cast<int>(tc.method), tc.incompressible ? 1 : 0,
+                static_cast<int>(tc.wire), tc.overlap ? 1 : 0}]
+            .push_back(i);
+      }
+      for (auto& [key, members] : groups) {
+        const int g = static_cast<int>(members.size());
+        const BatchJobSpec& spec0 = queue_[mine[members[0]]];
+        const semilag::TransportConfig tc =
+            transport_config(spec0.request.options);
+        auto decomp = ctx.registry->decomp(spec0.dims);
+        std::vector<std::shared_ptr<semilag::Transport>> leased(g);
+        std::vector<semilag::Transport*> transports(g);
+        std::vector<const ScalarField*> templates(g);
+        for (int q = 0; q < g; ++q) {
+          leased[q] = ctx.registry->acquire_transport(spec0.dims, tc);
+          transports[q] = leased[q].get();
+          transports[q]->set_velocity(out.reports[members[q]].velocity);
+          templates[q] = data[members[q]].rho_t;  // unsmoothed template
+        }
+        interp::FusedInterp fused(*decomp, tc.wire, tc.overlap);
+        semilag::solve_states_fused(
+            std::span<semilag::Transport* const>(transports),
+            std::span<const ScalarField* const>(templates), fused);
+        for (int q = 0; q < g; ++q) {
+          out.deformed[members[q]] = transports[q]->final_state();
+          ctx.registry->release_transport(spec0.dims, tc,
+                                          std::move(leased[q]));
+        }
+      }
+    } else {
+      for (int i = 0; i < jn; ++i) {
+        const BatchJobSpec& spec = queue_[mine[i]];
+        solver_for(spec).deform_template(*data[i].rho_t,
+                                         out.reports[i].velocity,
+                                         out.deformed[i]);
+      }
+    }
+  }
+
+  // Global per-job digest: shard-rank-0 of the executing shard contributes
+  // each job's numbers, everyone else zeros; one vector allreduce over the
+  // PARENT communicator assembles the full table on every rank (this is
+  // also the batch-end barrier across shards).
+  constexpr int kCols = 9;
+  std::vector<double> flat(static_cast<std::size_t>(njobs) * kCols, 0.0);
+  if (ctx.sub.rank() == 0) {
+    for (int i = 0; i < jn; ++i) {
+      const SolveReport& rep = out.reports[i];
+      double* row = flat.data() + static_cast<std::size_t>(mine[i]) * kCols;
+      row[0] = color;
+      row[1] = rep.newton.converged ? 1 : 0;
+      row[2] = rep.newton.iterations;
+      row[3] = rep.newton.total_matvecs;
+      row[4] = static_cast<double>(rep.rel_residual);
+      row[5] = static_cast<double>(rep.min_det);
+      row[6] = rep.time_to_solution;
+      row[7] = completed_at[i];
+      row[8] = rep.deadline_met ? 1 : 0;
+    }
+  }
+  comm_.allreduce_sum(flat);
+  out.summary.resize(njobs);
+  for (int j = 0; j < njobs; ++j) {
+    const double* row = flat.data() + static_cast<std::size_t>(j) * kCols;
+    BatchJobSummary& s = out.summary[j];
+    s.job_id = queue_[j].request.job_id;
+    s.shard = static_cast<int>(row[0]);
+    s.ran_here = s.shard == color;
+    s.converged = row[1] != 0;
+    s.newton_iters = static_cast<int>(row[2]);
+    s.matvecs = static_cast<int>(row[3]);
+    s.rel_residual = static_cast<real_t>(row[4]);
+    s.min_det = static_cast<real_t>(row[5]);
+    s.solve_seconds = row[6];
+    s.completed_at_seconds = row[7];
+    s.deadline_met = row[8] != 0;
+  }
+
+  out.wall_seconds = comm_.allreduce_max(batch_clock.seconds());
+  out.registrations_per_sec =
+      out.wall_seconds > 0 ? njobs / out.wall_seconds : 0;
+  out.registry = ctx.registry->stats();
+  queue_.clear();
+  return out;
+}
+
+}  // namespace diffreg::core

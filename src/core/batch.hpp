@@ -1,0 +1,138 @@
+// BatchSolver: registration as a service — B independent image pairs
+// through shared plan infrastructure (ROADMAP item 3; docs/SERVICE.md).
+//
+// Jobs are submitted as SolveRequests (plus a grid and, optionally, an
+// input factory) into a FIFO+priority queue; run_all() drains the queue
+// collectively. Three throughput mechanisms stack on the shared
+// PlanRegistry:
+//
+//  * plan amortization — all solvers and jobs of a shard lease their
+//    decomposition/spectral/resample plans from one registry and check
+//    transports out of its pool, so B same-shape jobs build each plan
+//    family exactly once (registry.plan_build_count() proves it);
+//  * communicator sharding — the p ranks are split into S sub-communicators
+//    that each run a slice of the queue CONCURRENTLY: while one shard's
+//    job computes, another shard's job is on the wire, so one job's compute
+//    overlaps another job's exchanges (the cross-job form of the PR 6
+//    comm/compute overlap). shards=0 picks S automatically; jobs whose
+//    inputs are raw pointers pin S=1 (their blocks live on the parent
+//    decomposition);
+//  * fused exchanges — co-resident same-shape jobs of one shard batch
+//    their uniform-control-flow phases (input pre-smoothing through
+//    gaussian_smooth_many, final deformed-template transport through
+//    solve_states_fused/FusedInterp) into single collectives, the
+//    `interpolate_many` mechanism across jobs instead of across components.
+//
+// Determinism contract: with shards=1 every job's velocity is bitwise
+// identical to running it alone through RegistrationSolver at the same rank
+// count (the fused phases change message grouping, never values). Sharding
+// changes the effective rank count per job (S shards of p/S ranks), which
+// changes collective reduction order — a throughput mode, not a bitwise
+// mode; see docs/SERVICE.md.
+//
+// Fairness/deadline semantics: higher priority runs earlier, FIFO within a
+// priority class; round-robin assignment over shards in that order.
+// Deadlines are advisory (jobs are never killed): deadline_met records
+// whether the job finished within its budget, measured on the batch clock
+// (seconds since run_all start).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/plan_registry.hpp"
+#include "core/registration.hpp"
+
+namespace diffreg::core {
+
+/// One queued job: the request plus what the batch driver needs to place
+/// it. Either the request carries pencil-local input pointers (valid blocks
+/// of the PARENT decomposition — pins shards=1), or `make_inputs` builds
+/// the inputs on whatever shard decomposition the job lands on.
+struct BatchJobSpec {
+  SolveRequest request;
+  Int3 dims{0, 0, 0};  ///< Grid of this job.
+  /// Input factory: fills pencil-local template/reference blocks for the
+  /// decomposition the job was placed on. Called once, before the solve.
+  std::function<void(grid::PencilDecomp&, ScalarField&, ScalarField&)>
+      make_inputs;
+};
+
+struct BatchOptions {
+  /// Concurrent shards; 0 = automatic (largest divisor of the rank count
+  /// not exceeding the job count; 1 when any job carries raw input
+  /// pointers). Must divide the rank count.
+  int shards = 0;
+  /// Fuse the uniform phases of co-resident same-shape jobs (input
+  /// pre-smoothing, deformed-template transport) into single collectives.
+  /// Per-job results are bitwise unaffected.
+  bool fuse_exchanges = true;
+  /// Also compute each job's deformed template rho_T(y1) (through the
+  /// fused transport when fuse_exchanges is set).
+  bool want_deformed = false;
+  bool verbose = false;  ///< Per-job progress lines on rank 0 of each shard.
+};
+
+/// Global per-job digest, present on EVERY rank after run_all (full
+/// SolveReports exist only on the ranks of the shard that ran the job).
+struct BatchJobSummary {
+  std::uint64_t job_id = 0;
+  int shard = 0;
+  bool ran_here = false;  ///< True on the ranks of the executing shard.
+  bool converged = false;
+  int newton_iters = 0;
+  int matvecs = 0;
+  real_t rel_residual = 1;
+  real_t min_det = 0;
+  double solve_seconds = 0;
+  /// Batch-clock timestamp (seconds since run_all start) of completion.
+  double completed_at_seconds = 0;
+  bool deadline_met = true;
+};
+
+struct BatchReport {
+  /// Full reports of the jobs THIS rank's shard ran, in execution order.
+  std::vector<SolveReport> reports;
+  /// Deformed templates aligned with `reports` (empty unless
+  /// BatchOptions::want_deformed).
+  std::vector<ScalarField> deformed;
+  /// One digest per submitted job (submit order), identical on all ranks.
+  std::vector<BatchJobSummary> summary;
+  double wall_seconds = 0;  ///< Max over ranks, run_all start to finish.
+  double registrations_per_sec = 0;
+  int shards = 1;
+  PlanRegistry::Stats registry;  ///< This rank's shard registry, cumulative.
+};
+
+class BatchSolver {
+ public:
+  /// All ranks of `comm` must construct the solver, submit the SAME job
+  /// sequence, and call run_all together (SPMD discipline).
+  explicit BatchSolver(mpisim::Communicator comm) : comm_(comm) {}
+
+  /// Enqueues a job; returns its job id (assigned when request.job_id is
+  /// 0). Submission never communicates.
+  std::uint64_t submit(BatchJobSpec spec);
+
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Drains the queue. Collective over the constructor communicator.
+  /// Shard registries persist across run_all calls, so a second batch of
+  /// same-shape jobs builds no plans at all.
+  BatchReport run_all(const BatchOptions& opts = {});
+
+ private:
+  struct Shard {
+    mpisim::Communicator sub;
+    std::shared_ptr<PlanRegistry> registry;
+  };
+  Shard& shard_context(int shards, int shard_size, int color);
+
+  mpisim::Communicator comm_;
+  std::vector<BatchJobSpec> queue_;
+  std::uint64_t next_job_id_ = 1;
+  // Shard contexts cached across run_all calls, keyed by shard count.
+  std::map<int, Shard> shards_;
+};
+
+}  // namespace diffreg::core

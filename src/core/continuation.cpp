@@ -12,22 +12,6 @@ namespace diffreg::core {
 
 namespace {
 
-/// Restores the solver's options on every exit path: continuation drivers
-/// mutate beta and gradient_reference per stage, and leaking the last
-/// stage's values would permanently change the caller's solver.
-class ScopedOptionsRestore {
- public:
-  explicit ScopedOptionsRestore(RegistrationSolver& solver)
-      : solver_(&solver), saved_(solver.options()) {}
-  ~ScopedOptionsRestore() { solver_->mutable_options() = saved_; }
-  ScopedOptionsRestore(const ScopedOptionsRestore&) = delete;
-  ScopedOptionsRestore& operator=(const ScopedOptionsRestore&) = delete;
-
- private:
-  RegistrationSolver* solver_;
-  RegistrationOptions saved_;
-};
-
 /// Grid hierarchy, finest first: repeated halving (odd dims round up) until
 /// the level budget or the coarsest-dim floor is exhausted.
 std::vector<Int3> build_level_dims(const Int3& fine, int levels,
@@ -63,19 +47,26 @@ ContinuationResult run_beta_continuation(RegistrationSolver& solver,
                                          const ScalarField& rho_r,
                                          const ContinuationOptions& copt) {
   ContinuationResult out;
-  ScopedOptionsRestore restore(solver);
+  // Per-stage parameters ride the request; the solver's own options are
+  // never touched (no restore guard needed on any exit path).
+  RegistrationOptions stage_opt = solver.options();
   real_t beta = copt.beta_start;
   const VectorField* warm_start = nullptr;
 
   for (int stage = 0; stage < copt.max_stages; ++stage) {
-    solver.mutable_options().beta = beta;
-    RegistrationResult result = solver.run(rho_t, rho_r, warm_start);
+    stage_opt.beta = beta;
+    SolveRequest req;
+    req.rho_t = &rho_t;
+    req.rho_r = &rho_r;
+    req.v0 = warm_start;
+    req.options = stage_opt;
+    RegistrationResult result = solver.solve(req);
     // ||g(0)|| is beta-independent (the quadratic regularizer's gradient
     // vanishes at v = 0): the cold first stage measures it, later
     // warm-started stages reuse it instead of re-solving state + adjoint.
     if (warm_start == nullptr) {
       out.gradient_reference = result.newton.initial_gradient_norm;
-      solver.mutable_options().gradient_reference = out.gradient_reference;
+      stage_opt.gradient_reference = out.gradient_reference;
     }
 
     out.stage_betas.push_back(beta);

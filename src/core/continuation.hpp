@@ -51,9 +51,11 @@ struct ContinuationResult {
   int stages = 0;
 };
 
-/// Runs the continuation schedule on `solver`. The solver's options are
-/// mutated per stage but restored on every exit path — the caller's beta and
-/// gradient_reference are unchanged after return. Collective.
+/// Runs the continuation schedule on `solver`. Per-stage parameters (beta,
+/// gradient_reference) are passed explicitly through each stage's
+/// SolveRequest — the solver's own options are never mutated, so the
+/// caller's beta and gradient_reference are trivially unchanged after
+/// return. Collective.
 ContinuationResult run_beta_continuation(RegistrationSolver& solver,
                                          const ScalarField& rho_t,
                                          const ScalarField& rho_r,

@@ -9,6 +9,7 @@
 #include "common/partition.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
+#include "core/batch.hpp"
 #include "core/checkpoint.hpp"
 #include "core/continuation.hpp"
 #include "core/deformation.hpp"
@@ -16,6 +17,7 @@
 #include "core/optimality.hpp"
 #include "core/options.hpp"
 #include "core/pcg.hpp"
+#include "core/plan_registry.hpp"
 #include "core/precond.hpp"
 #include "core/registration.hpp"
 #include "core/regularization.hpp"
@@ -27,6 +29,7 @@
 #include "grid/field_io.hpp"
 #include "grid/field_math.hpp"
 #include "grid/ghost_exchange.hpp"
+#include "interp/fused_exchange.hpp"
 #include "interp/interp_plan.hpp"
 #include "interp/kernels.hpp"
 #include "mpisim/communicator.hpp"

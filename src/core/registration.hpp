@@ -5,15 +5,33 @@
 // inputs, velocity initialization, inexact Gauss-Newton-Krylov optimization
 // of the optimal-control problem (2), and deformation-map diagnostics.
 //
+// The one entrypoint shape is a SolveRequest: inputs + per-solve options +
+// job metadata (id, priority, deadline, checkpoint path). Every solve is a
+// pure function of its request — the solver holds no mutable option state,
+// so drivers that adapt parameters between solves (beta continuation, the
+// batch service) submit a fresh request per stage instead of mutating the
+// solver. `run(rho_t, rho_r, v0)` stays as a thin convenience wrapper that
+// solves a request built from the constructor options.
+//
 // Usage (inside an mpisim::run_spmd rank, or with a size-1 communicator):
 //
 //   grid::PencilDecomp decomp(comm, {64, 64, 64});
 //   core::RegistrationOptions opt;
 //   core::RegistrationSolver solver(decomp, opt);
 //   auto result = solver.run(rho_t_local, rho_r_local);
+//
+// With a PlanRegistry (the batch service path), the solver leases its
+// spectral operators and pools its transports instead of owning them, so B
+// same-shape jobs build each plan family exactly once:
+//
+//   auto registry = std::make_shared<core::PlanRegistry>(comm);
+//   core::RegistrationSolver solver(*registry->decomp(dims), opt, registry);
+//   auto report = solver.solve(request);
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
 
 #include "core/deformation.hpp"
 #include "core/newton.hpp"
@@ -21,6 +39,31 @@
 #include "core/options.hpp"
 
 namespace diffreg::core {
+
+class PlanRegistry;
+
+/// One registration job: everything a solve needs, in one value. The field
+/// pointers must stay valid for the duration of solve(); the request itself
+/// is copyable (job queues hold them by value).
+struct SolveRequest {
+  const ScalarField* rho_t = nullptr;  ///< Template image (pencil-local).
+  const ScalarField* rho_r = nullptr;  ///< Reference image (pencil-local).
+  const VectorField* v0 = nullptr;     ///< Optional warm-start velocity.
+  RegistrationOptions options;
+
+  // Job metadata (service semantics; see docs/SERVICE.md).
+  std::uint64_t job_id = 0;  ///< 0: assigned by the batch driver.
+  /// Higher runs earlier; FIFO within a priority class.
+  int priority = 0;
+  /// Wall-clock budget in seconds since batch start (0: none). Advisory:
+  /// jobs are never killed, but SolveReport::deadline_met records whether
+  /// the job finished in time.
+  double deadline_seconds = 0;
+  /// When non-empty, a restart checkpoint is written after every
+  /// `checkpoint_every`-th accepted Newton iterate (core/checkpoint.hpp).
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
+};
 
 struct RegistrationResult {
   VectorField velocity;  // optimal stationary velocity field
@@ -40,15 +83,42 @@ struct RegistrationResult {
 
   double time_to_solution = 0;  // seconds, this rank's wall clock
   Timings timings;              // this rank's comm/exec split of the solve
+
+  // Job metadata, echoed from the SolveRequest.
+  std::uint64_t job_id = 0;
+  /// False iff the request carried a deadline and the solve finished after
+  /// it (measured against the batch clock when run by BatchSolver, against
+  /// this solve's own wall clock otherwise).
+  bool deadline_met = true;
 };
+
+/// The batch driver's name for the result of one job.
+using SolveReport = RegistrationResult;
 
 class RegistrationSolver {
  public:
+  /// Standalone solver: owns its spectral operators (built once from the
+  /// constructor options) and builds a fresh transport per solve — the
+  /// historical behavior, bitwise identical to it.
   RegistrationSolver(grid::PencilDecomp& decomp,
                      const RegistrationOptions& options);
 
-  /// Solves the registration problem. `v0` optionally warm-starts the
-  /// velocity (used by beta continuation). Collective.
+  /// Service solver: leases spectral operators from `registry` and checks
+  /// transports out of its pool, so plan setup is shared across all solvers
+  /// and jobs on the registry. `decomp` must be (a lease of) the registry's
+  /// decomposition for its dims.
+  RegistrationSolver(grid::PencilDecomp& decomp,
+                     const RegistrationOptions& options,
+                     std::shared_ptr<PlanRegistry> registry);
+
+  ~RegistrationSolver();
+
+  /// Solves one registration job. Collective.
+  SolveReport solve(const SolveRequest& request);
+
+  /// Convenience wrapper: solves a request built from the constructor
+  /// options. `v0` optionally warm-starts the velocity (used by beta
+  /// continuation). Collective.
   RegistrationResult run(const ScalarField& rho_t, const ScalarField& rho_r,
                          const VectorField* v0 = nullptr);
 
@@ -61,18 +131,25 @@ class RegistrationSolver {
   void jacobian_field(const VectorField& velocity, ScalarField& det);
 
   const RegistrationOptions& options() const { return options_; }
-  /// Mutable access for drivers that adapt parameters between runs
-  /// (beta continuation).
-  RegistrationOptions& mutable_options() { return options_; }
   spectral::SpectralOps& ops() { return *ops_; }
   grid::PencilDecomp& decomp() { return *decomp_; }
 
  private:
-  void preprocess(const ScalarField& in, ScalarField& out);
+  void preprocess(const ScalarField& in, ScalarField& out,
+                  const RegistrationOptions& opt);
+  /// Points ops_ at operators for (wire, overlap): the constructor-built
+  /// (or registry-leased) set when the request matches it, a rebuilt/newly
+  /// leased set otherwise.
+  void ensure_ops(WirePrecision wire, bool overlap);
+  semilag::TransportConfig transport_config(
+      const RegistrationOptions& opt) const;
 
   grid::PencilDecomp* decomp_;
   RegistrationOptions options_;
-  std::unique_ptr<spectral::SpectralOps> ops_;
+  std::shared_ptr<PlanRegistry> registry_;  // null for standalone solvers
+  std::shared_ptr<spectral::SpectralOps> ops_;
+  WirePrecision ops_wire_;
+  bool ops_overlap_;
 };
 
 }  // namespace diffreg::core

@@ -111,6 +111,11 @@ class InterpPlan {
                        Method method = Method::kTricubic);
 
  private:
+  // The cross-job fused exchange (interp/fused_exchange.hpp) drives several
+  // plans' value scatters through one alltoallv; it reads the planned
+  // routing tables directly.
+  friend class FusedInterp;
+
   grid::PencilDecomp* decomp_;
   WirePrecision wire_ = WirePrecision::kF64;
   bool overlap_ = false;

@@ -1,0 +1,55 @@
+// Cross-job fused state transport (declared in semilag/transport.hpp; the
+// batch service's per-step fusion — docs/SERVICE.md).
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "interp/fused_exchange.hpp"
+#include "semilag/transport.hpp"
+
+namespace diffreg::semilag {
+
+void solve_states_fused(std::span<Transport* const> transports,
+                        std::span<const grid::ScalarField* const> rho0,
+                        interp::FusedInterp& fused) {
+  const int nj = static_cast<int>(transports.size());
+  assert(nj >= 1 && rho0.size() == transports.size());
+  Transport& t0 = *transports[0];
+  const int nt = t0.config_.nt;
+
+  for (int i = 0; i < nj; ++i) {
+    Transport& t = *transports[i];
+    if (!t.plans_built_)
+      throw std::logic_error(
+          "solve_states_fused: set_velocity before solve_states_fused");
+    if (t.decomp_ != t0.decomp_ || t.config_.nt != nt ||
+        t.config_.method != t0.config_.method)
+      throw std::invalid_argument(
+          "solve_states_fused: transports must share decomp and config");
+    // Exactly what solve_state does before its step loop.
+    t.rho_hist_[0] = *rho0[i];
+    for (auto& g : t.grad_rho_hist_) g.reset();
+  }
+
+  // Each step of the state equation is a pure interpolation (advect_step
+  // with no source terms writes the interpolated values straight to the
+  // next slice), so the J jobs' steps fuse into one FusedInterp round:
+  // one ghost exchange + one value alltoallv per step instead of J each.
+  // Values are bitwise identical to per-transport solve_state — the fused
+  // path changes message grouping only.
+  std::vector<interp::InterpPlan*> plans(nj);
+  std::vector<const real_t*> fields(nj);
+  std::vector<real_t*> outs(nj);
+  for (int i = 0; i < nj; ++i) plans[i] = &transports[i]->plan_fwd_;
+  for (int j = 0; j < nt; ++j) {
+    for (int i = 0; i < nj; ++i) {
+      fields[i] = transports[i]->rho_hist_[j].data();
+      outs[i] = transports[i]->rho_hist_[j + 1].data();
+    }
+    fused.interpolate_many(t0.gx_, plans,
+                           std::span<const real_t* const>(fields),
+                           std::span<real_t* const>(outs), t0.config_.method);
+  }
+}
+
+}  // namespace diffreg::semilag

@@ -29,13 +29,31 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "grid/ghost_exchange.hpp"
 #include "interp/interp_plan.hpp"
 #include "spectral/operators.hpp"
 
+namespace diffreg::interp {
+class FusedInterp;
+}
+
 namespace diffreg::semilag {
+
+class Transport;
+
+/// Lockstep state solve for J co-resident same-shape jobs: replicates
+/// Transport::solve_state on every transport, but each of the nt time steps
+/// pushes all J interpolations through ONE fused ghost exchange and ONE
+/// fused value alltoallv (see interp/fused_exchange.hpp). Per-job results
+/// are bitwise identical to calling solve_state per transport. All
+/// transports must share the decomposition and TransportConfig and have
+/// their (per-job) velocities set. Collective.
+void solve_states_fused(std::span<Transport* const> transports,
+                        std::span<const grid::ScalarField* const> rho0,
+                        interp::FusedInterp& fused);
 
 using grid::ScalarField;
 using grid::VectorField;
@@ -75,6 +93,18 @@ class Transport {
   /// Number of times the departure points + plans were (re)built. Grows by
   /// one per *distinct* set_velocity; all solves in between reuse the plans.
   int plan_build_count() const { return plan_builds_; }
+
+  /// Drops the cached velocity/plan state so the next set_velocity always
+  /// rebuilds, while keeping every buffer allocation warm. Pool hygiene for
+  /// the PlanRegistry transport pool: a transport checked out for a new job
+  /// must not inherit the previous job's plans or lazily-computed histories.
+  void invalidate_plans() {
+    plans_built_ = false;
+    for (auto& g : grad_rho_hist_) g.reset();
+    lambda_hist_.clear();
+    rho_tilde_hist_.clear();
+    grad_rho_tilde_hist_.clear();
+  }
 
   /// Forward solve of (2b); stores rho(t_j) for j = 0..nt.
   void solve_state(const ScalarField& rho0);
@@ -123,6 +153,10 @@ class Transport {
   void interp_vec_at_forward_points(const VectorField& f, VectorField& out);
 
  private:
+  friend void solve_states_fused(std::span<Transport* const>,
+                                 std::span<const grid::ScalarField* const>,
+                                 interp::FusedInterp&);
+
   /// RK2 departure points (eq. 6) for velocity sign * v, into points_.
   void compute_departure_points(int sign);
 

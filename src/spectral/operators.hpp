@@ -84,6 +84,16 @@ class SpectralOps {
   void gaussian_smooth(std::span<const real_t> f, const Vec3& sigma,
                        ScalarField& out);
 
+  /// Batched smoothing of up to DistributedFft3d::kMaxBatch fields (each
+  /// with its own sigma) through ONE exchange set (4 alltoallv total,
+  /// independent of the field count) — used by the batch service to fuse
+  /// the input preprocessing of co-resident jobs. `outs[i]` must already
+  /// hold local_size() elements. Results are bitwise identical to calling
+  /// gaussian_smooth per field.
+  void gaussian_smooth_many(std::span<const real_t* const> fs,
+                            std::span<const Vec3> sigmas,
+                            std::span<real_t* const> outs);
+
   /// Wavenumbers of the local spectral index (a, b, c) -> (k1, k2, k3).
   /// `odd` selects the zeroed-Nyquist convention used for odd derivatives.
   Vec3 wavenumber(index_t a, index_t b, index_t c, bool odd) const {

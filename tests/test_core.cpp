@@ -662,6 +662,10 @@ TEST(Continuation, InadmissibleFirstStageStillReturnsTheStageResult) {
   });
 }
 
+// The continuation driver passes per-stage parameters (beta,
+// gradient_reference) through each stage's SolveRequest and never touches
+// the solver's own options, so the caller's configuration survives every
+// exit path by construction — this pins that contract.
 TEST(Continuation, RestoresTheSolverOptionsOnEveryExitPath) {
   mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
     PencilDecomp decomp(comm, {16, 16, 16});
