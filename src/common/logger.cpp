@@ -39,14 +39,16 @@ void Logger::emit(LogLevel level, const std::string& message) {
 }
 
 void Logger::log(LogLevel level, const std::string& message) {
-  if (level < level_ || level == LogLevel::kOff) return;
+  if (level < level_.load(std::memory_order_relaxed) || level == LogLevel::kOff)
+    return;
   std::scoped_lock lock(mutex_);
   emit(level, message);
 }
 
 void Logger::log_rated(LogLevel level, const std::string& key,
                        const std::string& message) {
-  if (level < level_ || level == LogLevel::kOff) return;
+  if (level < level_.load(std::memory_order_relaxed) || level == LogLevel::kOff)
+    return;
   std::scoped_lock lock(mutex_);
   const int count = ++rated_counts_[key];
   if (count > kRatedLimit) return;

@@ -5,6 +5,7 @@
 // hot path (e.g. the CommRequest drain-on-destroy warning).
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <functional>
 #include <map>
@@ -23,8 +24,15 @@ class Logger {
 
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  /// Atomic: the level filter is read on every log call from every rank
+  /// thread, while a driver may adjust verbosity mid-run. Relaxed ordering
+  /// is enough — the level is an advisory filter, not a synchronization
+  /// point (a message racing a level change may legitimately land on either
+  /// side of it).
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   /// Routes output to `sink` instead of stderr; pass nullptr to restore
   /// stderr. Installing a sink also resets the rate-limit counters so a
@@ -46,7 +54,7 @@ class Logger {
 
   void emit(LogLevel level, const std::string& message);
 
-  LogLevel level_ = LogLevel::kInfo;
+  std::atomic<LogLevel> level_ = LogLevel::kInfo;
   std::mutex mutex_;
   Sink sink_;
   std::map<std::string, int> rated_counts_;
