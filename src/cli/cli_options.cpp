@@ -62,6 +62,12 @@ void print_usage() {
       "  --fault-spec S       fault injection for robustness testing, e.g.\n"
       "                       \"seed=7,drop=0.01,delay_ms=5\" (see\n"
       "                       docs/FAULT_MODEL.md for the full grammar)\n"
+      "  --verify-schedule M  on | off (default off); on cross-checks the\n"
+      "                       collective schedule across ranks at every\n"
+      "                       barrier/exchange and raises a structured\n"
+      "                       ScheduleDivergenceError naming the first\n"
+      "                       mismatching op instead of hanging (results\n"
+      "                       stay bitwise identical — docs/ANALYSIS.md)\n"
       "  --checkpoint PATH    checkpoint file (default diffreg.ckpt)\n"
       "  --checkpoint-every N write a checkpoint every N accepted Newton\n"
       "                       iterates and at every level end\n"
@@ -100,8 +106,9 @@ bool parse_int3(const std::string& arg, Int3& out) {
 bool global_only_flag(const std::string& flag) {
   static const char* const kGlobal[] = {
       "--ranks",   "--batch",        "--shards",       "--fault-spec",
-      "--comm-timeout-ms", "--levels", "--coarsest",   "--continuation",
-      "--resume",  "--out",          "--help",         "-h"};
+      "--comm-timeout-ms", "--verify-schedule", "--levels", "--coarsest",
+      "--continuation", "--resume",   "--out",          "--help",
+      "-h"};
   for (const char* g : kGlobal)
     if (flag == g) return true;
   return false;
@@ -270,6 +277,17 @@ bool parse_tokens(const std::vector<std::string>& args, bool job_line,
       const auto* v = next();
       if (!v) return missing();
       opt.fault_spec = *v;
+    } else if (flag == "--verify-schedule") {
+      const auto* v = next();
+      if (!v) return missing();
+      if (*v == "on")
+        opt.verify_schedule = true;
+      else if (*v == "off")
+        opt.verify_schedule = false;
+      else {
+        error = "--verify-schedule must be on or off";
+        return false;
+      }
     } else if (flag == "--checkpoint") {
       const auto* v = next();
       if (!v) return missing();

@@ -30,6 +30,8 @@ struct CliOptions {
   // Fault-tolerant runtime (docs/FAULT_MODEL.md).
   std::string fault_spec;       // --fault-spec, forwarded to run_spmd
   double comm_timeout_ms = 0;   // --comm-timeout-ms, 0 = watchdog off
+  // Collective-schedule verifier (docs/ANALYSIS.md).
+  bool verify_schedule = false;  // --verify-schedule, forwarded to run_spmd
   // Batch service mode (docs/SERVICE.md).
   std::string batch_file;  // --batch jobs.txt; empty = single-job mode
   int shards = 0;          // --shards N; 0 = automatic

@@ -149,6 +149,7 @@ int main(int argc, char** argv) {
   mpisim::SpmdOptions spmd;
   spmd.fault_spec = opt.fault_spec;
   spmd.comm_timeout_ms = opt.comm_timeout_ms;
+  spmd.verify_schedule = opt.verify_schedule;
 
   if (!opt.batch_file.empty()) {
     std::vector<cli::CliOptions> jobs;

@@ -150,6 +150,12 @@ void GhostExchange::exchange_dim1(std::span<real_t> ghosted, int nfields) {
   }
   auto& comm = decomp_->comm();
   comm.set_time_kind(comm_kind_);
+  // The halo exchange is point-to-point (the verifier cannot observe it
+  // through a collective), but every rank of the pencil grid enters it in
+  // lockstep — so mark the phase in the schedule hash, labelled by the
+  // distributed dimension. A rank skipping a halo pass is then caught at
+  // the next checkpoint instead of corrupting an unrelated exchange.
+  comm.verify_mark(/*dimension=*/1);
   const int lo_nbr = decomp_->rank_of((decomp_->r1() - 1 + p1) % p1,
                                       decomp_->r2());
   const int hi_nbr = decomp_->rank_of((decomp_->r1() + 1) % p1,
@@ -229,6 +235,7 @@ void GhostExchange::exchange_dim2(std::span<real_t> ghosted, int nfields) {
   }
   auto& comm = decomp_->comm();
   comm.set_time_kind(comm_kind_);
+  comm.verify_mark(/*dimension=*/2);  // see exchange_dim1
   const int lo_nbr = decomp_->rank_of(decomp_->r1(),
                                       (decomp_->r2() - 1 + p2) % p2);
   const int hi_nbr = decomp_->rank_of(decomp_->r1(),

@@ -26,9 +26,186 @@ void Communicator::check_collective_consistent(std::int64_t value,
       },
       kCollectiveTag + 5);
   if (global.lo != global.hi)
-    throw std::runtime_error(
+    throw CommContractError(
         std::string("mpisim: ranks disagree on ") + what +
         " (collective-consistency self-check failed)");
+}
+
+namespace {
+
+// splitmix64 finalizer: decorrelates the packed (op index, src, dst, bytes)
+// words the transpose-consistency accumulators sum, so distinct mispairings
+// cannot cancel each other out of the wrapping total.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a continuation over the 8 bytes of one word (little-endian order —
+// part of the verifier wire format, see docs/ANALYSIS.md).
+std::uint64_t fold_word(std::uint64_t hash, std::uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (word >> (8 * i)) & 0xffu;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+// The word both endpoints of one peer chunk fold: sender folds it into the
+// send accumulator with (src = self), receiver into the recv accumulator
+// with (dst = self). Globally sum(send) == sum(recv) iff the claimed and
+// expected chunks pair up one-to-one.
+std::uint64_t chunk_word(std::uint64_t op_index, int src, int dst,
+                         std::uint64_t bytes) {
+  std::uint64_t w = mix64(op_index);
+  w = mix64(w + ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                  << 32) |
+                 static_cast<std::uint32_t>(dst)));
+  return mix64(w + bytes);
+}
+
+}  // namespace
+
+void Communicator::verify_record(ScheduleOpKind kind, int tag,
+                                 std::uint32_t wire_bits,
+                                 std::uint64_t extra) {
+  if (!verify_ || in_verify_ || size_ == 1) return;
+  std::uint64_t h = 1469598103934665603ull;
+  h = fold_word(h, static_cast<std::uint64_t>(kind));
+  h = fold_word(h, static_cast<std::uint32_t>(tag));
+  h = fold_word(h, wire_bits);
+  h = fold_word(h, extra);
+  if (h == 0) h = 1;  // 0 is the recovery pass's "no op here" padding.
+  verify_hash_ = fold_word(verify_hash_, h);
+  verify_op_hashes_.push_back(h);
+  verify_op_sigs_.push_back({kind, tag, wire_bits, extra});
+  verify_op_send_sums_.push_back(0);
+  verify_op_recv_sums_.push_back(0);
+}
+
+// diffreg:zero-alloc
+void Communicator::verify_fold_send(int dest, std::uint64_t bytes) {
+  if (!verify_ || in_verify_ || verify_op_hashes_.empty()) return;
+  const std::uint64_t w =
+      chunk_word(verify_op_hashes_.size() - 1, rank_, dest, bytes);
+  verify_send_sum_ += w;
+  verify_op_send_sums_.back() += w;
+}
+
+// diffreg:zero-alloc
+void Communicator::verify_fold_recv(int src, std::uint64_t bytes) {
+  if (!verify_ || in_verify_ || verify_op_hashes_.empty()) return;
+  const std::uint64_t w =
+      chunk_word(verify_op_hashes_.size() - 1, src, rank_, bytes);
+  verify_recv_sum_ += w;
+  verify_op_recv_sums_.back() += w;
+}
+
+void Communicator::verify_fold_counts(std::span<const index_t> send_counts,
+                                      std::span<const index_t> recv_counts,
+                                      std::size_t elem_bytes) {
+  if (!verify_ || in_verify_ || size_ == 1) return;
+  for (int r = 0; r < size_; ++r) {
+    if (r == rank_) continue;
+    verify_fold_send(r, static_cast<std::uint64_t>(send_counts[r]) *
+                            elem_bytes);
+    verify_fold_recv(r, static_cast<std::uint64_t>(recv_counts[r]) *
+                            elem_bytes);
+  }
+}
+
+void Communicator::verify_checkpoint(const char* operation) {
+  if (!verify_ || in_verify_ || size_ == 1) return;
+  // RAII reset: the checkpoint (and the recovery pass it may enter) uses
+  // the ordinary collectives, which must not record themselves — and the
+  // guard must clear even when the allreduce below throws (watchdog).
+  struct Guard {
+    bool& flag;
+    ~Guard() { flag = false; }
+  } guard{in_verify_};
+  in_verify_ = true;
+  // One packed allreduce: hashes agree iff min == max; the byte-count
+  // accumulators transpose iff the wrapping sums of both sides agree.
+  struct Packet {
+    std::uint64_t lo, hi, send, recv;
+  };
+  const Packet mine{verify_hash_, verify_hash_, verify_send_sum_,
+                    verify_recv_sum_};
+  const Packet global = allreduce_op(
+      mine,
+      [](Packet a, Packet b) {
+        return Packet{a.lo < b.lo ? a.lo : b.lo, a.hi > b.hi ? a.hi : b.hi,
+                      a.send + b.send, a.recv + b.recv};
+      },
+      kCollectiveTag + 6);
+  if (global.lo == global.hi && global.send == global.recv) return;
+  verify_raise_divergence(operation);
+}
+
+void Communicator::verify_raise_divergence(const char* operation) {
+  // Every rank saw the same mismatched global packet, so every rank enters
+  // this recovery pass together: exchange the per-op histories (padded to
+  // the longest rank's schedule) and agree on the FIRST index where either
+  // the signatures or the byte sums differ — then all throw.
+  const long my_count = static_cast<long>(verify_op_hashes_.size());
+  const long max_count = allreduce_op(
+      my_count, [](long a, long b) { return a > b ? a : b; },
+      kCollectiveTag + 6);
+  const auto min_op = [](std::uint64_t a, std::uint64_t b) {
+    return a < b ? a : b;
+  };
+  const auto max_op = [](std::uint64_t a, std::uint64_t b) {
+    return a > b ? a : b;
+  };
+  const auto sum_op = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+  std::vector<std::uint64_t> hash_min(verify_op_hashes_);
+  hash_min.resize(static_cast<std::size_t>(max_count), 0);
+  std::vector<std::uint64_t> hash_max = hash_min;
+  allreduce_vec(hash_min, min_op, kCollectiveTag + 6);
+  allreduce_vec(hash_max, max_op, kCollectiveTag + 6);
+  std::vector<std::uint64_t> send_sums(verify_op_send_sums_);
+  send_sums.resize(static_cast<std::size_t>(max_count), 0);
+  std::vector<std::uint64_t> recv_sums(verify_op_recv_sums_);
+  recv_sums.resize(static_cast<std::size_t>(max_count), 0);
+  allreduce_vec(send_sums, sum_op, kCollectiveTag + 6);
+  allreduce_vec(recv_sums, sum_op, kCollectiveTag + 6);
+  long first = -1;
+  bool counts_only = false;
+  for (long i = 0; i < max_count; ++i) {
+    const auto j = static_cast<std::size_t>(i);
+    if (hash_min[j] != hash_max[j] || send_sums[j] != recv_sums[j]) {
+      first = i;
+      counts_only = hash_min[j] == hash_max[j];
+      break;
+    }
+  }
+  throw ScheduleDivergenceError(make_diagnosis(operation, -1, -1, 0, {}),
+                                first, my_count,
+                                verify_describe_op(first, counts_only));
+}
+
+std::string Communicator::verify_describe_op(long index,
+                                             bool counts_only) const {
+  if (index < 0)
+    return "not localizable — the per-op histories agree element-wise "
+           "(rolling-hash collision?)";
+  if (index >= static_cast<long>(verify_op_sigs_.size()))
+    return "none — this rank's schedule was already exhausted";
+  static constexpr const char* kNames[] = {
+      "barrier",  "broadcast", "allreduce", "allreduce_vec", "allgather",
+      "alltoall", "alltoallv", "split",     "mark"};
+  const detail::ScheduleOpSig& sig =
+      verify_op_sigs_[static_cast<std::size_t>(index)];
+  std::string s = kNames[static_cast<int>(sig.kind)];
+  s += " (tag/id " + std::to_string(sig.tag);
+  if (sig.wire_bits != 0)
+    s += ", wire " + std::to_string(sig.wire_bits) + "-bit";
+  if (sig.extra != 0) s += ", n " + std::to_string(sig.extra);
+  s += ")";
+  if (counts_only) s += " [signatures agree; per-peer byte counts mismatch]";
+  return s;
 }
 
 CommDiagnosis Communicator::make_diagnosis(
@@ -99,6 +276,8 @@ Incoming Communicator::receive_payload(int src, int tag,
 void Communicator::barrier() {
   check_idle();
   if (size() == 1) return;
+  verify_record(ScheduleOpKind::kBarrier, 0, 0, 0);
+  verify_checkpoint("barrier");
   ScopedTimer timer(*timings_, time_kind_);
   if (timeout_ms_ > 0) {
     if (!backend_->try_barrier(timeout_ms_))
@@ -111,6 +290,12 @@ void Communicator::barrier() {
 
 Communicator Communicator::split(int color) {
   check_idle();
+  // The split itself is recorded before its internal allgather (which
+  // records its own op): both entries are issued identically on every rank,
+  // so the history stays rank-invariant. The color is rank-specific and
+  // must NOT be folded.
+  verify_record(ScheduleOpKind::kSplit, 0, 0, 0);
+  verify_checkpoint("split");
   // Gather (color, parent rank) from everyone; members of each color are
   // ranked by parent rank. The backend only has to wire up the agreed-upon
   // channels — the collective agreement itself is transport-independent.
@@ -135,9 +320,12 @@ Communicator Communicator::split(int color) {
         make_diagnosis("split", -1, -1, timeout_ms_, {}));
   Communicator child(std::move(child_backend), timings_);
   // Robustness settings follow the rank into sub-communicators: a hung
-  // row/col exchange must trip the same watchdog as the parent's.
+  // row/col exchange must trip the same watchdog as the parent's. The
+  // schedule verifier restarts with fresh hash state — sub-communicator
+  // histories are compared within the sub-communicator only.
   child.timeout_ms_ = timeout_ms_;
   child.checksums_ = checksums_;
+  child.verify_ = verify_;
   return child;
 }
 
@@ -207,7 +395,7 @@ void CommRequest::wait() {
       if (comm->checksums_)
         comm->verify_and_strip_checksum(in.data, pr.src, pr.tag);
       if (in.data.size() != pr.payload_bytes)
-        throw std::runtime_error(
+        throw CommContractError(
             "mpisim: nonblocking receive payload size does not match the "
             "posted buffer");
       if (pr.widen != nullptr)
@@ -247,11 +435,19 @@ std::vector<Timings> run_spmd(
   // Environment hooks let the chaos CI job rerun any existing suite under
   // faults/watchdog without recompiling; explicit SpmdOptions callers are
   // unaffected.
+  // The getenv calls below run on the host thread BEFORE any rank thread
+  // spawns, so the mt-unsafe lint does not apply (nothing concurrently
+  // mutates the environment).
   SpmdOptions options;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* spec = std::getenv("DIFFREG_FAULT_SPEC"))
     options.fault_spec = spec;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* timeout = std::getenv("DIFFREG_COMM_TIMEOUT_MS"))
     options.comm_timeout_ms = std::atof(timeout);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  if (const char* verify = std::getenv("DIFFREG_VERIFY_SCHEDULE"))
+    options.verify_schedule = std::atoi(verify) != 0;
   return run_spmd(p, body, options);
 }
 
@@ -282,6 +478,7 @@ std::vector<Timings> run_spmd(int p,
       Communicator comm(std::move(backend), &timings[r]);
       comm.set_comm_timeout_ms(options.comm_timeout_ms);
       comm.set_wire_checksums(checksums);
+      comm.set_verify_schedule(options.verify_schedule);
       try {
         body(comm);
       } catch (...) {

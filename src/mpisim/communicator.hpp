@@ -115,6 +115,37 @@ void widen_payload(const std::byte* payload, std::byte* dst, size_t elems) {
 
 }  // namespace detail
 
+/// Collective-op classes recorded by the schedule verifier
+/// (Communicator::set_verify_schedule). The numeric values are folded into
+/// the per-rank schedule hash, so they are part of the verifier wire format
+/// (docs/ANALYSIS.md): append new kinds at the end, never renumber.
+enum class ScheduleOpKind : std::uint8_t {
+  kBarrier = 0,
+  kBroadcast,
+  kAllreduce,
+  kAllreduceVec,
+  kAllgather,
+  kAlltoall,
+  kAlltoallv,
+  kSplit,
+  kMark,
+};
+
+namespace detail {
+
+/// Rank-invariant signature of one recorded collective op: exactly the
+/// fields the rolling schedule hash folds, retained per op so a detected
+/// divergence can be reported as "op k on this rank was X" instead of a
+/// bare hash mismatch.
+struct ScheduleOpSig {
+  ScheduleOpKind kind;
+  int tag = 0;  ///< Exchange tag / broadcast root / reduction-op id.
+  std::uint32_t wire_bits = 0;  ///< Per-element wire width in bits (0: n/a).
+  std::uint64_t extra = 0;      ///< Kind-specific word (vector length).
+};
+
+}  // namespace detail
+
 /// Completion handle of a nonblocking exchange (MPI_Request analogue).
 /// Move-only; produced by Communicator::ialltoallv and friends.
 ///
@@ -214,6 +245,39 @@ class Communicator {
   /// benches run without it). Inherited by split() sub-communicators.
   void set_wire_checksums(bool on) { checksums_ = on; }
   bool wire_checksums() const { return checksums_; }
+
+  /// Collective-schedule verification (--verify-schedule): every collective
+  /// entered folds its rank-invariant signature (op kind, tag / root /
+  /// reduction-op id, wire precision) into a per-rank rolling FNV hash, and
+  /// every exchange folds its per-peer payload byte counts into a pair of
+  /// transpose-consistency accumulators (sum over sender claims must equal
+  /// sum over receiver expectations). At every barrier and exchange-class
+  /// collective ENTRY — before any payload moves — the ranks cross-check the
+  /// state with one packed allreduce and, on mismatch, throw
+  /// ScheduleDivergenceError on EVERY rank naming the first mismatching op
+  /// index, instead of deadlocking or silently mispairing exchanges.
+  ///
+  /// Off by default: when off the only cost is one predicted branch per
+  /// collective. When on, the payload schedule is untouched — solver
+  /// results stay bitwise identical and the exchange counters do not move
+  /// (the checkpoint allreduce adds messages, never exchanges). Inherited
+  /// by split() sub-communicators (with fresh hash state; copies of a
+  /// communicator carry their own history, compared against the matching
+  /// copies on the other ranks).
+  void set_verify_schedule(bool on) { verify_ = on; }
+  bool verify_schedule() const { return verify_; }
+
+  /// Folds a caller-chosen marker into the schedule hash: the hook for
+  /// symmetric point-to-point phases (e.g. the ghost-halo exchange) that
+  /// never pass through a collective the verifier could observe. Marks are
+  /// checkpointed at entry like the exchange-class collectives — BEFORE the
+  /// phase's point-to-point traffic — so a rank skipping a marked phase is
+  /// caught in the checkpoint allreduce instead of stranding its neighbours
+  /// in blocking receives. No-op when verification is off.
+  void verify_mark(int tag) {
+    verify_record(ScheduleOpKind::kMark, tag, 0, 0);
+    verify_checkpoint("mark");
+  }
 
   /// Blocks until every rank entered. Collective.
   void barrier();
@@ -392,7 +456,7 @@ class Communicator {
   /// but NOT plain sends (buffered sends cannot race the pending receives).
   void check_idle() const {
     if (pending_)
-      throw std::runtime_error(
+      throw CommContractError(
           "mpisim: communication attempted while a nonblocking request is "
           "outstanding — wait() the CommRequest first");
   }
@@ -421,6 +485,33 @@ class Communicator {
       const char* operation, int src, int tag, double waited_ms,
       std::vector<std::pair<int, int>> missing) const;
 
+  // --- Collective-schedule verifier (set_verify_schedule) ----------------
+
+  /// Folds one op signature into the rolling hash and the per-op history.
+  /// No-op unless verification is on and this is not the verifier's own
+  /// traffic (in_verify_) — and never at size() == 1.
+  void verify_record(ScheduleOpKind kind, int tag, std::uint32_t wire_bits,
+                     std::uint64_t extra);
+  /// Folds one peer chunk into the transpose-consistency accumulators.
+  /// Sender and receiver fold the identical (op index, src, dst, bytes)
+  /// word, so globally sum(sender claims) == sum(receiver expectations)
+  /// iff the per-peer count tables transpose.
+  void verify_fold_send(int dest, std::uint64_t bytes);
+  void verify_fold_recv(int src, std::uint64_t bytes);
+  /// Folds both sides of a validated alltoallv count table (the self chunk
+  /// is excluded: it never crosses the wire).
+  void verify_fold_counts(std::span<const index_t> send_counts,
+                          std::span<const index_t> recv_counts,
+                          std::size_t elem_bytes);
+  /// Cross-checks the rolling state across the communicator with one packed
+  /// allreduce of (hash min, hash max, send sum, recv sum); on mismatch
+  /// every rank enters verify_raise_divergence together.
+  void verify_checkpoint(const char* operation);
+  /// Localizes a detected divergence (per-op history allreduces, padded to
+  /// the longest rank's schedule) and throws ScheduleDivergenceError.
+  [[noreturn]] void verify_raise_divergence(const char* operation);
+  std::string verify_describe_op(long index, bool counts_only) const;
+
   /// Recursive-doubling scalar allreduce with any associative commutative op.
   template <typename T, typename Op>
   T allreduce_op(T value, Op op, int tag);
@@ -448,6 +539,16 @@ class Communicator {
   /// Staging for checksummed sends (grow-only, reused across messages).
   std::vector<std::byte> checksum_stage_;
 
+  bool verify_ = false;     ///< Schedule verification enabled.
+  bool in_verify_ = false;  ///< Reentrancy guard: the verifier's own traffic.
+  std::uint64_t verify_hash_ = 1469598103934665603ull;  ///< Rolling FNV.
+  std::uint64_t verify_send_sum_ = 0;  ///< Σ sender-side chunk words.
+  std::uint64_t verify_recv_sum_ = 0;  ///< Σ receiver-side chunk words.
+  std::vector<std::uint64_t> verify_op_hashes_;  ///< Per-op sig hashes.
+  std::vector<detail::ScheduleOpSig> verify_op_sigs_;  ///< For reporting.
+  std::vector<std::uint64_t> verify_op_send_sums_;  ///< Per-op send words.
+  std::vector<std::uint64_t> verify_op_recv_sums_;  ///< Per-op recv words.
+
   // Tags above this bound are reserved for collectives.
   static constexpr int kCollectiveTag = 1 << 20;
 };
@@ -458,10 +559,23 @@ void Communicator::alltoall(std::span<const T> send, std::span<T> recv,
   const int p = size();
   if (static_cast<int>(send.size()) != p ||
       static_cast<int>(recv.size()) != p)
-    throw std::runtime_error("mpisim: alltoall needs one element per rank");
-  check_collective_consistent(tag, "alltoall tag");
+    throw CommContractError("mpisim: alltoall needs one element per rank");
   check_idle();
+  // Verifier checkpoints run at collective ENTRY, before any payload moves:
+  // ranks that diverged into different collectives still meet in the
+  // checkpoint allreduce (same dedicated tag) and all throw, instead of
+  // blocking on each other's mismatched payload tags.
+  verify_record(ScheduleOpKind::kAlltoall, tag, sizeof(T) * 8, 0);
+  verify_checkpoint("alltoall");
+  check_collective_consistent(tag, "alltoall tag");
   timings_->add_exchange(time_kind_);
+  if (verify_) {
+    for (int r = 0; r < p; ++r) {
+      if (r == rank_) continue;
+      verify_fold_send(r, sizeof(T));
+      verify_fold_recv(r, sizeof(T));
+    }
+  }
   recv[rank_] = send[rank_];
   for (int offset = 1; offset < p; ++offset) {
     const int dest = (rank_ + offset) % p;
@@ -484,6 +598,10 @@ struct SpmdOptions {
   /// Wire checksums on every rank (also enabled by `checksum=1` in the
   /// fault spec).
   bool wire_checksums = false;
+  /// Collective-schedule verification on every rank
+  /// (Communicator::set_verify_schedule; also enabled by the
+  /// DIFFREG_VERIFY_SCHEDULE environment hook in the env-reading overload).
+  bool verify_schedule = false;
 };
 
 /// Runs `body` on p ranks (threads) and returns the per-rank timings.
@@ -516,7 +634,7 @@ template <typename T>
 std::vector<T> Communicator::deserialize(std::vector<std::byte> bytes) {
   static_assert(std::is_trivially_copyable_v<T>);
   if (bytes.size() % sizeof(T) != 0)
-    throw std::runtime_error("mpisim: message size does not match type");
+    throw CommContractError("mpisim: message size does not match type");
   std::vector<T> data(bytes.size() / sizeof(T));
   if (!bytes.empty()) std::memcpy(data.data(), bytes.data(), bytes.size());
   return data;
@@ -548,7 +666,7 @@ void Communicator::recv_into(std::span<T> out, int src, int tag) {
   ScopedTimer timer(*timings_, time_kind_);
   const Incoming in = receive_payload(src, tag, "recv_into");
   if (in.data.size() != out.size_bytes())
-    throw std::runtime_error(
+    throw CommContractError(
         "mpisim: recv_into buffer size does not match message payload");
   if (!in.data.empty()) std::memcpy(out.data(), in.data.data(), in.data.size());
 }
@@ -566,6 +684,10 @@ void Communicator::broadcast(std::vector<T>& data, int root) {
   const int tag = kCollectiveTag + 1;
   const int p = size();
   if (p == 1) return;
+  // Record-only (no checkpoint): tree collectives are cheap and frequent,
+  // so a divergence here is caught — with the right op index — at the next
+  // barrier / exchange-class checkpoint.
+  verify_record(ScheduleOpKind::kBroadcast, root, sizeof(T) * 8, 0);
   // Binomial tree in root-relative rank space: vrank 0 is the root; a rank
   // receives from the partner that clears its lowest set bit, then forwards
   // to every vrank obtained by setting a higher-order bit.
@@ -592,6 +714,7 @@ template <typename T>
 std::vector<T> Communicator::allgather(T value) {
   const int tag = kCollectiveTag + 2;
   const int p = size();
+  verify_record(ScheduleOpKind::kAllgather, 0, sizeof(T) * 8, 0);
   // Bruck dissemination: after the round with distance d, this rank holds
   // the values of ranks rank .. rank+2d-1 (mod p) in shifted order. ceil(log2
   // p) rounds for any p.
@@ -695,42 +818,54 @@ void Communicator::allreduce_vec(std::vector<T>& data, Op op, int tag) {
   }
   broadcast(data, 0);
   if (data.size() != my_size + 1)
-    throw std::runtime_error(
+    throw CommContractError(
         "mpisim: vector allreduce element counts differ across ranks");
   data.pop_back();
 }
 
+// The scalar/vector allreduce wrappers record the reduction-op IDENTITY
+// (1 = sum, 2 = max, 3 = min) in the signature's tag slot: all three share
+// one wire tag, so a rank doing allreduce_sum while its peers do
+// allreduce_max combines values silently — the schedule hash is the only
+// thing that can catch that class of divergence.
+
 template <typename T>
 T Communicator::allreduce_sum(T value) {
+  verify_record(ScheduleOpKind::kAllreduce, 1, sizeof(T) * 8, 0);
   return allreduce_op(value, [](T a, T b) { return a + b; },
                       kCollectiveTag + 3);
 }
 
 template <typename T>
 T Communicator::allreduce_max(T value) {
+  verify_record(ScheduleOpKind::kAllreduce, 2, sizeof(T) * 8, 0);
   return allreduce_op(value, [](T a, T b) { return a > b ? a : b; },
                       kCollectiveTag + 3);
 }
 
 template <typename T>
 T Communicator::allreduce_min(T value) {
+  verify_record(ScheduleOpKind::kAllreduce, 3, sizeof(T) * 8, 0);
   return allreduce_op(value, [](T a, T b) { return a < b ? a : b; },
                       kCollectiveTag + 3);
 }
 
 template <typename T>
 void Communicator::allreduce_sum(std::vector<T>& data) {
+  verify_record(ScheduleOpKind::kAllreduceVec, 1, sizeof(T) * 8, data.size());
   allreduce_vec(data, [](T a, T b) { return a + b; }, kCollectiveTag + 4);
 }
 
 template <typename T>
 void Communicator::allreduce_max(std::vector<T>& data) {
+  verify_record(ScheduleOpKind::kAllreduceVec, 2, sizeof(T) * 8, data.size());
   allreduce_vec(data, [](T a, T b) { return a > b ? a : b; },
                 kCollectiveTag + 4);
 }
 
 template <typename T>
 void Communicator::allreduce_min(std::vector<T>& data) {
+  verify_record(ScheduleOpKind::kAllreduceVec, 3, sizeof(T) * 8, data.size());
   allreduce_vec(data, [](T a, T b) { return a < b ? a : b; },
                 kCollectiveTag + 4);
 }
@@ -739,23 +874,30 @@ template <typename T>
 std::vector<std::vector<T>> Communicator::alltoallv(
     std::vector<std::vector<T>> send_bufs, int tag) {
   if (static_cast<int>(send_bufs.size()) != size())
-    throw std::runtime_error("mpisim: alltoallv needs one buffer per rank");
+    throw CommContractError("mpisim: alltoallv needs one buffer per rank");
+  check_idle();
+  verify_record(ScheduleOpKind::kAlltoallv, tag, sizeof(T) * 8, 0);
+  verify_checkpoint("alltoallv");
   // Every rank must have entered the same alltoallv (same tag) — a
   // mismatched schedule would otherwise deliver buffers to the wrong
   // exchange and corrupt data silently. O(log p) cost, negligible against
   // the pairwise payload exchange.
   check_collective_consistent(tag, "alltoallv tag");
-  check_idle();
   timings_->add_exchange(time_kind_);
   std::vector<std::vector<T>> recv_bufs(size());
   recv_bufs[rank_] = std::move(send_bufs[rank_]);
   for (int offset = 1; offset < size(); ++offset) {
     const int dest = (rank_ + offset) % size();
+    // This overload learns its recv sizes from the arriving messages, so
+    // the receiver folds what actually landed (below) instead of an
+    // expectation — order divergence is still caught by the hash.
+    verify_fold_send(dest, send_bufs[dest].size() * sizeof(T));
     send(std::span<const T>(send_bufs[dest]), dest, tag);
   }
   for (int offset = 1; offset < size(); ++offset) {
     const int src = (rank_ - offset + size()) % size();
     recv_bufs[src] = recv<T>(src, tag);
+    verify_fold_recv(src, recv_bufs[src].size() * sizeof(T));
   }
   return recv_bufs;
 }
@@ -767,7 +909,7 @@ inline std::pair<index_t, index_t> Communicator::check_alltoallv_counts(
   const int p = size();
   if (static_cast<int>(send_counts.size()) != p ||
       static_cast<int>(recv_counts.size()) != p)
-    throw std::runtime_error("mpisim: alltoallv needs one count per rank");
+    throw CommContractError("mpisim: alltoallv needs one count per rank");
   index_t send_total = 0, recv_total = 0;
   for (int r = 0; r < p; ++r) {
     send_total += send_counts[r];
@@ -775,9 +917,9 @@ inline std::pair<index_t, index_t> Communicator::check_alltoallv_counts(
   }
   if (send_total != static_cast<index_t>(send_size) ||
       recv_total != static_cast<index_t>(recv_size))
-    throw std::runtime_error("mpisim: alltoallv counts do not sum to buffers");
+    throw CommContractError("mpisim: alltoallv counts do not sum to buffers");
   if (send_counts[rank_] != recv_counts[rank_])
-    throw std::runtime_error("mpisim: alltoallv self chunk size mismatch");
+    throw CommContractError("mpisim: alltoallv self chunk size mismatch");
   // Offsets are prefix sums of the counts; computed on the fly so the call
   // itself allocates nothing.
   index_t self_send_off = 0, self_recv_off = 0;
@@ -796,9 +938,12 @@ void Communicator::alltoallv(std::span<const T> send,
   const int p = size();
   const auto [self_send_off, self_recv_off] = check_alltoallv_counts(
       send_counts, recv_counts, send.size(), recv.size());
-  check_collective_consistent(tag, "alltoallv tag");
   check_idle();
+  verify_record(ScheduleOpKind::kAlltoallv, tag, sizeof(T) * 8, 0);
+  verify_checkpoint("alltoallv");
+  check_collective_consistent(tag, "alltoallv tag");
   timings_->add_exchange(time_kind_);
+  verify_fold_counts(send_counts, recv_counts, sizeof(T));
 
   if (send_counts[rank_] > 0)
     std::memcpy(recv.data() + self_recv_off, send.data() + self_send_off,
@@ -831,9 +976,12 @@ CommRequest Communicator::ialltoallv(std::span<const T> send,
   const int p = size();
   const auto [self_send_off, self_recv_off] = check_alltoallv_counts(
       send_counts, recv_counts, send.size(), recv.size());
-  check_collective_consistent(tag, "alltoallv tag");
   check_idle();
+  verify_record(ScheduleOpKind::kAlltoallv, tag, sizeof(T) * 8, 0);
+  verify_checkpoint("alltoallv");
+  check_collective_consistent(tag, "alltoallv tag");
   timings_->add_exchange(time_kind_);
+  verify_fold_counts(send_counts, recv_counts, sizeof(T));
 
   if (send_counts[rank_] > 0)
     std::memcpy(recv.data() + self_recv_off, send.data() + self_send_off,
@@ -872,11 +1020,17 @@ void Communicator::alltoallv_converted(std::span<const Wide> send,
   const auto [self_send_off, self_recv_off] = check_alltoallv_counts(
       send_counts, recv_counts, send.size(), recv.size());
   if (send_stage.size() < send.size() || recv_stage.size() < recv.size())
-    throw std::runtime_error(
+    throw CommContractError(
         "mpisim: alltoallv_converted staging buffers too small");
-  check_collective_consistent(tag, "alltoallv tag");
   check_idle();
+  // The signature folds the NARROW width: that is what crosses the wire,
+  // so a rank disagreeing about the wire precision of an exchange (fp64
+  // vs fp32 variant, same tag) hashes differently.
+  verify_record(ScheduleOpKind::kAlltoallv, tag, sizeof(Narrow) * 8, 0);
+  verify_checkpoint("alltoallv");
+  check_collective_consistent(tag, "alltoallv tag");
   timings_->add_exchange(time_kind_);
+  verify_fold_counts(send_counts, recv_counts, sizeof(Narrow));
 
   // Self chunk: direct Wide copy (bit-exact, no staging round trip).
   if (send_counts[rank_] > 0)
@@ -931,11 +1085,17 @@ CommRequest Communicator::ialltoallv_converted(
   const auto [self_send_off, self_recv_off] = check_alltoallv_counts(
       send_counts, recv_counts, send.size(), recv.size());
   if (send_stage.size() < send.size() || recv_stage.size() < recv.size())
-    throw std::runtime_error(
+    throw CommContractError(
         "mpisim: alltoallv_converted staging buffers too small");
-  check_collective_consistent(tag, "alltoallv tag");
   check_idle();
+  // The signature folds the NARROW width: that is what crosses the wire,
+  // so a rank disagreeing about the wire precision of an exchange (fp64
+  // vs fp32 variant, same tag) hashes differently.
+  verify_record(ScheduleOpKind::kAlltoallv, tag, sizeof(Narrow) * 8, 0);
+  verify_checkpoint("alltoallv");
+  check_collective_consistent(tag, "alltoallv tag");
   timings_->add_exchange(time_kind_);
+  verify_fold_counts(send_counts, recv_counts, sizeof(Narrow));
 
   if (send_counts[rank_] > 0)
     std::memcpy(recv.data() + self_recv_off, send.data() + self_send_off,
@@ -980,7 +1140,7 @@ void Communicator::send_narrowed(std::span<const Wide> data,
                                  std::span<Narrow> stage, int dest, int tag) {
   static_assert(sizeof(Narrow) < sizeof(Wide));
   if (stage.size() < data.size())
-    throw std::runtime_error("mpisim: send_narrowed staging buffer too small");
+    throw CommContractError("mpisim: send_narrowed staging buffer too small");
   {
     ScopedTimer timer(*timings_, time_kind_);
     narrow_into(data, stage.subspan(0, data.size()));
@@ -995,7 +1155,7 @@ void Communicator::recv_widened(std::span<Wide> out, std::span<Narrow> stage,
                                 int src, int tag) {
   static_assert(sizeof(Narrow) < sizeof(Wide));
   if (stage.size() < out.size())
-    throw std::runtime_error("mpisim: recv_widened staging buffer too small");
+    throw CommContractError("mpisim: recv_widened staging buffer too small");
   recv_into(stage.subspan(0, out.size()), src, tag);
   ScopedTimer timer(*timings_, time_kind_);
   widen_into(std::span<const Narrow>(stage.data(), out.size()), out);
@@ -1017,7 +1177,7 @@ CommRequest Communicator::irecv_widened(std::span<Wide> out,
                                         int tag) {
   static_assert(sizeof(Narrow) < sizeof(Wide));
   if (stage.size() < out.size())
-    throw std::runtime_error("mpisim: recv_widened staging buffer too small");
+    throw CommContractError("mpisim: recv_widened staging buffer too small");
   check_idle();
   const double post_time = backend_ ? backend_->now() : 0.0;
   pending_recvs_.clear();

@@ -22,7 +22,7 @@ double parse_number(const std::string& key, const std::string& value) {
   char* end = nullptr;
   const double parsed = std::strtod(value.c_str(), &end);
   if (end == value.c_str() || *end != '\0')
-    throw std::invalid_argument("fault-spec: malformed value for '" + key +
+    throw CommConfigError("fault-spec: malformed value for '" + key +
                                 "': '" + value + "'");
   return parsed;
 }
@@ -30,7 +30,7 @@ double parse_number(const std::string& key, const std::string& value) {
 double parse_probability(const std::string& key, const std::string& value) {
   const double p = parse_number(key, value);
   if (p < 0 || p > 1)
-    throw std::invalid_argument("fault-spec: probability '" + key +
+    throw CommConfigError("fault-spec: probability '" + key +
                                 "' must be in [0, 1], got " + value);
   return p;
 }
@@ -49,7 +49,7 @@ FaultSpec FaultSpec::parse(const std::string& spec) {
     if (item.empty()) continue;
     const size_t eq = item.find('=');
     if (eq == std::string::npos)
-      throw std::invalid_argument("fault-spec: expected key=value, got '" +
+      throw CommConfigError("fault-spec: expected key=value, got '" +
                                   item + "'");
     const std::string key = item.substr(0, eq);
     const std::string value = item.substr(eq + 1);
@@ -66,7 +66,7 @@ FaultSpec FaultSpec::parse(const std::string& spec) {
     } else if (key == "delay_ms") {
       out.delay_ms = parse_number(key, value);
       if (out.delay_ms < 0)
-        throw std::invalid_argument("fault-spec: delay_ms must be >= 0");
+        throw CommConfigError("fault-spec: delay_ms must be >= 0");
     } else if (key == "delay_prob") {
       out.delay_prob = parse_probability(key, value);
       delay_prob_given = true;
@@ -77,12 +77,12 @@ FaultSpec FaultSpec::parse(const std::string& spec) {
     } else if (key == "checksum") {
       out.checksum = parse_number(key, value) != 0;
     } else {
-      throw std::invalid_argument("fault-spec: unknown key '" + key + "'");
+      throw CommConfigError("fault-spec: unknown key '" + key + "'");
     }
   }
   (void)delay_prob_given;
   if (out.crash_rank >= 0 && out.crash_at < 0)
-    throw std::invalid_argument(
+    throw CommConfigError(
         "fault-spec: crash_rank needs a crash_at step");
   return out;
 }

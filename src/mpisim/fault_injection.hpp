@@ -21,7 +21,7 @@
 /// crash_at (the given rank throws RankCrashError at that backend step),
 /// checksum (0/1: ask the Communicator to run wire checksums so corruption
 /// surfaces as CommIntegrityError instead of wrong answers). Unknown keys
-/// and malformed values throw std::invalid_argument.
+/// and malformed values throw CommConfigError (errors.hpp).
 ///
 /// See docs/FAULT_MODEL.md for the fault taxonomy and how the chaos CI job
 /// uses these specs.

@@ -43,13 +43,13 @@ TEST(FaultSpec, ParsesTheFullGrammar) {
 }
 
 TEST(FaultSpec, RejectsMalformedSpecs) {
-  EXPECT_THROW(FaultSpec::parse("warp=0.5"), std::invalid_argument);
-  EXPECT_THROW(FaultSpec::parse("drop=banana"), std::invalid_argument);
-  EXPECT_THROW(FaultSpec::parse("drop=1.5"), std::invalid_argument);
-  EXPECT_THROW(FaultSpec::parse("drop=-0.1"), std::invalid_argument);
-  EXPECT_THROW(FaultSpec::parse("drop"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("warp=0.5"), CommConfigError);
+  EXPECT_THROW(FaultSpec::parse("drop=banana"), CommConfigError);
+  EXPECT_THROW(FaultSpec::parse("drop=1.5"), CommConfigError);
+  EXPECT_THROW(FaultSpec::parse("drop=-0.1"), CommConfigError);
+  EXPECT_THROW(FaultSpec::parse("drop"), CommConfigError);
   // crash_rank without a step is a schedule with no trigger.
-  EXPECT_THROW(FaultSpec::parse("crash_rank=0"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("crash_rank=0"), CommConfigError);
 }
 
 TEST(Chaos, DelayOnlySpecIsTransparent) {
@@ -243,6 +243,35 @@ TEST(Chaos, CrashedRankEndsTheRunStructured) {
   }
 }
 
+TEST(Chaos, DropFaultsWithScheduleVerifierEndStructuredNotHung) {
+  // Chaos leg of the schedule verifier: with messages being destroyed on
+  // the wire AND verification on, a run must still die structured — either
+  // the watchdog fires on the missing payload (CommTimeoutError) or the
+  // verifier catches the resulting schedule divergence
+  // (ScheduleDivergenceError). Never a hang, never a silent mispairing.
+  SpmdOptions opts;
+  opts.fault_spec = "seed=19,drop=0.3";
+  opts.comm_timeout_ms = 150;
+  opts.verify_schedule = true;
+  try {
+    run_spmd(
+        3,
+        [&](Communicator& comm) {
+          std::vector<index_t> counts(3, 4);
+          std::vector<double> buf(12, comm.rank()), out(12);
+          for (int round = 0; round < 8; ++round) {
+            comm.alltoallv(std::span<const double>(buf), counts,
+                           std::span<double>(out), counts, 600 + round);
+            comm.barrier();
+          }
+        },
+        opts);
+    FAIL() << "expected a structured CommError under drop faults";
+  } catch (const CommTimeoutError&) {
+  } catch (const ScheduleDivergenceError&) {
+  }
+}
+
 TEST(Chaos, EnvironmentHooksConfigureTheDefaultRunSpmd) {
   // DIFFREG_FAULT_SPEC / DIFFREG_COMM_TIMEOUT_MS let the chaos CI job run
   // unmodified test suites under a fault schedule.
@@ -259,6 +288,19 @@ TEST(Chaos, EnvironmentHooksConfigureTheDefaultRunSpmd) {
                CommTimeoutError);
   ::unsetenv("DIFFREG_FAULT_SPEC");
   ::unsetenv("DIFFREG_COMM_TIMEOUT_MS");
+}
+
+TEST(Chaos, VerifyScheduleEnvironmentHookArmsTheVerifier) {
+  // DIFFREG_VERIFY_SCHEDULE reruns unmodified suites under schedule
+  // verification, exactly like the fault/watchdog hooks.
+  ::setenv("DIFFREG_VERIFY_SCHEDULE", "1", 1);
+  std::atomic<int> armed{0};
+  run_spmd(2, [&](Communicator& comm) {
+    if (comm.verify_schedule()) armed.fetch_add(1);
+    comm.barrier();
+  });
+  ::unsetenv("DIFFREG_VERIFY_SCHEDULE");
+  EXPECT_EQ(armed.load(), 2);
 }
 
 TEST(Chaos, SplitRendezvousHonorsTheWatchdogWhenAPeerDied) {

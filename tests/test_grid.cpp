@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
 #include <cmath>
 #include <random>
 #include <utility>
@@ -402,6 +403,43 @@ TEST(GhostExchange, OverlapExchangerMatchesBlockingBitwise) {
       }
     }
   }
+}
+
+TEST(GhostExchange, SkippedExchangeIsCaughtByScheduleVerifier) {
+  // The halo exchange is pure point-to-point, but it calls
+  // Communicator::verify_mark per distributed dimension — so under
+  // --verify-schedule a rank that skips a whole exchange round (the classic
+  // lockstep bug: divergent control flow around an exchange) is caught at
+  // the next barrier, naming the first diverging op, instead of feeding its
+  // stale halos into the interpolation.
+  mpisim::SpmdOptions opts;
+  opts.verify_schedule = true;
+  std::atomic<int> caught{0};
+  mpisim::run_spmd(
+      4,
+      [&](mpisim::Communicator& comm) {
+        PencilDecomp decomp(comm, {16, 16, 8});
+        GhostExchange ghost(decomp, /*width=*/2);
+        std::vector<real_t> local(decomp.local_real_size(), comm.rank());
+        std::vector<real_t> ghosted;
+        try {
+          ghost.exchange(local, ghosted);  // round every rank runs
+          if (comm.rank() != 3) ghost.exchange(local, ghosted);
+          // The decomp holds its own copy of the communicator, and the
+          // verifier history lives per object — barrier on the same comm
+          // the exchange marked, as solver code does.
+          decomp.comm().barrier();
+        } catch (const mpisim::ScheduleDivergenceError& e) {
+          caught.fetch_add(1);
+          // The decomp's schedule is: two ctor splits at two recorded ops
+          // each (the split plus its internal allgather, ops 0-3), then
+          // the first exchange's two marked dimension phases (ops 4-5);
+          // the skipped second exchange diverges at its first mark, op 6.
+          EXPECT_EQ(e.first_mismatch_index(), 6) << "rank " << comm.rank();
+        }
+      },
+      opts);
+  EXPECT_EQ(caught.load(), 4);
 }
 
 }  // namespace

@@ -833,5 +833,296 @@ TEST(Nonblocking, DrainWarningIsRateLimited) {
   EXPECT_NE(warnings.back().find("suppressing"), std::string::npos);
 }
 
+// Concurrency stress of the thread-shared runtime paths. These tests exist
+// primarily for the TSan CI leg: each one drives a path where rank threads
+// contend on shared state (the logger's level filter and rate-limit
+// counters, mailbox probes racing sends, watchdog deadline pops, repeated
+// barrier generations, split rendezvous) hard enough that a missing
+// happens-before edge shows up as a ThreadSanitizer report. They assert
+// functional outcomes too, so they stay meaningful in plain builds.
+TEST(ConcurrencyStress, LogLevelChangesRaceRatedWarnings) {
+  // Regression: Logger::level_ was a plain LogLevel, so a driver adjusting
+  // verbosity while rank threads emit rated warnings was a data race
+  // (found by TSan on this exact pattern; level_ is now atomic).
+  const LogLevel before = Logger::instance().level();
+  Logger::instance().set_sink([](LogLevel, const std::string&) {});
+  run_spmd(6, [](Communicator& comm) {
+    for (int i = 0; i < 100; ++i) {
+      if (comm.rank() == 0)
+        Logger::instance().set_level(i % 2 ? LogLevel::kWarn
+                                           : LogLevel::kError);
+      log_warn_rated("test.stress.key" + std::to_string(i % 3), "stress");
+    }
+    comm.barrier();
+  });
+  Logger::instance().set_level(before);
+  Logger::instance().set_sink(nullptr);
+}
+
+TEST(ConcurrencyStress, ProbesAndDeadlinePopsRaceBufferedSends) {
+  // Mailbox hammer: every rank blasts tagged messages at every peer while
+  // the receivers interleave nonblocking probes with deadline pops — the
+  // buffered-send/probe contention the watchdog snapshot path relies on.
+  run_spmd(6, [](Communicator& comm) {
+    const int p = comm.size();
+    for (int round = 0; round < 30; ++round) {
+      for (int peer = 0; peer < p; ++peer) {
+        if (peer == comm.rank()) continue;
+        const double payload = 100.0 * comm.rank() + round;
+        comm.send(std::span<const double>(&payload, 1), peer, round % 5);
+      }
+      for (int peer = 0; peer < p; ++peer) {
+        if (peer == comm.rank()) continue;
+        comm.backend()->probe(peer, round % 5);
+        auto got = comm.backend()->try_recv_bytes(peer, round % 5, 5000.0);
+        ASSERT_TRUE(got.has_value());
+        double value = 0;
+        ASSERT_EQ(got->data.size(), sizeof value);
+        std::memcpy(&value, got->data.data(), sizeof value);
+        EXPECT_DOUBLE_EQ(value, 100.0 * peer + round);
+      }
+    }
+    comm.barrier();
+  });
+}
+
+TEST(ConcurrencyStress, NonblockingTestPollsRaceArrivals) {
+  // test() polls probe() while peer sends are still landing, then wait()
+  // reads the arrival timestamps — the overlap path's hot contention.
+  run_spmd(4, [](Communicator& comm) {
+    comm.set_comm_timeout_ms(10000);
+    std::vector<double> send(4 * 8, comm.rank());
+    std::vector<double> recv(4 * 8);
+    std::vector<index_t> counts(4, 8);
+    for (int round = 0; round < 30; ++round) {
+      auto req = comm.ialltoallv(std::span<const double>(send), counts,
+                                 std::span<double>(recv), counts,
+                                 /*tag=*/99);
+      while (!req.test()) {
+      }
+      for (int r = 0; r < 4; ++r)
+        EXPECT_DOUBLE_EQ(recv[static_cast<size_t>(r) * 8], r);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(ConcurrencyStress, RepeatedSplitsRaceRendezvousState) {
+  // Split storm: the (epoch, color) exchange board and the two rendezvous
+  // barriers under repeated sub-communicator creation and traffic.
+  run_spmd(6, [](Communicator& comm) {
+    for (int round = 0; round < 15; ++round) {
+      Communicator sub = comm.split(comm.rank() % 2);
+      int expected = 0;
+      for (int r = comm.rank() % 2; r < 6; r += 2) expected += r;
+      EXPECT_EQ(sub.allreduce_sum(comm.rank()), expected);
+      sub.barrier();
+    }
+  });
+}
+
+// Collective-schedule verifier (--verify-schedule / SpmdOptions): the
+// rolling per-rank schedule hash cross-checked at barrier/exchange entry.
+
+// A comm workload touching every recorded op class: uneven span alltoallvs,
+// scalar and vector allreduces, a broadcast, an allgather, split traffic,
+// and barriers. Returns a per-rank digest of every value that arrived, so
+// two runs can be compared bitwise.
+std::vector<double> schedule_probe_workload(Communicator& comm) {
+  const int p = comm.size();
+  std::vector<double> digest;
+  for (int round = 0; round < 3; ++round) {
+    // Pair-symmetric counts (c(a, b) == c(b, a)), so one table serves as
+    // both send_counts and recv_counts on every rank and transposes.
+    std::vector<index_t> counts(p);
+    for (int r = 0; r < p; ++r) counts[r] = 1 + (comm.rank() + r + round) % 3;
+    index_t total = 0;
+    for (index_t c : counts) total += c;
+    std::vector<double> send(static_cast<size_t>(total));
+    for (size_t i = 0; i < send.size(); ++i)
+      send[i] = 1000.0 * comm.rank() + 10.0 * round + static_cast<double>(i);
+    std::vector<double> recv(static_cast<size_t>(total));
+    comm.alltoallv(std::span<const double>(send), counts,
+                   std::span<double>(recv), counts, /*tag=*/500 + round);
+    digest.insert(digest.end(), recv.begin(), recv.end());
+    digest.push_back(comm.allreduce_sum(0.5 + comm.rank() + round));
+    digest.push_back(comm.allreduce_max(0.5 + comm.rank() + round));
+    std::vector<double> batch(3, comm.rank() + round);
+    comm.allreduce_sum(batch);
+    digest.insert(digest.end(), batch.begin(), batch.end());
+    comm.barrier();
+  }
+  std::vector<double> seed{comm.is_root() ? 42.0 : 0.0};
+  comm.broadcast(seed, 0);
+  digest.push_back(seed[0]);
+  auto all = comm.allgather(static_cast<double>(comm.rank()));
+  digest.insert(digest.end(), all.begin(), all.end());
+  Communicator sub = comm.split(comm.rank() % 2);
+  digest.push_back(sub.allreduce_sum(static_cast<double>(comm.rank())));
+  sub.barrier();
+  comm.barrier();
+  return digest;
+}
+
+TEST(ScheduleVerify, OnIsBitwiseIdenticalToOffWithEqualExchangeCounts) {
+  // Acceptance gate: verification must be pure observation — identical
+  // payload results bit for bit, identical exchange counters. (The
+  // checkpoint allreduce may add MESSAGES; it must never add exchanges.)
+  const int p = 4;
+  std::vector<std::vector<double>> digest_off(p), digest_on(p);
+  SpmdOptions off;  // defaults: verifier off
+  auto t_off = run_spmd(
+      p, [&](Communicator& comm) {
+        digest_off[comm.rank()] = schedule_probe_workload(comm);
+      },
+      off);
+  SpmdOptions on;
+  on.verify_schedule = true;
+  auto t_on = run_spmd(
+      p, [&](Communicator& comm) {
+        EXPECT_TRUE(comm.verify_schedule());
+        digest_on[comm.rank()] = schedule_probe_workload(comm);
+      },
+      on);
+  for (int r = 0; r < p; ++r) {
+    ASSERT_EQ(digest_off[r].size(), digest_on[r].size());
+    ASSERT_EQ(std::memcmp(digest_off[r].data(), digest_on[r].data(),
+                          digest_off[r].size() * sizeof(double)),
+              0)
+        << "rank " << r << " payload results differ with --verify-schedule";
+    EXPECT_EQ(t_off[r].total_exchanges(), t_on[r].total_exchanges());
+    // The checkpoints really ran: their allreduce traffic is visible in the
+    // message counters.
+    EXPECT_GT(t_on[r].total_messages(), t_off[r].total_messages());
+  }
+}
+
+TEST(ScheduleVerify, SkippedExchangeRaisesOnEveryRankNamingTheFirstOp) {
+  // Rank 1 skips the second of three alltoallvs. The entry checkpoint of
+  // its NEXT exchange meets the peers' checkpoint of the skipped one (the
+  // verifier traffic rides a dedicated tag), so every rank throws a
+  // structured divergence instead of deadlocking on mismatched payload
+  // tags — and the recovery pass pins the first mismatching op index.
+  const int p = 4;
+  std::vector<long> index(p, -2);
+  std::vector<std::string> description(p);
+  SpmdOptions opts;
+  opts.verify_schedule = true;
+  run_spmd(
+      p,
+      [&](Communicator& comm) {
+        std::vector<index_t> counts(p, 2);
+        std::vector<double> buf(2 * p, comm.rank()), out(2 * p);
+        try {
+          for (int tag : {401, 402, 403}) {
+            if (comm.rank() == 1 && tag == 402) continue;
+            comm.alltoallv(std::span<const double>(buf), counts,
+                           std::span<double>(out), counts, tag);
+          }
+          comm.barrier();
+        } catch (const ScheduleDivergenceError& e) {
+          index[comm.rank()] = e.first_mismatch_index();
+          description[comm.rank()] = e.op_description();
+        }
+      },
+      opts);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(index[r], 1) << "rank " << r;
+    EXPECT_NE(description[r].find("alltoallv"), std::string::npos);
+    // Each rank names ITS op at the diverging index: the skipping rank had
+    // already moved on to tag 403, everyone else was entering tag 402.
+    EXPECT_NE(description[r].find(r == 1 ? "403" : "402"), std::string::npos)
+        << "rank " << r << ": " << description[r];
+  }
+}
+
+TEST(ScheduleVerify, MixedReductionOpsAreCaughtAtTheNextBarrier) {
+  // All three scalar allreduces share one wire tag, so a rank calling
+  // allreduce_max while its peers call allreduce_sum combines values and
+  // returns garbage SILENTLY — only the schedule hash (which folds the
+  // reduction-op identity) can catch it. The divergence surfaces at the
+  // next barrier checkpoint, naming op 0.
+  const int p = 3;
+  std::atomic<int> caught{0};
+  std::vector<long> index(p, -2);
+  SpmdOptions opts;
+  opts.verify_schedule = true;
+  run_spmd(
+      p,
+      [&](Communicator& comm) {
+        try {
+          if (comm.rank() == 0)
+            comm.allreduce_max(1.0 * comm.rank());
+          else
+            comm.allreduce_sum(1.0 * comm.rank());
+          comm.barrier();
+        } catch (const ScheduleDivergenceError& e) {
+          caught.fetch_add(1);
+          index[comm.rank()] = e.first_mismatch_index();
+          EXPECT_NE(std::string(e.what()).find("allreduce"),
+                    std::string::npos);
+        }
+      },
+      opts);
+  EXPECT_EQ(caught.load(), p);
+  for (int r = 0; r < p; ++r) EXPECT_EQ(index[r], 0) << "rank " << r;
+}
+
+TEST(ScheduleVerify, SkippedMarkRaisesDivergenceAtPhaseEntry) {
+  // verify_mark is the hook for symmetric point-to-point phases (the
+  // ghost-halo exchange): a rank that skips the marked phase diverges at
+  // op 0 even though no collective was involved — and because marks
+  // checkpoint at entry, the divergence is caught before the phase's p2p
+  // traffic could strand anyone.
+  const int p = 3;
+  std::atomic<int> caught{0};
+  SpmdOptions opts;
+  opts.verify_schedule = true;
+  run_spmd(
+      p,
+      [&](Communicator& comm) {
+        try {
+          if (comm.rank() != 2) comm.verify_mark(/*tag=*/7);
+          comm.barrier();
+        } catch (const ScheduleDivergenceError& e) {
+          caught.fetch_add(1);
+          EXPECT_EQ(e.first_mismatch_index(), 0);
+          if (comm.rank() != 2) {
+            EXPECT_NE(e.op_description().find("mark"), std::string::npos);
+          }
+        }
+      },
+      opts);
+  EXPECT_EQ(caught.load(), p);
+}
+
+TEST(ScheduleVerify, SubCommunicatorsInheritVerificationWithFreshState) {
+  const int p = 4;
+  std::atomic<int> caught{0};
+  SpmdOptions opts;
+  opts.verify_schedule = true;
+  run_spmd(
+      p,
+      [&](Communicator& comm) {
+        Communicator sub = comm.split(comm.rank() / 2);
+        EXPECT_TRUE(sub.verify_schedule());
+        // A clean sub-communicator schedule passes its own checkpoints...
+        sub.barrier();
+        EXPECT_EQ(sub.allreduce_sum(1), 2);
+        // ...and a divergence WITHIN one split is caught there: in the
+        // first sub-communicator, sub-rank 0 skips a marked phase.
+        try {
+          if (comm.rank() != 0) sub.verify_mark(/*tag=*/11);
+          sub.barrier();
+        } catch (const ScheduleDivergenceError&) {
+          caught.fetch_add(1);
+        }
+      },
+      opts);
+  // Only the diverging split's two members throw; the other split's
+  // schedule is internally consistent.
+  EXPECT_EQ(caught.load(), 2);
+}
+
 }  // namespace
 }  // namespace diffreg::mpisim
