@@ -74,6 +74,7 @@ class Timings {
     add_comm(kind, 0, 0, 0, bytes);
   }
   /// Raw counter accumulation (used by add_message/add_exchange and deltas).
+  // diffreg:zero-alloc
   void add_comm(TimeKind kind, std::uint64_t bytes, std::uint64_t messages,
                 std::uint64_t exchanges, std::uint64_t saved = 0) {
     bytes_[static_cast<int>(kind)] += bytes;
@@ -152,6 +153,7 @@ class Timings {
     return *this;
   }
   /// Element-wise max, used to report the slowest rank like the paper does.
+  // diffreg:zero-alloc
   void max_with(const Timings& other) {
     for (int k = 0; k < kNumTimeKinds; ++k) {
       if (other.seconds_[k] > seconds_[k]) seconds_[k] = other.seconds_[k];

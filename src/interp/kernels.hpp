@@ -20,6 +20,7 @@ namespace diffreg::interp {
 enum class Method { kTricubic, kTrilinear };
 
 /// Cubic Lagrange weights for nodes {-1, 0, 1, 2} at fraction t in [0, 1).
+// diffreg:zero-alloc
 inline void cubic_weights(real_t t, real_t w[4]) {
   const real_t t2 = t * t;
   const real_t t3 = t2 * t;
@@ -39,6 +40,7 @@ struct CubicStencil {
   real_t w1[4], w2[4], w3[4];
 };
 
+// diffreg:zero-alloc
 inline void make_cubic_stencil(const Int3& gdims, real_t u1, real_t u2,
                                real_t u3, CubicStencil& st) {
   const index_t i1 = static_cast<index_t>(std::floor(u1));
@@ -55,6 +57,7 @@ inline void make_cubic_stencil(const Int3& gdims, real_t u1, real_t u2,
 /// the 64 multiply-adds vectorize and pipeline instead of forming a serial
 /// reduction chain; ~64 coefficients as in the paper's O(600 N^3 / p) flop
 /// estimate.
+// diffreg:zero-alloc
 inline real_t cubic_stencil_apply(const real_t* g, const Int3& gdims,
                                   const CubicStencil& st) {
   const index_t s1 = gdims[1] * gdims[2];
@@ -79,6 +82,7 @@ inline real_t cubic_stencil_apply(const real_t* g, const Int3& gdims,
 
 /// Evaluates the tricubic interpolant of the ghosted block `g` (dims
 /// `gdims`, i3 fastest) at ghosted-grid-unit position (u1, u2, u3).
+// diffreg:zero-alloc
 inline real_t tricubic_eval(const real_t* g, const Int3& gdims, real_t u1,
                             real_t u2, real_t u3) {
   CubicStencil st;
@@ -87,6 +91,7 @@ inline real_t tricubic_eval(const real_t* g, const Int3& gdims, real_t u1,
 }
 
 /// Trilinear interpolation (ablation baseline; first-order kernel).
+// diffreg:zero-alloc
 inline real_t trilinear_eval(const real_t* g, const Int3& gdims, real_t u1,
                              real_t u2, real_t u3) {
   const index_t i1 = static_cast<index_t>(std::floor(u1));

@@ -1,0 +1,22 @@
+// Seeds the zero-alloc violation for contract_lint.py --selftest: a
+// function marked `// diffreg:zero-alloc` that grows a vector. The
+// clean marked function below must NOT be flagged.
+#pragma once
+
+#include <vector>
+
+namespace selftest::interp {
+
+// diffreg:zero-alloc
+inline double clean_kernel(const double* g, int n) {
+  double acc = 0;
+  for (int i = 0; i < n; ++i) acc += g[i];
+  return acc;
+}
+
+// diffreg:zero-alloc
+inline void bad_kernel(std::vector<double>& out, double v) {
+  out.push_back(v);  // seeded: allocation in a zero-alloc function
+}
+
+}  // namespace selftest::interp

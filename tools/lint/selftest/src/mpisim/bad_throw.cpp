@@ -1,0 +1,25 @@
+// Seeds the mpisim-throw violation for contract_lint.py --selftest:
+// one throw of a type that does not derive from CommError. The good
+// throw and the bare rethrow below must NOT be flagged.
+#include <stdexcept>
+
+#include "errors.hpp"
+
+namespace selftest::mpisim {
+
+void good_throw() { throw CommTimeoutError("deadline expired"); }
+
+void good_rethrow() {
+  try {
+    good_throw();
+  } catch (...) {
+    throw;  // bare rethrow is allowed
+  }
+}
+
+void bad_throw() {
+  // seeded: std::runtime_error is not CommError-derived
+  throw std::runtime_error("unstructured failure");
+}
+
+}  // namespace selftest::mpisim

@@ -1,0 +1,21 @@
+// Miniature errors.hpp for contract_lint.py --selftest: the same
+// CommError root the real tree has, so the mpisim-throw rule resolves
+// its allowed-type set the same way.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace selftest::mpisim {
+
+class CommError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class CommTimeoutError : public CommError {
+ public:
+  explicit CommTimeoutError(const std::string& what) : CommError(what) {}
+};
+
+}  // namespace selftest::mpisim
