@@ -14,7 +14,12 @@
 //  * coresident at 32^3 — BatchSolver pinned to shards=1 (the
 //    bitwise-reference mode) with fused deformed-template transport, run
 //    TWICE on one solver to prove the registry caches across batches
-//    (rebatch_extra_builds must stay 0).
+//    (rebatch_extra_builds must stay 0);
+//  * fault_recovery at 16^3 — the same batch clean and under a seeded
+//    rank crash (docs/FAULT_MODEL.md): recovered_jobs_rate gates that every
+//    job still completes (higher-is-better rate class), retry_overhead_ms
+//    prices the watchdog wait + redone attempt, and all_converged flips if
+//    a retried job stops converging.
 //
 // Scaling note (see bench_common.hpp): the speedup of the sharded legs is
 // the oversubscription overhead that sharding removes — on this container
@@ -67,6 +72,16 @@ struct Leg {
   int shards = 1;
   core::PlanRegistry::Stats stats;
   std::uint64_t rebatch_extra_builds = 0;
+};
+
+struct FaultLeg {
+  double clean_wall_ms = 0;   // fault-free pass of the same batch
+  double fault_wall_ms = 0;   // pass with the seeded rank crash
+  double retry_overhead_ms = 0;  // fault_wall - clean_wall, floored at 0
+  double recovered_rate = 0;  // jobs finishing kDone / jobs submitted
+  int total_attempts = 0;     // jobs + retries (jobs + 1 when the crash fires)
+  int shard_rebuilds = 0;
+  bool all_converged = true;
 };
 
 /// Pre-service baseline: kJobs standalone solver runs back to back, each
@@ -171,6 +186,86 @@ Leg run_batch(index_t n, const core::RegistrationOptions& opt, int shards,
   return out;
 }
 
+/// Resilience leg (docs/FAULT_MODEL.md): the same batch twice at p = 2,
+/// shards = 1 — once clean (best of `reps`), once with a seeded rank crash
+/// mid-solve under a 400 ms comm watchdog. The faulted pass must recover
+/// every job (recovered_jobs_rate stays 1, all_converged stays set) and the
+/// price of resilience — the watchdog wait plus the redone attempt — is
+/// published as retry_overhead_ms.
+FaultLeg run_fault_recovery(index_t n, const core::RegistrationOptions& opt,
+                            int reps) {
+  constexpr int kFaultRanks = 2;
+  FaultLeg out;
+  const Int3 dims{n, n, n};
+  const auto run_pass = [&](bool faulted) {
+    struct Pass {
+      double wall_ms = 0;
+      int attempts = 0;
+      int recovered = 0;
+      int shard_rebuilds = 0;
+      bool converged = true;
+    } pass;
+    mpisim::SpmdOptions sopts;
+    if (faulted) {
+      // Same deterministic spec as the chaos suite: the per-rank comm-op
+      // counter passes crash_at mid-solve, one rank dies once, the shard
+      // recovers and requeues the in-flight job.
+      sopts.fault_spec = "seed=3,crash_rank=1,crash_at=2000";
+      sopts.comm_timeout_ms = 400;
+    }
+    mpisim::run_spmd(
+        kFaultRanks,
+        [&](mpisim::Communicator& comm) {
+          core::BatchSolver batch(comm);
+          for (int j = 0; j < kJobs; ++j) {
+            core::BatchJobSpec spec;
+            spec.dims = dims;
+            spec.request.options = opt;
+            spec.request.job_id = static_cast<std::uint64_t>(j + 1);
+            const real_t amplitude = job_amplitude(j);
+            const int nt = opt.nt;
+            spec.make_inputs = [amplitude, nt](grid::PencilDecomp& d,
+                                               grid::ScalarField& t,
+                                               grid::ScalarField& r) {
+              build_job_inputs(d, amplitude, nt, t, r);
+            };
+            batch.submit(std::move(spec));
+          }
+          core::BatchOptions bopt;
+          bopt.shards = 1;
+          auto rr = batch.run_all(bopt);
+          if (comm.is_root()) {
+            pass.wall_ms = rr.wall_seconds * 1e3;
+            pass.shard_rebuilds = rr.shard_rebuilds;
+            for (const auto& s : rr.summary) {
+              pass.attempts += s.attempts;
+              if (s.outcome == core::JobOutcome::kDone) ++pass.recovered;
+              pass.converged = pass.converged && s.converged;
+            }
+          }
+        },
+        sopts);
+    return pass;
+  };
+
+  double clean_best = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto clean = run_pass(/*faulted=*/false);
+    if (rep == 0 || clean.wall_ms < clean_best) clean_best = clean.wall_ms;
+    out.all_converged = out.all_converged && clean.converged;
+  }
+  const auto faulted = run_pass(/*faulted=*/true);
+  out.clean_wall_ms = clean_best;
+  out.fault_wall_ms = faulted.wall_ms;
+  out.retry_overhead_ms =
+      faulted.wall_ms > clean_best ? faulted.wall_ms - clean_best : 0;
+  out.recovered_rate = static_cast<double>(faulted.recovered) / kJobs;
+  out.total_attempts = faulted.attempts;
+  out.shard_rebuilds = faulted.shard_rebuilds;
+  out.all_converged = out.all_converged && faulted.converged;
+  return out;
+}
+
 void print_pair(const char* label, const Leg& seq, const Leg& sharded) {
   std::printf("%s sequential: %d jobs in %.2f s  (%.3f registrations/s)\n",
               label, kJobs, seq.wall_seconds, seq.rate);
@@ -227,6 +322,9 @@ int main(int argc, char** argv) {
   const Leg cores = run_batch(32, optc, /*shards=*/1, /*want_deformed=*/true,
                               /*reps=*/2);
 
+  // Fault recovery: seeded crash, comm-bound 16^3 jobs.
+  const FaultLeg fault = run_fault_recovery(16, opt16, /*reps=*/2);
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "batch_report: cannot open %s\n", out_path.c_str());
@@ -243,12 +341,22 @@ int main(int argc, char** argv) {
                "\"jobs\": %d, \"wall_ms\": %.1f, \"throughput_rate\": %.4f, "
                "\"decomp_builds\": %d, \"spectral_builds\": %d, "
                "\"transport_builds\": %d, \"rebatch_extra_builds\": %llu, "
-               "\"all_converged\": %d}\n",
+               "\"all_converged\": %d},\n",
                32, kRanks, kJobs, cores.wall_seconds * 1e3, cores.rate,
                cores.stats.decomp_builds, cores.stats.spectral_builds,
                cores.stats.transport_builds,
                static_cast<unsigned long long>(cores.rebatch_extra_builds),
                cores.all_converged ? 1 : 0);
+  std::fprintf(f,
+               "    {\"case\": \"fault_recovery\", \"size\": %d, "
+               "\"ranks\": %d, \"jobs\": %d, \"wall_ms\": %.1f, "
+               "\"clean_wall_ms\": %.1f, \"retry_overhead_ms\": %.1f, "
+               "\"recovered_jobs_rate\": %.4f, \"total_attempts\": %d, "
+               "\"shard_rebuilds\": %d, \"all_converged\": %d}\n",
+               16, 2, kJobs, fault.fault_wall_ms, fault.clean_wall_ms,
+               fault.retry_overhead_ms, fault.recovered_rate,
+               fault.total_attempts, fault.shard_rebuilds,
+               fault.all_converged ? 1 : 0);
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
 
@@ -258,6 +366,12 @@ int main(int argc, char** argv) {
               "rebatch built %llu plans)\n",
               kJobs, cores.wall_seconds, cores.rate,
               static_cast<unsigned long long>(cores.rebatch_extra_builds));
+  std::printf("fault recovery 16^3: %d jobs, seeded crash -> %.0f%% "
+              "recovered in %d attempts (%d shard rebuilds, retry overhead "
+              "%.0f ms over the %.0f ms clean pass)\n",
+              kJobs, fault.recovered_rate * 100, fault.total_attempts,
+              fault.shard_rebuilds, fault.retry_overhead_ms,
+              fault.clean_wall_ms);
   std::printf("batch speedup: %.2fx at 32^3, %.2fx at 16^3 comm-bound "
               "(target >= 1.5x; single-core hosts cap the 32^3 headline "
               "near the p=4/p=1 cost ratio)\n",

@@ -82,8 +82,23 @@ void print_usage() {
       "                       communicators for --batch (default 0 =\n"
       "                       automatic; 1 = bitwise-reference mode)\n"
       "  --priority N         job-line flag: higher priority runs earlier\n"
-      "  --deadline S         job-line flag: advisory deadline in seconds\n"
-      "                       on the batch clock (reported per job)\n"
+      "  --deadline S         job-line flag: deadline in seconds on the\n"
+      "                       batch clock; under --batch a late job is\n"
+      "                       cancelled between Newton iterates (or, with\n"
+      "                       --degrade on, re-admitted once with a cheaper\n"
+      "                       configuration)\n"
+      "  --retry-budget N     extra attempts a faulted batch job gets\n"
+      "                       before it is marked poisoned (default 2)\n"
+      "  --backoff-ms T       base of the deterministic exponential retry\n"
+      "                       backoff, T * 2^(k-1) ms before retry k on the\n"
+      "                       batch clock (default 0 = retry immediately)\n"
+      "  --degrade M          on | off (default off); re-admit a job that\n"
+      "                       missed its deadline ONCE with halved\n"
+      "                       iteration caps (outcome 'degraded')\n"
+      "  --batch-manifest P   persist per-job outcomes to manifest P and\n"
+      "                       resume from it: completed jobs are skipped,\n"
+      "                       in-flight jobs warm-start from their solver\n"
+      "                       checkpoints (docs/FAULT_MODEL.md)\n"
       "  --verbose            per-iteration Newton log\n"
       "  --help               this message\n");
 }
@@ -108,7 +123,8 @@ bool global_only_flag(const std::string& flag) {
       "--ranks",   "--batch",        "--shards",       "--fault-spec",
       "--comm-timeout-ms", "--verify-schedule", "--levels", "--coarsest",
       "--continuation", "--resume",   "--out",          "--help",
-      "-h"};
+      "-h",        "--retry-budget", "--backoff-ms",   "--degrade",
+      "--batch-manifest"};
   for (const char* g : kGlobal)
     if (flag == g) return true;
   return false;
@@ -325,6 +341,35 @@ bool parse_tokens(const std::vector<std::string>& args, bool job_line,
         error = "bad --deadline " + *v;
         return false;
       }
+    } else if (flag == "--retry-budget") {
+      const auto* v = next();
+      if (!v) return missing();
+      if ((opt.retry_budget = std::atoi(v->c_str())) < 0) {
+        error = "bad --retry-budget " + *v;
+        return false;
+      }
+    } else if (flag == "--backoff-ms") {
+      const auto* v = next();
+      if (!v) return missing();
+      if ((opt.backoff_ms = std::atof(v->c_str())) < 0) {
+        error = "bad --backoff-ms " + *v;
+        return false;
+      }
+    } else if (flag == "--degrade") {
+      const auto* v = next();
+      if (!v) return missing();
+      if (*v == "on")
+        opt.degrade = true;
+      else if (*v == "off")
+        opt.degrade = false;
+      else {
+        error = "--degrade must be on or off";
+        return false;
+      }
+    } else if (flag == "--batch-manifest") {
+      const auto* v = next();
+      if (!v) return missing();
+      opt.batch_manifest = *v;
     } else if (flag == "--verbose") {
       opt.reg.verbose = true;
     } else {

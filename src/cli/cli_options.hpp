@@ -37,6 +37,12 @@ struct CliOptions {
   int shards = 0;          // --shards N; 0 = automatic
   int priority = 0;        // job-line --priority (higher runs earlier)
   double deadline = 0;     // job-line --deadline seconds (0 = none)
+  // Batch fault isolation (docs/FAULT_MODEL.md). The CLI enforces
+  // deadlines under --batch (the library default keeps them advisory).
+  int retry_budget = 2;        // --retry-budget N extra attempts per job
+  double backoff_ms = 0;       // --backoff-ms T base of exponential backoff
+  bool degrade = false;        // --degrade on: one cheaper re-admission
+  std::string batch_manifest;  // --batch-manifest PATH: checkpoint/resume
   bool help = false;       // --help seen: print usage, exit 0
 };
 

@@ -79,6 +79,11 @@ int run_batch(const cli::CliOptions& opt,
       spec.request.checkpoint_path = jo.multi.checkpoint_path;
       if (jo.multi.checkpoint_every > 0)
         spec.request.checkpoint_every = jo.multi.checkpoint_every;
+      // With a batch manifest, every job checkpoints by default so a killed
+      // batch can warm-start its in-flight jobs on resume.
+      if (!opt.batch_manifest.empty() && spec.request.checkpoint_path.empty())
+        spec.request.checkpoint_path =
+            opt.batch_manifest + ".job" + std::to_string(j + 1) + ".ckpt";
       spec.make_inputs = [jo](grid::PencilDecomp& d, grid::ScalarField& t,
                               grid::ScalarField& r) {
         spectral::SpectralOps ops(d);
@@ -92,6 +97,14 @@ int run_batch(const cli::CliOptions& opt,
     core::BatchOptions bopt;
     bopt.shards = opt.shards;
     bopt.verbose = opt.reg.verbose;
+    // The CLI service enforces deadlines (the library default keeps them
+    // advisory for embedding callers) and wires up the fault-isolation
+    // knobs.
+    bopt.enforce_deadlines = true;
+    bopt.retry_budget = opt.retry_budget;
+    bopt.backoff_ms = opt.backoff_ms;
+    bopt.degrade = opt.degrade;
+    bopt.manifest_path = opt.batch_manifest;
     auto report = batch.run_all(bopt);
 
     if (comm.is_root()) {
@@ -100,6 +113,11 @@ int run_batch(const cli::CliOptions& opt,
           report.summary.size(), report.shards,
           report.shards == 1 ? "" : "s", report.wall_seconds,
           report.registrations_per_sec);
+      if (report.rounds > 1 || report.shard_rebuilds > 0)
+        std::printf("fault recovery: %d round%s  %d shard rebuild%s\n",
+                    report.rounds, report.rounds == 1 ? "" : "s",
+                    report.shard_rebuilds,
+                    report.shard_rebuilds == 1 ? "" : "s");
       std::printf(
           "plan registry: %d builds (%d decomp, %d spectral, %d resample, "
           "%d transport)  %d leases\n",
@@ -110,16 +128,28 @@ int run_batch(const cli::CliOptions& opt,
           report.registry.resample_builds, report.registry.transport_builds,
           report.registry.leases);
       std::printf(
-          "%4s %5s %4s %6s %7s %8s %8s %8s %8s %8s\n", "job", "shard",
-          "conv", "newton", "matvecs", "rel res", "min det", "solve s",
-          "done at", "deadline");
-      for (const auto& s : report.summary)
+          "%4s %5s %4s %6s %7s %8s %8s %8s %8s %8s %8s %17s\n", "job",
+          "shard", "conv", "newton", "matvecs", "rel res", "min det",
+          "solve s", "done at", "deadline", "attempts", "outcome");
+      int counts[6] = {0, 0, 0, 0, 0, 0};
+      for (const auto& s : report.summary) {
         std::printf(
-            "%4llu %5d %4s %6d %7d %8.3f %8.3f %8.2f %8.2f %8s\n",
+            "%4llu %5d %4s %6d %7d %8.3f %8.3f %8.2f %8.2f %8s %8d %17s\n",
             static_cast<unsigned long long>(s.job_id), s.shard,
             s.converged ? "yes" : "no", s.newton_iters, s.matvecs,
             s.rel_residual, s.min_det, s.solve_seconds,
-            s.completed_at_seconds, s.deadline_met ? "met" : "MISSED");
+            s.completed_at_seconds, s.deadline_met ? "met" : "MISSED",
+            s.attempts, core::to_string(s.outcome));
+        ++counts[static_cast<int>(s.outcome)];
+      }
+      // One grep-stable line for CI: the terminal outcome census.
+      std::printf(
+          "batch outcomes: %d done, %d degraded, %d deadline-exceeded, "
+          "%d poisoned\n",
+          counts[static_cast<int>(core::JobOutcome::kDone)],
+          counts[static_cast<int>(core::JobOutcome::kDegraded)],
+          counts[static_cast<int>(core::JobOutcome::kDeadlineExceeded)],
+          counts[static_cast<int>(core::JobOutcome::kPoisoned)]);
     }
   };
   try {

@@ -1,0 +1,278 @@
+#include "core/batch_manifest.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+namespace diffreg::core {
+
+namespace {
+
+// One lock for the whole process: in the thread-backed mpisim runtime every
+// shard root of a batch is a thread of this process, and each read-merge-
+// rewrite of the shared manifest must be atomic against the others.
+std::mutex& manifest_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+// Root-side status codes, broadcast so every rank converges on the same
+// success-or-throw decision (mirrors core/checkpoint's agree_or_throw).
+enum : std::int32_t {
+  kOk = 0,
+  kMissing,  // load only: absent file == empty manifest, not an error
+  kReadFailed,
+  kParseFailed,
+  kWriteFailed,
+};
+
+const char* status_message(std::int32_t status) {
+  switch (status) {
+    case kReadFailed:
+      return "cannot read batch manifest";
+    case kParseFailed:
+      return "batch manifest is malformed";
+    case kWriteFailed:
+      return "cannot write batch manifest";
+    default:
+      return "batch manifest I/O failed";
+  }
+}
+
+void agree_or_throw(mpisim::Communicator& comm, std::int32_t status,
+                    const std::string& path) {
+  std::vector<std::int32_t> wire{status};
+  comm.set_time_kind(TimeKind::kOther);
+  comm.broadcast(wire, 0);
+  if (wire[0] != kOk && wire[0] != kMissing)
+    throw BatchManifestError(std::string(status_message(wire[0])) + ": " +
+                             path);
+}
+
+/// Reads the whole file; kMissing when it does not exist.
+std::int32_t slurp(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return errno == ENOENT ? kMissing : kReadFailed;
+  std::string text;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) return kReadFailed;
+  out = std::move(text);
+  return kOk;
+}
+
+/// Extracts the text after `"key":` on `line`; nullptr when absent.
+const char* field_start(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return nullptr;
+  const char* s = line.c_str() + pos + needle.size();
+  while (*s == ' ') ++s;
+  return s;
+}
+
+bool parse_string_field(const std::string& line, const char* key,
+                        std::string& out) {
+  const char* s = field_start(line, key);
+  if (!s || *s != '"') return false;
+  const char* end = std::strchr(s + 1, '"');
+  if (!end) return false;
+  out.assign(s + 1, end);
+  return true;
+}
+
+bool parse_number_field(const std::string& line, const char* key,
+                        double& out) {
+  const char* s = field_start(line, key);
+  if (!s) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s) return false;
+  out = v;
+  return true;
+}
+
+bool parse_bool_field(const std::string& line, const char* key, bool& out) {
+  const char* s = field_start(line, key);
+  if (!s) return false;
+  if (std::strncmp(s, "true", 4) == 0) {
+    out = true;
+    return true;
+  }
+  if (std::strncmp(s, "false", 5) == 0) {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+/// Parses manifest text (format documented in the header). Returns kOk or
+/// kParseFailed; the grammar is line-based — one job object per line.
+std::int32_t parse(const std::string& text,
+                   std::vector<BatchManifestEntry>& out) {
+  out.clear();
+  bool saw_version = false;
+  bool any_content = false;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.find_first_not_of(" \t\r") != std::string::npos)
+      any_content = true;
+    double num = 0;
+    if (!saw_version && parse_number_field(line, "version", num)) {
+      if (num != 1) return kParseFailed;
+      saw_version = true;
+      continue;
+    }
+    if (!parse_number_field(line, "job_id", num)) continue;
+    BatchManifestEntry e;
+    e.job_id = static_cast<std::uint64_t>(num);
+    if (!parse_string_field(line, "outcome", e.outcome)) return kParseFailed;
+    if (parse_number_field(line, "attempts", num))
+      e.attempts = static_cast<int>(num);
+    parse_number_field(line, "completed_at_seconds", e.completed_at_seconds);
+    parse_bool_field(line, "deadline_met", e.deadline_met);
+    parse_string_field(line, "checkpoint", e.checkpoint_path);
+    out.push_back(std::move(e));
+  }
+  // A non-empty file MUST carry the version header: corruption (or a
+  // foreign file) is a structured error, never a silent "first run".
+  return saw_version || !any_content ? kOk : kParseFailed;
+}
+
+std::string serialize(const std::vector<BatchManifestEntry>& entries) {
+  std::string text = "{\n  \"version\": 1,\n  \"jobs\": [\n";
+  char buf[160];
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const BatchManifestEntry& e = entries[i];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"job_id\": %llu, \"outcome\": \"%s\", "
+                  "\"attempts\": %d, \"completed_at_seconds\": %.17g, "
+                  "\"deadline_met\": %s, \"checkpoint\": ",
+                  static_cast<unsigned long long>(e.job_id),
+                  e.outcome.c_str(), e.attempts, e.completed_at_seconds,
+                  e.deadline_met ? "true" : "false");
+    text += buf;
+    text += '"';
+    text += e.checkpoint_path;
+    text += i + 1 < entries.size() ? "\"},\n" : "\"}\n";
+  }
+  text += "  ]\n}\n";
+  return text;
+}
+
+/// Atomic replace: write to `path + ".tmp"`, then rename over `path`.
+std::int32_t write_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return kWriteFailed;
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return kWriteFailed;
+  }
+  return kOk;
+}
+
+/// Root-side read-merge-rewrite under the process-wide lock.
+std::int32_t merge_root(const std::string& path,
+                        const std::vector<BatchManifestEntry>& updates) {
+  std::scoped_lock lock(manifest_mutex());
+  std::string text;
+  std::int32_t status = slurp(path, text);
+  std::vector<BatchManifestEntry> entries;
+  if (status == kOk) {
+    status = parse(text, entries);
+    if (status != kOk) return status;
+  } else if (status != kMissing) {
+    return status;
+  }
+  std::map<std::uint64_t, std::size_t> index;
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    index[entries[i].job_id] = i;
+  for (const BatchManifestEntry& u : updates) {
+    auto it = index.find(u.job_id);
+    if (it != index.end()) {
+      entries[it->second] = u;
+    } else {
+      index[u.job_id] = entries.size();
+      entries.push_back(u);
+    }
+  }
+  std::stable_sort(
+      entries.begin(), entries.end(),
+      [](const BatchManifestEntry& a, const BatchManifestEntry& b) {
+        return a.job_id < b.job_id;
+      });
+  return write_atomic(path, serialize(entries));
+}
+
+}  // namespace
+
+std::vector<BatchManifestEntry> read_manifest_file(const std::string& path) {
+  std::string text;
+  std::int32_t status = slurp(path, text);
+  if (status == kMissing) return {};
+  std::vector<BatchManifestEntry> entries;
+  if (status == kOk) status = parse(text, entries);
+  if (status != kOk)
+    throw BatchManifestError(std::string(status_message(status)) + ": " +
+                             path);
+  return entries;
+}
+
+void write_manifest_file(const std::string& path,
+                         const std::vector<BatchManifestEntry>& entries) {
+  std::scoped_lock lock(manifest_mutex());
+  if (write_atomic(path, serialize(entries)) != kOk)
+    throw BatchManifestError(std::string(status_message(kWriteFailed)) + ": " +
+                             path);
+}
+
+std::vector<BatchManifestEntry> load_manifest(mpisim::Communicator& comm,
+                                              const std::string& path) {
+  std::string text;
+  std::int32_t status = kOk;
+  std::vector<BatchManifestEntry> entries;
+  if (comm.rank() == 0) {
+    std::scoped_lock lock(manifest_mutex());
+    status = slurp(path, text);
+    // Parse on the root first so a malformed manifest is a converged error,
+    // not a divergence between ranks.
+    if (status == kOk) status = parse(text, entries);
+  }
+  agree_or_throw(comm, status, path);
+  if (comm.size() > 1) {
+    std::vector<char> bytes(text.begin(), text.end());
+    std::vector<std::int64_t> len{static_cast<std::int64_t>(bytes.size())};
+    comm.set_time_kind(TimeKind::kOther);
+    comm.broadcast(len, 0);
+    bytes.resize(static_cast<std::size_t>(len[0]));
+    if (!bytes.empty()) comm.broadcast(bytes, 0);
+    if (comm.rank() != 0)
+      parse(std::string(bytes.begin(), bytes.end()), entries);
+  }
+  return entries;
+}
+
+void update_manifest(mpisim::Communicator& comm, const std::string& path,
+                     const std::vector<BatchManifestEntry>& updates) {
+  std::int32_t status = kOk;
+  if (comm.rank() == 0) status = merge_root(path, updates);
+  agree_or_throw(comm, status, path);
+}
+
+}  // namespace diffreg::core

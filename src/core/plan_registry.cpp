@@ -79,4 +79,21 @@ void PlanRegistry::release_transport(const Int3& dims,
   transport_pool_[transport_key(dims, tc)].push_back(std::move(t));
 }
 
+bool PlanRegistry::recover_after_fault(double timeout_ms) {
+  // The registry communicator first (shard-wide rendezvous), then each
+  // decomposition's comm family. decomps_ is an ordered map over identical
+  // keys on every rank, so the rendezvous sequence is rank-invariant.
+  bool ok = comm_.recover_after_fault(timeout_ms);
+  for (auto& [key, decomp] : decomps_)
+    ok = decomp->recover_after_fault(timeout_ms) && ok;
+  return ok;
+}
+
+void PlanRegistry::purge() {
+  transport_pool_.clear();
+  resamples_.clear();
+  spectrals_.clear();
+  decomps_.clear();
+}
+
 }  // namespace diffreg::core

@@ -82,6 +82,22 @@ class PlanRegistry {
   void release_transport(const Int3& dims, const semilag::TransportConfig& tc,
                          std::shared_ptr<semilag::Transport> transport);
 
+  /// Collective fault recovery: quiesces and drains the registry's
+  /// communicator and every cached decomposition's row/col communicators
+  /// (map order — identical on all ranks), discarding stale in-flight
+  /// payloads of an aborted exchange so the next lease observes a clean
+  /// wire. Pooled transports need no extra scrubbing here: acquire_transport
+  /// already invalidates plans/histories on checkout — the stale state a
+  /// fault leaves behind lives in the communicators, which is what this
+  /// drains. Returns false when any communicator is unrecoverable (a rank
+  /// is truly down): the shard should be rebuilt, not reused. Never throws.
+  bool recover_after_fault(double timeout_ms);
+
+  /// Drops every cached plan and pooled transport (the failover purge: a
+  /// rebuilt shard must not lease plans bound to the dead shard's
+  /// communicators). Build counters are cumulative and survive the purge.
+  void purge();
+
   struct Stats {
     int decomp_builds = 0;
     int spectral_builds = 0;

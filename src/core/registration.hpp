@@ -55,9 +55,10 @@ struct SolveRequest {
   std::uint64_t job_id = 0;  ///< 0: assigned by the batch driver.
   /// Higher runs earlier; FIFO within a priority class.
   int priority = 0;
-  /// Wall-clock budget in seconds since batch start (0: none). Advisory:
-  /// jobs are never killed, but SolveReport::deadline_met records whether
-  /// the job finished in time.
+  /// Wall-clock budget in seconds since batch start (0: none). Advisory by
+  /// default — SolveReport::deadline_met records whether the job finished
+  /// in time — but BatchSolver cancels late jobs between Newton iterates
+  /// when BatchOptions::enforce_deadlines is set (the CLI service does).
   double deadline_seconds = 0;
   /// When non-empty, a restart checkpoint is written after every
   /// `checkpoint_every`-th accepted Newton iterate (core/checkpoint.hpp).

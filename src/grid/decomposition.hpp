@@ -53,6 +53,18 @@ class PencilDecomp {
   mpisim::Communicator& row_comm() { return row_comm_; }
   mpisim::Communicator& col_comm() { return col_comm_; }
 
+  /// Collective fault recovery across every communicator this decomposition
+  /// exchanges on (parent, then row, then col — the same order on all
+  /// ranks): each is quiesced and its stale in-flight messages drained (see
+  /// mpisim::Communicator::recover_after_fault). Returns false when any of
+  /// them is unrecoverable (a rank is truly down). Never throws.
+  bool recover_after_fault(double timeout_ms) {
+    bool ok = comm_.recover_after_fault(timeout_ms);
+    ok = row_comm_.recover_after_fault(timeout_ms) && ok;
+    ok = col_comm_.recover_after_fault(timeout_ms) && ok;
+    return ok;
+  }
+
   const Int3& dims() const { return dims_; }
   int p1() const { return p1_; }
   int p2() const { return p2_; }

@@ -64,6 +64,13 @@ bool Mailbox::probe(int src, int tag) {
   });
 }
 
+std::size_t Mailbox::clear() {
+  std::scoped_lock lock(mutex_);
+  const std::size_t dropped = queue_.size();
+  queue_.clear();
+  return dropped;
+}
+
 SharedState::SharedState(int size_in) : size(size_in), mailboxes(size_in) {}
 
 }  // namespace detail
@@ -94,6 +101,10 @@ std::optional<Incoming> MailboxBackend::try_recv_bytes(int src, int tag,
 
 bool MailboxBackend::probe(int src, int tag) {
   return state_->mailboxes[static_cast<size_t>(rank_)].probe(src, tag);
+}
+
+std::size_t MailboxBackend::drain() {
+  return state_->mailboxes[static_cast<size_t>(rank_)].clear();
 }
 
 void MailboxBackend::barrier() {

@@ -100,6 +100,17 @@ class Backend {
                                          int new_size,
                                          double timeout_ms) = 0;
 
+  /// Discards every undelivered message addressed to THIS rank, returning
+  /// how many were dropped. The fault-recovery primitive: after an aborted
+  /// exchange, in-flight payloads of the dead exchange sit in the receive
+  /// queues and would otherwise be matched by the NEXT exchange on the same
+  /// (src, tag) — a stale payload masquerading as fresh data. Callers must
+  /// quiesce the communicator first (no rank still sending) or the drain
+  /// races with live traffic; Communicator::recover_after_fault wraps the
+  /// drain in that rendezvous. Default: no-op (transports with no local
+  /// queue state have nothing to discard).
+  virtual std::size_t drain() { return 0; }
+
   /// Monotonic wall clock, in seconds, on the same timebase as the arrival
   /// stamps returned by recv_bytes.
   virtual double now() const = 0;
@@ -125,6 +136,8 @@ class Mailbox {
   std::optional<Incoming> pop_for(int src, int tag, double timeout_ms);
   /// Nonblocking: true iff a (src, tag) match is queued.
   bool probe(int src, int tag);
+  /// Discards every queued message; returns how many were dropped.
+  std::size_t clear();
 
  private:
   std::mutex mutex_;
@@ -176,6 +189,7 @@ class MailboxBackend final : public Backend {
   bool try_barrier(double timeout_ms) override;
   std::shared_ptr<Backend> split(int color, int new_rank, int new_size,
                                  double timeout_ms) override;
+  std::size_t drain() override;
   double now() const override;
 
  private:

@@ -273,6 +273,49 @@ Incoming Communicator::receive_payload(int src, int tag,
   return in;
 }
 
+bool Communicator::recover_after_fault(double timeout_ms) {
+  // Local reset first, unconditionally: an aborted exchange may have left
+  // the one-outstanding-request slot taken, and the verifier's rolling
+  // hashes diverged the moment the ranks left the exchange at different
+  // points — both must clear even when the rendezvous below fails.
+  pending_recvs_.clear();
+  pending_ = false;
+  verify_hash_ = 1469598103934665603ull;
+  verify_send_sum_ = 0;
+  verify_recv_sum_ = 0;
+  verify_op_hashes_.clear();
+  verify_op_sigs_.clear();
+  verify_op_send_sums_.clear();
+  verify_op_recv_sums_.clear();
+  if (size_ == 1) {
+    backend_->drain();
+    return true;
+  }
+  // Quiesce → drain → resync, straight on the backend (the raw transport —
+  // recovery is out-of-band and must not fold into the schedule hash it
+  // just reset). The first rendezvous guarantees no rank is still sending
+  // into a queue being drained; the second that no rank resumes sending
+  // before every queue is clean. A peer that never arrives (truly down, or
+  // still throwing its injected crash) fails the rendezvous: report
+  // unrecoverable instead of hanging or rethrowing.
+  const double deadline = timeout_ms > 0 ? timeout_ms : 1000;
+  try {
+    if (!backend_->try_barrier(deadline)) return false;
+    const std::size_t dropped = backend_->drain();
+    if (dropped > 0)
+      log_warn_rated("mpisim.recover.drain",
+                     "mpisim: fault recovery dropped " +
+                         std::to_string(dropped) +
+                         " stale in-flight message(s)");
+    if (!backend_->try_barrier(deadline)) return false;
+  } catch (const CommError&) {
+    // The recovery attempt itself tripped the fault injector (a persistent
+    // crash): the rank is effectively down for this communicator.
+    return false;
+  }
+  return true;
+}
+
 void Communicator::barrier() {
   check_idle();
   if (size() == 1) return;

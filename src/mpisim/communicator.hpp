@@ -279,6 +279,19 @@ class Communicator {
     verify_checkpoint("mark");
   }
 
+  /// Collective fault recovery: returns the communicator to a clean state
+  /// after an exchange died mid-flight (rank crash, watchdog timeout,
+  /// integrity failure). Abandoned request state and the schedule
+  /// verifier's rolling hashes are reset on this copy, then the ranks
+  /// rendezvous (deadline `timeout_ms`), each drains its own receive queue
+  /// — discarding the dead exchange's stale in-flight payloads so the NEXT
+  /// exchange cannot match them — and rendezvous again so no rank resumes
+  /// sending before every queue is clean. Returns false (after resetting
+  /// the local state) when a peer never arrives: the communicator is
+  /// unrecoverable — a rank is truly down — and the caller should rebuild
+  /// it instead. Never throws. Collective.
+  bool recover_after_fault(double timeout_ms);
+
   /// Blocks until every rank entered. Collective.
   void barrier();
 

@@ -74,6 +74,8 @@ FaultSpec FaultSpec::parse(const std::string& spec) {
       out.crash_rank = static_cast<int>(parse_number(key, value));
     } else if (key == "crash_at") {
       out.crash_at = static_cast<long>(parse_number(key, value));
+    } else if (key == "crash_repeat") {
+      out.crash_repeat = parse_number(key, value) != 0;
     } else if (key == "checksum") {
       out.checksum = parse_number(key, value) != 0;
     } else {
@@ -100,9 +102,17 @@ double FaultInjectingBackend::roll(std::uint64_t message,
 
 void FaultInjectingBackend::step() {
   ++op_count_;
-  if (rank() == spec_.crash_rank && spec_.crash_at >= 0 &&
-      op_count_ > spec_.crash_at)
-    throw RankCrashError(rank(), op_count_);
+  // The crash is keyed to the LAUNCH rank identity (split children are
+  // renumbered and must not re-match) and, by default, fires ONCE per rank
+  // family: whichever backend instance first passes its crash_at consumes
+  // it, so a caller that catches the RankCrashError models a restarted
+  // rank whose retries can succeed. crash_repeat keeps the node down.
+  if (rank_state_->root_rank != spec_.crash_rank || spec_.crash_at < 0)
+    return;
+  if (op_count_ <= spec_.crash_at) return;
+  if (!spec_.crash_repeat && rank_state_->crashed) return;
+  rank_state_->crashed = true;
+  throw RankCrashError(rank_state_->root_rank, op_count_);
 }
 
 void FaultInjectingBackend::send_bytes(std::span<const std::byte> data,
@@ -164,11 +174,14 @@ std::shared_ptr<Backend> FaultInjectingBackend::split(int color, int new_rank,
                                                       int new_size,
                                                       double timeout_ms) {
   // Sub-communicators inherit the schedule (fresh counters: the child's
-  // message stream is its own deterministic sequence).
+  // message stream is its own deterministic sequence) and SHARE the
+  // per-rank crash state, so the one-shot crash is consumed once per rank,
+  // not once per sub-communicator.
   std::shared_ptr<Backend> child =
       inner_->split(color, new_rank, new_size, timeout_ms);
   if (!child) return nullptr;
-  return std::make_shared<FaultInjectingBackend>(std::move(child), spec_);
+  return std::shared_ptr<Backend>(
+      new FaultInjectingBackend(std::move(child), spec_, rank_state_));
 }
 
 }  // namespace diffreg::mpisim

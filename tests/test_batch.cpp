@@ -6,12 +6,17 @@
 // (gaussian_smooth_many, solve_states_fused through FusedInterp).
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/batch_manifest.hpp"
 #include "core/diffreg.hpp"
 #include "imaging/synthetic.hpp"
 
@@ -467,6 +472,299 @@ TEST(FusedPhases, FusedDeformedTemplateMatchesPerJob) {
     for (std::size_t j = 0; j < amps.size(); ++j) {
       EXPECT_TRUE(same_bits(velocities[j], rep.reports[j].velocity));
       EXPECT_TRUE(same_bits(ref[j], rep.deformed[j])) << "job " << j;
+    }
+  });
+}
+
+// --------------------------------------------------------------------------
+// Deadline enforcement (BatchOptions::enforce_deadlines; advisory remains
+// the library default, pinned above).
+
+TEST(BatchSolver, EnforcedDeadlineCancelsAtAdmission) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    const RegistrationOptions opt = small_options();
+    BatchSolver batch(comm);
+    BatchJobSpec late;
+    late.dims = {16, 16, 16};
+    late.request.options = opt;
+    late.request.deadline_seconds = 1e-9;  // already passed at admission
+    const int nt = opt.nt;
+    late.make_inputs = [nt](PencilDecomp& d, ScalarField& t, ScalarField& r) {
+      make_pair(d, 0.4, nt, t, r);
+    };
+    batch.submit(std::move(late));
+
+    BatchJobSpec fine;
+    fine.dims = {16, 16, 16};
+    fine.request.options = opt;
+    fine.make_inputs = [nt](PencilDecomp& d, ScalarField& t, ScalarField& r) {
+      make_pair(d, 0.35, nt, t, r);
+    };
+    batch.submit(std::move(fine));
+
+    BatchOptions bopt;
+    bopt.shards = 1;
+    bopt.enforce_deadlines = true;
+    auto rep = batch.run_all(bopt);
+
+    ASSERT_EQ(rep.summary.size(), 2u);
+    EXPECT_EQ(rep.summary[0].outcome, JobOutcome::kDeadlineExceeded);
+    EXPECT_EQ(rep.summary[0].newton_iters, 0);  // no solve was spent on it
+    EXPECT_FALSE(rep.summary[0].deadline_met);
+    EXPECT_GT(rep.summary[0].completed_at_seconds, 0.0);
+    EXPECT_EQ(rep.summary[1].outcome, JobOutcome::kDone);
+    EXPECT_TRUE(rep.summary[1].deadline_met);
+    // The cancelled job produced no report.
+    ASSERT_EQ(rep.reports.size(), 1u);
+    EXPECT_EQ(rep.reports[0].job_id, rep.summary[1].job_id);
+  });
+}
+
+TEST(BatchSolver, EnforcedDeadlineCancelsBetweenNewtonIterates) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    const RegistrationOptions opt = small_options();
+    BatchSolver batch(comm);
+    BatchJobSpec spec;
+    spec.dims = {16, 16, 16};
+    spec.request.options = opt;
+    // Admission is comfortably inside the budget; the first Newton iterate
+    // then burns past it (the caller hook sleeps, chained BEFORE the
+    // lateness vote), so the cancellation fires mid-solve.
+    spec.request.deadline_seconds = 0.5;
+    spec.request.options.iterate_hook = [](const NewtonIterateInfo&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    };
+    const int nt = opt.nt;
+    spec.make_inputs = [nt](PencilDecomp& d, ScalarField& t, ScalarField& r) {
+      make_pair(d, 0.4, nt, t, r);
+    };
+    batch.submit(std::move(spec));
+
+    BatchOptions bopt;
+    bopt.shards = 1;
+    bopt.enforce_deadlines = true;
+    auto rep = batch.run_all(bopt);
+
+    ASSERT_EQ(rep.summary.size(), 1u);
+    EXPECT_EQ(rep.summary[0].outcome, JobOutcome::kDeadlineExceeded);
+    EXPECT_EQ(rep.summary[0].attempts, 1);
+    EXPECT_FALSE(rep.summary[0].deadline_met);
+    EXPECT_GE(rep.summary[0].completed_at_seconds, 0.5);
+    EXPECT_TRUE(rep.reports.empty());
+  });
+}
+
+TEST(BatchSolver, DegradeReadmitsACancelledJobOnce) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    const RegistrationOptions opt = small_options();
+    BatchSolver batch(comm);
+    bool slept = false;
+    BatchJobSpec spec;
+    spec.dims = {16, 16, 16};
+    spec.request.options = opt;
+    spec.request.deadline_seconds = 0.5;
+    // First attempt: the hook burns the budget once, the lateness vote
+    // cancels. The degraded re-admission runs the same hook without the
+    // sleep and without enforcement, and must complete.
+    spec.request.options.iterate_hook = [&slept](const NewtonIterateInfo&) {
+      if (slept) return;
+      slept = true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    };
+    const int nt = opt.nt;
+    spec.make_inputs = [nt](PencilDecomp& d, ScalarField& t, ScalarField& r) {
+      make_pair(d, 0.4, nt, t, r);
+    };
+    batch.submit(std::move(spec));
+
+    BatchOptions bopt;
+    bopt.shards = 1;
+    bopt.enforce_deadlines = true;
+    bopt.degrade = true;
+    auto rep = batch.run_all(bopt);
+
+    ASSERT_EQ(rep.summary.size(), 1u);
+    EXPECT_EQ(rep.summary[0].outcome, JobOutcome::kDegraded);
+    EXPECT_EQ(rep.summary[0].attempts, 2);
+    EXPECT_FALSE(rep.summary[0].deadline_met);  // judged vs admission
+    // The degrade ladder halves max_newton_iters (2 -> 1): the job ran,
+    // but on the cheaper configuration.
+    EXPECT_GT(rep.summary[0].newton_iters, 0);
+    EXPECT_LE(rep.summary[0].newton_iters, 1);
+    ASSERT_EQ(rep.reports.size(), 1u);
+  });
+}
+
+// --------------------------------------------------------------------------
+// Batch manifests: persistence round-trip and resume semantics.
+
+TEST(BatchManifest, FileRoundTripPreservesEveryField) {
+  const std::string path = "test_batch_manifest_roundtrip.json";
+  std::remove(path.c_str());
+  EXPECT_TRUE(read_manifest_file(path).empty());  // missing file: first run
+
+  std::vector<BatchManifestEntry> entries(2);
+  entries[0].job_id = 7;
+  entries[0].outcome = "done";
+  entries[0].attempts = 2;
+  entries[0].completed_at_seconds = 1.25;
+  entries[0].deadline_met = false;
+  entries[0].checkpoint_path = "state.json.job7.ckpt";
+  entries[1].job_id = 9;
+  entries[1].outcome = "retrying";
+  entries[1].attempts = 1;
+  write_manifest_file(path, entries);
+
+  const auto back = read_manifest_file(path);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].job_id, 7u);
+  EXPECT_EQ(back[0].outcome, "done");
+  EXPECT_EQ(back[0].attempts, 2);
+  EXPECT_DOUBLE_EQ(back[0].completed_at_seconds, 1.25);
+  EXPECT_FALSE(back[0].deadline_met);
+  EXPECT_EQ(back[0].checkpoint_path, "state.json.job7.ckpt");
+  EXPECT_EQ(back[1].job_id, 9u);
+  EXPECT_EQ(back[1].outcome, "retrying");
+  EXPECT_TRUE(back[1].deadline_met);
+
+  // Corruption is a structured error, not a silent re-run.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a manifest\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_manifest_file(path), BatchManifestError);
+  std::remove(path.c_str());
+}
+
+TEST(BatchManifest, ResumeSkipsCompletedJobsWithZeroPlanWork) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    const std::string path = "test_batch_manifest_resume.json";
+    if (comm.rank() == 0) std::remove(path.c_str());
+    comm.barrier();
+
+    const RegistrationOptions opt = small_options();
+    const std::vector<real_t> amps{0.30, 0.40};
+    auto submit_jobs = [&](BatchSolver& batch) {
+      for (std::size_t j = 0; j < amps.size(); ++j) {
+        BatchJobSpec spec;
+        spec.dims = {16, 16, 16};
+        spec.request.options = opt;
+        spec.request.job_id = 100 + j;  // stable ids: the resume match key
+        const real_t amp = amps[j];
+        const int nt = opt.nt;
+        spec.make_inputs = [amp, nt](PencilDecomp& d, ScalarField& t,
+                                     ScalarField& r) {
+          make_pair(d, amp, nt, t, r);
+        };
+        batch.submit(std::move(spec));
+      }
+    };
+
+    BatchOptions bopt;
+    bopt.shards = 1;
+    bopt.manifest_path = path;
+
+    BatchSolver first(comm);
+    submit_jobs(first);
+    auto rep1 = first.run_all(bopt);
+    ASSERT_EQ(rep1.summary.size(), amps.size());
+    for (const auto& s : rep1.summary)
+      EXPECT_EQ(s.outcome, JobOutcome::kDone);
+
+    // Second launch (fresh solver = fresh registries, as after a kill):
+    // every job is final in the manifest, so nothing runs and no plan is
+    // built or leased.
+    BatchSolver second(comm);
+    submit_jobs(second);
+    auto rep2 = second.run_all(bopt);
+    ASSERT_EQ(rep2.summary.size(), amps.size());
+    for (std::size_t j = 0; j < amps.size(); ++j) {
+      EXPECT_EQ(rep2.summary[j].outcome, JobOutcome::kDone);
+      EXPECT_EQ(rep2.summary[j].shard, -1);  // restored, not placed
+      EXPECT_FALSE(rep2.summary[j].ran_here);
+      EXPECT_EQ(rep2.summary[j].attempts, rep1.summary[j].attempts);
+      EXPECT_DOUBLE_EQ(rep2.summary[j].completed_at_seconds,
+                       rep1.summary[j].completed_at_seconds);
+    }
+    EXPECT_TRUE(rep2.reports.empty());
+    EXPECT_EQ(rep2.rounds, 1);
+    EXPECT_EQ(rep2.registry.decomp_builds, 0);
+    EXPECT_EQ(rep2.registry.spectral_builds, 0);
+    EXPECT_EQ(rep2.registry.leases, 0);
+
+    comm.barrier();
+    if (comm.rank() == 0) std::remove(path.c_str());
+  });
+}
+
+TEST(BatchManifest, ResumeWarmStartsAnInFlightJobFromItsCheckpoint) {
+  mpisim::run_spmd(2, [&](mpisim::Communicator& comm) {
+    const std::string path = "test_batch_manifest_warm.json";
+    const std::string ckpt = "test_batch_manifest_warm.ckpt";
+    if (comm.rank() == 0) {
+      std::remove(path.c_str());
+      std::remove(ckpt.c_str());
+    }
+    comm.barrier();
+
+    const RegistrationOptions opt = small_options();
+    const int nt = opt.nt;
+    auto make_spec = [&]() {
+      BatchJobSpec spec;
+      spec.dims = {16, 16, 16};
+      spec.request.options = opt;
+      spec.request.job_id = 201;
+      spec.request.checkpoint_path = ckpt;
+      spec.make_inputs = [nt](PencilDecomp& d, ScalarField& t,
+                              ScalarField& r) {
+        make_pair(d, 0.4, nt, t, r);
+      };
+      return spec;
+    };
+
+    // First launch, no manifest: runs the job and leaves its per-iterate
+    // solver checkpoint behind (as a killed batch would).
+    BatchSolver first(comm);
+    first.submit(make_spec());
+    BatchOptions bopt;
+    bopt.shards = 1;
+    auto rep1 = first.run_all(bopt);
+    ASSERT_EQ(rep1.summary.size(), 1u);
+    ASSERT_EQ(rep1.summary[0].outcome, JobOutcome::kDone);
+
+    // Craft the manifest a kill mid-job would have left: non-final
+    // outcome, one attempt spent, checkpoint path recorded.
+    if (comm.rank() == 0) {
+      BatchManifestEntry e;
+      e.job_id = 201;
+      e.outcome = "retrying";
+      e.attempts = 1;
+      e.checkpoint_path = ckpt;
+      write_manifest_file(path, {e});
+    }
+    comm.barrier();
+
+    // Resume: the job re-runs (non-final outcome) with the prior attempt
+    // count carried over and the checkpoint velocity as its warm start.
+    BatchSolver second(comm);
+    second.submit(make_spec());
+    bopt.manifest_path = path;
+    auto rep2 = second.run_all(bopt);
+    ASSERT_EQ(rep2.summary.size(), 1u);
+    EXPECT_EQ(rep2.summary[0].outcome, JobOutcome::kDone);
+    EXPECT_EQ(rep2.summary[0].attempts, 2);  // 1 restored + this run
+    EXPECT_TRUE(rep2.summary[0].ran_here);
+    // Warm-started from the converged iterate, the resume needs no more
+    // Newton iterations than the cold run.
+    EXPECT_LE(rep2.summary[0].newton_iters, rep1.summary[0].newton_iters);
+    ASSERT_EQ(rep2.reports.size(), 1u);
+
+    comm.barrier();
+    if (comm.rank() == 0) {
+      std::remove(path.c_str());
+      std::remove(ckpt.c_str());
     }
   });
 }

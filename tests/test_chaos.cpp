@@ -333,6 +333,106 @@ TEST(Chaos, PeerDeathBeforeSplitEndsInTimeoutNotHang) {
       opts));
 }
 
+TEST(FaultSpec, ParsesCrashRepeat) {
+  // crash_repeat keeps the rank down across recovery attempts; the default
+  // crash is one-shot (a restarted rank whose retries can succeed).
+  EXPECT_FALSE(
+      FaultSpec::parse("crash_rank=1,crash_at=5").crash_repeat);
+  EXPECT_TRUE(
+      FaultSpec::parse("crash_rank=1,crash_at=5,crash_repeat=1").crash_repeat);
+  EXPECT_FALSE(
+      FaultSpec::parse("crash_rank=1,crash_at=5,crash_repeat=0").crash_repeat);
+}
+
+TEST(Chaos, RecoverAfterFaultDrainsStaleInFlightMessages) {
+  // The drain contract behind every batch retry: a message abandoned by a
+  // faulted exchange must NOT be matched by the next exchange on the same
+  // (src, tag). Without the drain, the post-recovery recv below would read
+  // the stale payload.
+  std::atomic<int> checked{0};
+  run_spmd(2, [&](Communicator& comm) {
+    const double stale = 2.0, fresh = 42.0;
+    if (comm.rank() == 0)
+      comm.send(std::span<const double>(&stale, 1), 1, /*tag=*/7);
+    // Rank 1 never receives it — the exchange "died" here.
+    EXPECT_TRUE(comm.recover_after_fault(1000));
+    if (comm.rank() == 0) {
+      comm.send(std::span<const double>(&fresh, 1), 1, /*tag=*/7);
+    } else {
+      if (comm.recv<double>(0, /*tag=*/7) == std::vector<double>{fresh})
+        ++checked;
+    }
+    comm.barrier();
+  });
+  EXPECT_EQ(checked.load(), 1);
+}
+
+TEST(Chaos, OneShotCrashIsRecoverable) {
+  // The default crash fires ONCE per rank family: after the victim catches
+  // its RankCrashError and the ranks run fault recovery (which also drains
+  // the undelivered payloads of the dead exchange), the wire works again.
+  SpmdOptions opts;
+  opts.fault_spec = "seed=1,crash_rank=1,crash_at=2";
+  std::atomic<int> crashed{0}, recovered{0}, clean{0};
+  run_spmd(
+      2,
+      [&](Communicator& comm) {
+        try {
+          const double x = 2.0;
+          for (int k = 0; k < 4; ++k) {
+            if (comm.rank() == 0)
+              comm.send(std::span<const double>(&x, 1), 1, 7);
+            else
+              comm.recv<double>(0, 7);  // third recv trips the crash
+          }
+        } catch (const RankCrashError&) {
+          ++crashed;
+        }
+        if (comm.recover_after_fault(1000)) ++recovered;
+        const double fresh = 42.0;
+        if (comm.rank() == 0) {
+          comm.send(std::span<const double>(&fresh, 1), 1, 7);
+        } else {
+          // One-shot: the recv must not rethrow. Drained: it must see the
+          // post-recovery payload, not a stale 2.0 left by the crash.
+          if (comm.recv<double>(0, 7) == std::vector<double>{fresh}) ++clean;
+        }
+        if (comm.allreduce_sum(comm.rank() + 1) == 3) ++clean;
+      },
+      opts);
+  EXPECT_EQ(crashed.load(), 1);
+  EXPECT_EQ(recovered.load(), 2);
+  EXPECT_EQ(clean.load(), 3);
+}
+
+TEST(Chaos, PermanentCrashMakesRecoveryFail) {
+  // With crash_repeat the node stays down: its own recovery rendezvous
+  // keeps throwing (reported as unrecoverable, never rethrown) and the
+  // survivor times out of the rendezvous — both sides learn the
+  // communicator is beyond repair, which is what triggers shard failover
+  // in the batch service.
+  SpmdOptions opts;
+  opts.fault_spec = "seed=1,crash_rank=1,crash_at=2,crash_repeat=1";
+  std::atomic<int> unrecoverable{0};
+  run_spmd(
+      2,
+      [&](Communicator& comm) {
+        try {
+          const double x = 1.0;
+          for (int k = 0; k < 4; ++k) {
+            if (comm.rank() == 0)
+              comm.send(std::span<const double>(&x, 1), 1, 7);
+            else
+              comm.recv<double>(0, 7);
+          }
+        } catch (const RankCrashError&) {
+        }
+        if (!comm.recover_after_fault(200)) ++unrecoverable;
+      },
+      opts);
+  EXPECT_EQ(unrecoverable.load(), 2);
+}
+
 TEST(Chaos, SplitCommunicatorsInheritWatchdogAndFaults) {
   // The pencil decomposition runs its transposes on row/col
   // sub-communicators: the watchdog must follow the split.
